@@ -1,0 +1,77 @@
+// Ablation study of the estimation framework's design choices (the two
+// admin-exposed knobs of Section V-A plus the clustering):
+//
+//   * interest-window size (paper default 700, from the Fig. 5c gap
+//     analysis);
+//   * model-refresh period (paper default 15 h, bounded by the 30 h
+//     correlation horizon of Fig. 5b; should scale with the job rate);
+//   * cluster count K (paper: 15 via the elbow method) including K = 1
+//     (no clustering -> one global SVR) and elbow-auto.
+#include "bench_common.hpp"
+#include "predict/baselines.hpp"
+
+using namespace eslurm;
+
+namespace {
+
+std::pair<double, double> evaluate(const predict::EstimatorConfig& config,
+                                   const std::vector<sched::Job>& jobs) {
+  predict::EslurmPredictor predictor(config, 7);
+  predict::AccuracyTracker accuracy;
+  for (const auto& job : jobs) {
+    predictor.maybe_retrain(job.submit_time);
+    accuracy.add(predictor.predict(job), job.actual_runtime);
+    predictor.observe(job);
+  }
+  return {accuracy.aea(), accuracy.underestimate_rate()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "estimation-framework design knobs");
+  trace::WorkloadProfile profile = trace::tianhe2a_profile();
+  profile.jobs_per_hour = 25;
+  trace::TraceGenerator generator(profile);
+  const auto jobs = generator.generate(days(21));
+  std::printf("workload: %zu jobs over 21 days\n\n", jobs.size());
+
+  predict::EstimatorConfig base;
+  base.retrain_period = hours(4);
+
+  std::printf("interest-window size (jobs):\n");
+  Table window_table({"window", "AEA", "UR"});
+  for (const std::size_t window : {100u, 300u, 700u, 1500u, 3000u}) {
+    auto config = base;
+    config.interest_window = window;
+    const auto [aea, ur] = evaluate(config, jobs);
+    window_table.add_row({std::to_string(window), format_double(aea, 3),
+                          format_double(ur, 3)});
+  }
+  window_table.print();
+
+  std::printf("\nmodel-refresh period:\n");
+  Table period_table({"period (h)", "AEA", "UR"});
+  for (const int hours_value : {1, 4, 8, 15, 30, 60}) {
+    auto config = base;
+    config.retrain_period = hours(hours_value);
+    const auto [aea, ur] = evaluate(config, jobs);
+    period_table.add_row({std::to_string(hours_value), format_double(aea, 3),
+                          format_double(ur, 3)});
+  }
+  period_table.print();
+  std::printf("[paper guidance: never refresh slower than every 30 h (Fig. 5b)]\n");
+
+  std::printf("\ncluster count K (0 = elbow auto):\n");
+  Table k_table({"K", "AEA", "UR"});
+  for (const std::size_t k : {1u, 5u, 15u, 40u, 0u}) {
+    auto config = base;
+    config.clusters = k;
+    const auto [aea, ur] = evaluate(config, jobs);
+    k_table.add_row({k == 0 ? "elbow" : std::to_string(k), format_double(aea, 3),
+                     format_double(ur, 3)});
+  }
+  k_table.print();
+  std::printf("[paper: K = 15 selected by the elbow method]\n");
+  return 0;
+}

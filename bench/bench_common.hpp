@@ -1,0 +1,68 @@
+// Shared helpers for the benchmark harnesses.  Every bench regenerates
+// one table or figure of the paper's evaluation (see DESIGN.md for the
+// experiment index) and prints paper-style rows; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "trace/generator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace eslurm::bench {
+
+/// Banner printed by every harness.  Also switches stdout to line
+/// buffering so long runs show progress when redirected to a file.
+inline void banner(const std::string& id, const std::string& what) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
+  std::printf("==============================================================\n");
+  std::printf("%s -- %s\n", id.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Workload with approximately `target_jobs` submissions over `duration`,
+/// clamped to the cluster's width.
+inline std::vector<sched::Job> workload_count_for(std::size_t nodes, SimTime duration,
+                                                  std::size_t target_jobs,
+                                                  trace::WorkloadProfile profile,
+                                                  std::uint64_t seed = 0) {
+  profile.max_nodes_per_job =
+      std::min<int>(profile.max_nodes_per_job, static_cast<int>(nodes));
+  if (seed) profile.seed = seed;
+  trace::TraceGenerator generator(profile);
+  return generator.generate_jobs(target_jobs, duration);
+}
+
+/// Workload sized for a cluster: job count scaled so the offered
+/// *in-window* load (node-seconds that can land inside [0, duration],
+/// divided by capacity) is roughly `load_factor`.  Job sizes are heavy
+/// tailed, so the count is found by fixed-point iteration on the actual
+/// generated trace rather than a small probe.
+inline std::vector<sched::Job> workload_for(std::size_t nodes, SimTime duration,
+                                            double load_factor,
+                                            trace::WorkloadProfile profile,
+                                            std::uint64_t seed = 0) {
+  const double capacity = static_cast<double>(nodes) * to_seconds(duration);
+  std::size_t target = 3000;
+  std::vector<sched::Job> jobs;
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    jobs = workload_count_for(nodes, duration, target, profile, seed);
+    double node_seconds = 0.0;
+    for (const auto& job : jobs) {
+      const SimTime runnable = std::min(job.actual_runtime, duration - job.submit_time);
+      node_seconds += static_cast<double>(job.nodes) * to_seconds(runnable);
+    }
+    const double realized = node_seconds / capacity;
+    if (realized > 0.95 * load_factor && realized < 1.05 * load_factor) break;
+    target = static_cast<std::size_t>(
+        std::max(200.0, static_cast<double>(target) * load_factor /
+                            std::max(realized, 1e-6)));
+  }
+  return jobs;
+}
+
+}  // namespace eslurm::bench

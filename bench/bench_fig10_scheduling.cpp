@@ -1,0 +1,102 @@
+// Fig. 10 of the paper: resource utilization and job-scheduling
+// efficiency on clusters of four scales (Table VII):
+//
+//   1,024 nodes : SGE, Torque, OpenPBS, LSF, Slurm, ESLURM
+//   4,096 nodes : OpenPBS, LSF, Slurm, ESLURM  (SGE/Torque cannot scale)
+//   16,384 nodes: Slurm, ESLURM                (full Tianhe-2A)
+//   20,480 nodes: Slurm, ESLURM                (full NG-Tianhe)
+//
+// All RMs run the same backfill scheduler; ESLURM additionally uses its
+// runtime-estimation framework and FP-Trees.  Failure injection is on
+// (production-like ~1.5% of nodes down at any time).  The paper replays
+// a week per cluster; we replay two days (steady state).
+//
+// Paper: ESLURM best on all three metrics everywhere; on NG-Tianhe it
+// improves utilization by 47.2% over Slurm (8.7 points from runtime
+// estimation, 6.2 from the FP-Tree), cuts average wait by 60.5% and
+// average bounded slowdown by 75.8%.
+#include "bench_common.hpp"
+
+using namespace eslurm;
+
+namespace {
+
+const SimTime kHorizon = hours(48);
+
+struct Variant {
+  std::string rm;
+  bool estimation = false;
+  bool fp_tree = true;
+  std::string label;
+};
+
+sched::SchedulingReport run_variant(const Variant& variant, std::size_t nodes,
+                                    const std::vector<sched::Job>& jobs,
+                                    std::uint64_t* crashes = nullptr) {
+  core::ExperimentConfig config;
+  config.rm = variant.rm;
+  config.compute_nodes = nodes;
+  config.satellite_count = std::max<std::size_t>(2, nodes / 5000);
+  config.horizon = kHorizon;
+  config.seed = 1234;
+  config.rm_config.use_runtime_estimation = variant.estimation;
+  config.rm_config.use_fp_tree = variant.fp_tree;
+  config.rm_config.estimator.retrain_period = hours(4);
+  config.enable_failures = true;
+  config.failure_params.node_mtbf_hours = 400.0;
+  config.failure_params.repair_mean_hours = 6.0;
+  core::Experiment experiment(config);
+  experiment.submit_trace(jobs);
+  experiment.run();
+  if (crashes) *crashes = experiment.manager().crash_count();
+  return experiment.report();
+}
+
+void run_scale(std::size_t nodes, const std::vector<Variant>& variants,
+               const trace::WorkloadProfile& profile) {
+  // Offered load just under capacity: queues form during diurnal peaks
+  // (so backfill quality matters) but the machine is not saturated --
+  // the regime where scheduling efficiency differentiates RMs.
+  const auto jobs = bench::workload_for(nodes, kHorizon, 0.9, profile, 4242);
+  std::printf("\n--- %zu nodes, %zu jobs over 2 days ---\n", nodes, jobs.size());
+  Table table({"RM", "utilization %", "avg wait (s)", "avg bounded slowdown",
+               "jobs done", "crashes"});
+  for (const auto& variant : variants) {
+    std::uint64_t crashes = 0;
+    const auto report = run_variant(variant, nodes, jobs, &crashes);
+    table.add_row({variant.label, format_double(100 * report.system_utilization, 4),
+                   format_double(report.avg_wait_seconds, 4),
+                   format_double(report.avg_bounded_slowdown, 4),
+                   std::to_string(report.jobs_finished), std::to_string(crashes)});
+    std::printf("[%s done]\n", variant.label.c_str());
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 10", "scheduling efficiency across cluster scales (Table VII)");
+
+  const Variant sge{"sge", false, true, "SGE"};
+  const Variant torque{"torque", false, true, "Torque"};
+  const Variant openpbs{"openpbs", false, true, "OpenPBS"};
+  const Variant lsf{"lsf", false, true, "LSF"};
+  const Variant slurm{"slurm", false, true, "Slurm"};
+  const Variant eslurm{"eslurm", true, true, "ESLURM"};
+  const Variant eslurm_noest{"eslurm", false, true, "ESLURM w/o estimation"};
+  const Variant eslurm_nofp{"eslurm", true, false, "ESLURM w/o FP-Tree"};
+
+  run_scale(1024, {sge, torque, openpbs, lsf, slurm, eslurm}, trace::tianhe2a_profile());
+  run_scale(4096, {openpbs, lsf, slurm, eslurm}, trace::tianhe2a_profile());
+  run_scale(16384, {slurm, eslurm}, trace::tianhe2a_profile());
+  // Full NG-Tianhe, with the ablations the paper attributes gains to.
+  run_scale(20480, {slurm, eslurm, eslurm_noest, eslurm_nofp},
+            trace::ng_tianhe_profile());
+
+  std::printf("\n[paper: ESLURM best everywhere; utilization falls with scale for\n"
+              " every RM; on NG-Tianhe ESLURM improves utilization by 47.2%% over\n"
+              " Slurm (8.7 from estimation, 6.2 from FP-Tree), cuts wait by 60.5%%\n"
+              " and bounded slowdown by 75.8%%]\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 11a of the paper: heartbeat-broadcast time on the full-scale
+// NG-Tianhe (20K+ nodes) as a function of the satellite count.
+//
+// Paper: ~20 satellites minimize the transfer time at this scale, which
+// led to the deployment rule of one satellite per ~5K compute nodes.
+#include <optional>
+
+#include "bench_common.hpp"
+
+using namespace eslurm;
+
+namespace {
+constexpr std::size_t kNodes = 20480;
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 11a", "heartbeat broadcast time vs satellite count (20K+ nodes)");
+
+  Table table({"satellites", "avg heartbeat broadcast (s)"});
+  for (const std::size_t satellites : {1u, 5u, 10u, 20u, 30u, 40u, 50u}) {
+    core::ExperimentConfig config;
+    config.rm = "eslurm";
+    config.compute_nodes = kNodes;
+    config.satellite_count = satellites;
+    config.horizon = hours(1);
+    config.seed = 21;
+    config.rm_config.enable_pings = true;
+    core::Experiment experiment(config);
+
+    // Time explicit full-cluster heartbeat rounds: submit a full-width
+    // job whose launch broadcast covers every compute node, five times.
+    std::vector<sched::Job> jobs;
+    for (sched::JobId id = 1; id <= 5; ++id) {
+      sched::Job job;
+      job.id = id;
+      job.user = "hb";
+      job.name = "heartbeat";
+      job.nodes = static_cast<int>(kNodes);
+      job.cores = static_cast<int>(kNodes) * 12;
+      job.submit_time = minutes(static_cast<std::int64_t>(id - 1) * 10);
+      job.actual_runtime = seconds(1);
+      job.user_estimate = minutes(5);
+      jobs.push_back(std::move(job));
+    }
+    experiment.submit_trace(jobs);
+    experiment.run();
+    const double avg = experiment.manager().launch_broadcast_seconds().mean();
+    table.add_row({std::to_string(satellites), format_double(avg, 4)});
+    std::printf("[%zu satellites done]\n", satellites);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\n[paper: minimum around 20 satellites at 20K+ nodes -> the rule of\n"
+              " one satellite per ~5K compute nodes]\n");
+  return 0;
+}

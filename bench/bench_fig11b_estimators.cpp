@@ -1,0 +1,49 @@
+// Fig. 11b of the paper: runtime-estimation model comparison on the
+// NG-Tianhe historical workload (offline replay: predict at submission,
+// learn at completion, retrain on each model's own cadence).
+//
+// Paper: user estimates are the least accurate and always overestimate;
+// SVM, RandomForest and Last-2 stay below 70% AEA with underestimation
+// above 25%; IRPA, TRIP and PREP do better; ESLURM leads with 84% AEA at
+// ~10% underestimation.
+#include "bench_common.hpp"
+#include "predict/baselines.hpp"
+
+using namespace eslurm;
+
+int main() {
+  bench::banner("Fig. 11b", "runtime-estimation models on NG-Tianhe history");
+  trace::WorkloadProfile profile = trace::ng_tianhe_profile();
+  profile.jobs_per_hour = 12;  // NG-Tianhe's observed rate (Table III)
+  trace::TraceGenerator generator(profile);
+  const auto jobs = generator.generate(days(90));
+  std::printf("workload: %zu jobs over 90 days\n\n", jobs.size());
+
+  Table table({"model", "AEA", "underestimation rate"});
+  for (const auto& name : predict::predictor_names()) {
+    std::unique_ptr<predict::RuntimePredictor> predictor;
+    if (name == "eslurm") {
+      // Model refresh matched to the job rate (the paper's two exposed
+      // knobs; see EXPERIMENTS.md).
+      predict::EstimatorConfig config;
+      config.retrain_period = hours(4);
+      predictor = std::make_unique<predict::EslurmPredictor>(config, 7);
+    } else {
+      predictor = predict::make_predictor(name);
+    }
+    predict::AccuracyTracker accuracy;
+    for (const auto& job : jobs) {
+      predictor->maybe_retrain(job.submit_time);
+      accuracy.add(predictor->predict(job), job.actual_runtime);
+      predictor->observe(job);
+    }
+    table.add_row({name, format_double(accuracy.aea(), 3),
+                   format_double(accuracy.underestimate_rate(), 3)});
+    std::printf("[%s done]\n", name.c_str());
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\n[paper: user worst & always over; SVM/RF/Last-2 < 0.70 AEA with\n"
+              " UR > 0.25; IRPA/TRIP/PREP higher; ESLURM best: 0.84 AEA, ~0.10 UR]\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 9 of the paper: full-scale Tianhe-2A (16,384 nodes), Slurm vs
+// ESLURM with two satellite nodes, 24 hours.
+//
+//   (a)-(c) master CPU / memory / sockets: ESLURM uses < 40% of Slurm's
+//           CPU time, saves > 80% of the memory, and cuts concurrent
+//           sockets by > 10x;
+//   (d)-(f) the two satellites share the relayed load evenly (~100 CPU
+//           minutes total, ~80 MB RSS each, < 80 sockets peak).
+#include "bench_common.hpp"
+
+using namespace eslurm;
+
+namespace {
+
+constexpr std::size_t kNodes = 16384;
+const SimTime kHorizon = hours(24);
+
+struct Row {
+  double cpu_minutes = 0.0;
+  double vmem_gb = 0.0;
+  double rss_mb = 0.0;
+  double sockets_avg = 0.0;
+  double sockets_peak = 0.0;
+};
+
+Row collect(const rm::DaemonStats& stats) {
+  Row row;
+  row.cpu_minutes = stats.cpu_seconds() / 60.0;
+  row.vmem_gb = stats.vmem_series().max_value();
+  row.rss_mb = stats.rss_series().max_value();
+  row.sockets_avg = stats.socket_series().mean_value();
+  row.sockets_peak = stats.socket_series().max_value();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 9", "full-scale Tianhe-2A (16K nodes): Slurm vs ESLURM, 24 h");
+  const auto jobs =
+      bench::workload_count_for(kNodes, kHorizon, 2500, trace::tianhe2a_profile(), 99);
+  std::printf("workload: %zu jobs over 24 h\n\n", jobs.size());
+
+  Row rows[2];
+  Row satellites[2];
+  const char* names[2] = {"slurm", "eslurm"};
+  for (int i = 0; i < 2; ++i) {
+    core::ExperimentConfig config;
+    config.rm = names[i];
+    config.compute_nodes = kNodes;
+    config.satellite_count = 2;
+    config.horizon = kHorizon;
+    config.seed = 5;
+    core::Experiment experiment(config);
+    experiment.submit_trace(jobs);
+    experiment.run();
+    rows[i] = collect(experiment.manager().master_stats());
+    if (auto* eslurm_rm = experiment.eslurm()) {
+      for (int s = 0; s < 2; ++s) satellites[s] = collect(eslurm_rm->satellite_stats(s));
+    }
+    std::printf("[%s done]\n", names[i]);
+  }
+
+  std::printf("\nFig 9a-c: master-node usage\n");
+  Table master({"metric", "Slurm", "ESLURM", "ESLURM/Slurm"});
+  auto add = [&](const char* metric, double a, double b) {
+    master.add_row({metric, format_double(a, 4), format_double(b, 4),
+                    format_double(a > 0 ? b / a : 0, 3)});
+  };
+  add("CPU time (min)", rows[0].cpu_minutes, rows[1].cpu_minutes);
+  add("vmem peak (GB)", rows[0].vmem_gb, rows[1].vmem_gb);
+  add("RSS peak (MB)", rows[0].rss_mb, rows[1].rss_mb);
+  add("sockets avg", rows[0].sockets_avg, rows[1].sockets_avg);
+  add("sockets peak", rows[0].sockets_peak, rows[1].sockets_peak);
+  master.print();
+  std::printf("[paper: ESLURM < 40%% of Slurm's CPU time, > 80%% memory saving,\n"
+              " > 10x fewer concurrent sockets]\n");
+
+  std::printf("\nFig 9d-f: the two ESLURM satellites\n");
+  Table sat({"satellite", "CPU (min)", "RSS peak (MB)", "sockets peak"});
+  for (int s = 0; s < 2; ++s)
+    sat.add_row({std::to_string(s + 1), format_double(satellites[s].cpu_minutes, 4),
+                 format_double(satellites[s].rss_mb, 4),
+                 format_double(satellites[s].sockets_peak, 4)});
+  sat.print();
+  std::printf("[paper: balanced load; ~50 CPU min each; ~80 MB RSS; < 80 sockets]\n");
+  return 0;
+}

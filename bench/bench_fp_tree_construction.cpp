@@ -1,0 +1,71 @@
+// Section IV micro-benchmarks (google-benchmark): the FP-Tree
+// constructor's cost must be O(n) in the node-list length (Eq. 2 via the
+// master theorem, plus the O(n) rearranger), small enough to run on
+// every broadcast.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "cluster/monitoring.hpp"
+#include "comm/fp_tree.hpp"
+#include "util/rng.hpp"
+
+using namespace eslurm;
+
+namespace {
+
+std::vector<net::NodeId> node_list(std::size_t n) {
+  std::vector<net::NodeId> list(n);
+  std::iota(list.begin(), list.end(), 0u);
+  return list;
+}
+
+cluster::StaticFailurePredictor predictor_for(std::size_t n, double ratio) {
+  Rng rng(42);
+  std::vector<net::NodeId> failed;
+  for (net::NodeId id = 0; id < n; ++id)
+    if (rng.chance(ratio)) failed.push_back(id);
+  return cluster::StaticFailurePredictor(std::move(failed));
+}
+
+void BM_LeafLocation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::locate_leaf_positions(n, 50));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LeafLocation)->Range(256, 1 << 17)->Complexity(benchmark::oN);
+
+void BM_RearrangeNodelist(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto list = node_list(n);
+  const auto predictor = predictor_for(n, 0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::rearrange_nodelist(list, 50, predictor));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RearrangeNodelist)->Range(256, 1 << 17)->Complexity(benchmark::oN);
+
+void BM_RearrangeVsFailureRatio(benchmark::State& state) {
+  const std::size_t n = 20480;  // full NG-Tianhe list
+  const auto list = node_list(n);
+  const auto predictor =
+      predictor_for(n, static_cast<double>(state.range(0)) / 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::rearrange_nodelist(list, 50, predictor));
+  }
+}
+BENCHMARK(BM_RearrangeVsFailureRatio)->DenseRange(0, 30, 10);
+
+void BM_TreeDepthEstimate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::tree_depth_estimate(1 << 20, 50));
+  }
+}
+BENCHMARK(BM_TreeDepthEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Section VII-A "FP-tree node placement": ESLURM deployed on 4K nodes
+// for ten days with production-like failures -- sporadic single-node
+// events plus one large hardware-replacement burst (the paper saw 28
+// small events, one 600+-node burst, 1423 failed-node encounters during
+// tree construction, 81.7% of them placed on leaves).
+#include "bench_common.hpp"
+
+using namespace eslurm;
+
+int main() {
+  bench::banner("Sec. VII-A", "FP-Tree leaf placement over a 10-day deployment");
+  core::ExperimentConfig config;
+  config.rm = "eslurm";
+  config.compute_nodes = 4096;
+  config.satellite_count = 2;
+  config.horizon = days(10);
+  config.seed = 6;
+  config.enable_failures = true;
+  config.failure_params.node_mtbf_hours = 9000.0;  // ~10 singles/day at 4K
+  config.failure_params.repair_mean_hours = 4.0;
+  // Hit rate tuned to the production monitoring the paper had: alerts
+  // precede ~60% of failures; misses land on leaves only by chance.
+  config.monitoring.hit_rate = 0.60;
+  config.monitoring.false_alarms_per_node_day = 0.002;
+  core::Experiment experiment(config);
+
+  // Day 6: hardware replacement takes out 600+ nodes (the paper's event).
+  experiment.failures().schedule_burst(
+      cluster::BurstEvent{.at = days(6), .node_count = 620, .duration_hours = 12.0});
+
+  const auto jobs =
+      bench::workload_count_for(4096, config.horizon, 12000, trace::tianhe2a_profile(), 8);
+  experiment.submit_trace(jobs);
+  experiment.run();
+
+  const auto* stats = experiment.eslurm()->fp_tree_stats();
+  const auto trees = experiment.eslurm()->fp_trees_constructed();
+  std::printf("failures injected            : %llu (plus one 620-node burst)\n",
+              (unsigned long long)experiment.failures().injected_failures());
+  std::printf("alerts raised                : %llu (%llu genuine / %llu false)\n",
+              (unsigned long long)experiment.monitoring().alerts_raised(),
+              (unsigned long long)experiment.monitoring().genuine_alerts(),
+              (unsigned long long)experiment.monitoring().false_alarms());
+  std::printf("FP-Trees constructed         : %llu (%0.f per satellite-day)\n",
+              (unsigned long long)trees,
+              static_cast<double>(trees) / (2.0 * 10.0));
+  std::printf("predicted nodes encountered  : %zu (%.1f%% on leaves)\n",
+              stats->predicted, 100.0 * stats->leaf_placement_ratio());
+  std::printf("FAILED nodes encountered     : %zu\n", stats->failed_encountered);
+  std::printf("  of which on leaf positions : %zu (%.1f%%)\n", stats->failed_on_leaf,
+              100.0 * stats->failed_leaf_ratio());
+  std::printf("\n[paper: 3828 trees/satellite-day, 1423 failed-node encounters,\n"
+              " 81.7%% of the *failed* nodes placed on leaves]\n");
+  return 0;
+}

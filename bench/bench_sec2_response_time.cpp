@@ -1,0 +1,67 @@
+// Section II-B of the paper: the production observation that motivated
+// ESLURM.  With Slurm managing 20K+ nodes, the average response time for
+// a user request exceeded 27 seconds and ~38% of requests failed to
+// reach the master; ESLURM's production deployment answers in under a
+// second.
+//
+// The bench injects a stream of user RPCs (squeue/sbatch-style) at
+// masters managing 4K and 20K+ nodes and reports the mean/p95 response
+// and the fraction that exceed the 30 s give-up.
+#include "bench_common.hpp"
+
+using namespace eslurm;
+
+namespace {
+
+struct Row {
+  double avg = 0.0;
+  double p95 = 0.0;
+  double failed = 0.0;
+  std::uint64_t requests = 0;
+};
+
+Row run(const std::string& rm, std::size_t nodes) {
+  core::ExperimentConfig config;
+  config.rm = rm;
+  config.compute_nodes = nodes;
+  config.satellite_count = std::max<std::size_t>(2, nodes / 5000);
+  config.horizon = hours(6);
+  config.seed = 31;
+  config.rm_config.user_requests_per_hour = 600.0;  // one every ~6 s
+  core::Experiment experiment(config);
+  // Background job load so the master is also dispatching.
+  experiment.submit_trace(bench::workload_count_for(
+      nodes, config.horizon, 400, trace::tianhe2a_profile(), 5));
+  experiment.run();
+
+  Row row;
+  const auto& manager = experiment.manager();
+  row.avg = manager.request_response_seconds().mean();
+  row.failed = manager.request_failure_rate();
+  row.requests = manager.user_requests_issued();
+  // p95 via the max as a cheap stand-in plus the mean; the stats object
+  // keeps min/mean/max -- report max as the worst case.
+  row.p95 = manager.request_response_seconds().max();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Sec. II-B", "user-request response time and failure rate");
+  Table table({"RM", "nodes", "avg response (s)", "worst (s)", "failed %", "requests"});
+  for (const std::size_t nodes : {4096u, 20480u}) {
+    for (const std::string rm : {"slurm", "eslurm"}) {
+      const Row row = run(rm, nodes);
+      table.add_row({rm, std::to_string(nodes), format_double(row.avg, 4),
+                     format_double(row.p95, 4), format_double(100 * row.failed, 3),
+                     std::to_string(row.requests)});
+      std::printf("[%s @ %zu done]\n", rm.c_str(), nodes);
+    }
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\n[paper: Slurm at 20K+: >27 s average response, ~38%% of requests\n"
+              " failing; ESLURM production: < 1 s]\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: bring up an ESLURM-managed cluster from a slurm.conf-style
+// description, submit a handful of jobs, and inspect the result -- the
+// simulated equivalent of sbatch + squeue + sinfo.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace eslurm;
+
+int main() {
+  // 1. Describe the deployment the way an administrator would.
+  const auto config = core::Experiment::config_from_text(R"(
+      ResourceManager=eslurm
+      Nodes=512
+      SatelliteNodes=2
+      TreeWidth=50
+      HorizonHours=3
+      UseRuntimeEstimation=yes
+  )");
+  core::Experiment experiment(config);
+
+  // 2. Submit a small batch of jobs (an sbatch burst at t=60s).
+  std::vector<sched::Job> jobs;
+  const struct {
+    const char* user;
+    const char* name;
+    int nodes;
+    int runtime_min;
+    int limit_min;
+  } batch[] = {
+      {"alice", "cfd_solver", 128, 42, 120},
+      {"bob", "bio_align", 16, 15, 60},
+      {"alice", "cfd_solver", 128, 45, 120},
+      {"carol", "em_field", 256, 30, 240},
+      {"bob", "bio_align", 16, 14, 60},
+      {"dave", "combustion", 64, 55, 90},
+  };
+  sched::JobId next_id = 1;
+  for (const auto& item : batch) {
+    sched::Job job;
+    job.id = next_id++;
+    job.user = item.user;
+    job.name = item.name;
+    job.nodes = item.nodes;
+    job.cores = item.nodes * 12;
+    job.submit_time = seconds(60) + seconds(5) * static_cast<std::int64_t>(job.id);
+    job.actual_runtime = minutes(item.runtime_min);
+    job.user_estimate = minutes(item.limit_min);
+    jobs.push_back(std::move(job));
+  }
+  experiment.submit_trace(jobs);
+
+  // 3. Run the simulated cluster for three hours.
+  experiment.run();
+
+  // 4. squeue-style accounting output.
+  std::printf("=== job accounting (squeue -t all equivalent) ===\n");
+  Table table({"JOBID", "USER", "NAME", "NODES", "STATE", "WAIT(s)", "RUN(s)"});
+  for (const auto& job : jobs) {
+    const sched::Job& final_state = experiment.manager().pool().get(job.id);
+    table.add_row({std::to_string(final_state.id), final_state.user, final_state.name,
+                   std::to_string(final_state.nodes),
+                   sched::job_state_name(final_state.state),
+                   format_double(to_seconds(final_state.wait_time()), 4),
+                   format_double(to_seconds(final_state.observed_runtime()), 4)});
+  }
+  table.print();
+
+  // 5. sinfo-style cluster summary.
+  const auto report = experiment.report();
+  std::printf("\n=== cluster summary ===\n");
+  std::printf("compute nodes        : %d\n", experiment.manager().total_compute_nodes());
+  std::printf("jobs finished        : %zu\n", report.jobs_finished);
+  std::printf("system utilization   : %.1f%%\n", 100.0 * report.system_utilization);
+  std::printf("avg wait             : %.1f s\n", report.avg_wait_seconds);
+  std::printf("avg bounded slowdown : %.2f\n", report.avg_bounded_slowdown);
+  std::printf("master RSS           : %.1f MB, vmem %.2f GB\n",
+              experiment.manager().master_stats().rss_mb(),
+              experiment.manager().master_stats().vmem_gb());
+  const auto sats = experiment.eslurm()->satellite_reports();
+  for (const auto& sat : sats)
+    std::printf("satellite node %u     : %s, %llu tasks relayed\n", sat.node,
+                rm::satellite_state_name(sat.state),
+                static_cast<unsigned long long>(sat.tasks_received));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Runtime prediction walkthrough: generate a Tianhe-style workload,
+// replay it through the ESLURM estimation framework, and inspect how the
+// model's estimates compare to what the users asked for.
+//
+//   $ ./runtime_prediction
+#include <cstdio>
+
+#include "predict/baselines.hpp"
+#include "trace/generator.hpp"
+#include "trace/statistics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace eslurm;
+
+int main() {
+  // A month of Tianhe-2A-like workload.
+  trace::WorkloadProfile profile = trace::tianhe2a_profile();
+  profile.jobs_per_hour = 25;
+  trace::TraceGenerator generator(profile);
+  const auto jobs = generator.generate(days(30));
+  std::printf("generated %zu jobs over 30 days\n\n", jobs.size());
+
+  // How bad are the user estimates? (the Fig. 5a observation)
+  const auto p_samples = trace::estimate_accuracy_samples(jobs);
+  std::size_t over = 0;
+  for (const double p : p_samples)
+    if (p > 1.0) ++over;
+  std::printf("user estimates overestimate %.1f%% of runtimes\n\n",
+              100.0 * static_cast<double>(over) / p_samples.size());
+
+  // Replay through the framework: predict at submission, learn at
+  // completion, retrain on the model generator's cadence.
+  predict::EstimatorConfig config;
+  config.retrain_period = hours(4);
+  predict::RuntimeEstimator estimator(config, Rng(7));
+  predict::AccuracyTracker model_acc, user_acc;
+  std::vector<std::pair<sched::Job, SimTime>> samples;  // (job, estimate)
+  for (const auto& job : jobs) {
+    estimator.maybe_retrain(job.submit_time);
+    const auto estimate = estimator.estimate(job);
+    const SimTime model_value = estimate.model_raw > 0 ? estimate.model_raw
+                                                       : estimate.value;
+    model_acc.add(model_value, job.actual_runtime);
+    user_acc.add(job.user_estimate, job.actual_runtime);
+    if (jobs.size() - job.id < 6) samples.emplace_back(job, model_value);
+    estimator.record_completion(job);
+  }
+
+  std::printf("=== the last few predictions ===\n");
+  Table table({"user", "app", "nodes", "actual(s)", "user est(s)", "model est(s)"});
+  for (const auto& [job, estimate] : samples) {
+    table.add_row({job.user, job.name, std::to_string(job.nodes),
+                   format_double(to_seconds(job.actual_runtime), 4),
+                   format_double(to_seconds(job.user_estimate), 4),
+                   format_double(to_seconds(estimate), 4)});
+  }
+  table.print();
+
+  std::printf("\n=== accuracy over the whole month (Eq. 4-5) ===\n");
+  std::printf("user estimates : AEA %.3f, underestimation rate %.3f\n",
+              user_acc.aea(), user_acc.underestimate_rate());
+  std::printf("ESLURM model   : AEA %.3f, underestimation rate %.3f\n",
+              model_acc.aea(), model_acc.underestimate_rate());
+  std::printf("model generations trained: %llu (every %lld h, window %zu jobs, "
+              "k=%zu clusters)\n",
+              (unsigned long long)estimator.retrain_count(),
+              (long long)(config.retrain_period / hours(1)),
+              config.interest_window, estimator.cluster_count());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "cluster/cluster.hpp"
+
+#include <utility>
+
+namespace eslurm::cluster {
+
+ClusterModel::ClusterModel(sim::Engine& engine, std::size_t n, std::string name_prefix,
+                           int cores_per_node, std::int64_t memory_mb)
+    : engine_(engine) {
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeInfo info;
+    info.id = static_cast<NodeId>(i);
+    info.name = name_prefix + std::to_string(i);
+    info.cores = cores_per_node;
+    info.memory_mb = memory_mb;
+    nodes_.push_back(std::move(info));
+  }
+  alive_count_ = n;
+}
+
+std::vector<NodeId> ClusterModel::ids_in_state(NodeState state) const {
+  std::vector<NodeId> out;
+  for (const auto& node : nodes_)
+    if (node.state == state) out.push_back(node.id);
+  return out;
+}
+
+void ClusterModel::set_state(NodeId id, NodeState state) {
+  NodeInfo& info = nodes_.at(id);
+  const NodeState old = info.state;
+  if (old == state) return;
+  info.state = state;
+  info.state_since = engine_.now();
+  if (old == NodeState::Up) --alive_count_;
+  if (state == NodeState::Up) ++alive_count_;
+  if (state == NodeState::Down) ++info.failure_count;
+  for (const auto& obs : observers_) obs(id, old, state);
+}
+
+void ClusterModel::add_observer(StateObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+std::function<bool(NodeId)> ClusterModel::liveness() const {
+  return [this](NodeId id) { return alive(id); };
+}
+
+}  // namespace eslurm::cluster

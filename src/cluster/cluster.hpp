@@ -1,0 +1,75 @@
+// Cluster node model: node inventory, liveness, and failure bookkeeping.
+//
+// Nodes are homogeneous (as in the paper's evaluation: Tianhe-2A nodes
+// are identical 12-core Xeons).  Roles -- master, satellite, compute --
+// are a property of the RM deployment, not of the cluster itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+#include "util/time.hpp"
+
+namespace eslurm::cluster {
+
+using net::NodeId;
+
+enum class NodeState : std::uint8_t {
+  Up,          ///< healthy, can run jobs and relay messages
+  Down,        ///< failed or powered off; unreachable
+  Maintenance  ///< administratively drained (hardware replacement etc.)
+};
+
+struct NodeInfo {
+  NodeId id = net::kNoNode;
+  std::string name;
+  int cores = 12;
+  std::int64_t memory_mb = 64 * 1024;
+  NodeState state = NodeState::Up;
+  SimTime state_since = 0;
+  std::uint32_t failure_count = 0;  ///< lifetime failures observed
+};
+
+class ClusterModel {
+ public:
+  /// Builds `n` nodes named `<prefix><index>` (cn0, cn1, ...).
+  ClusterModel(sim::Engine& engine, std::size_t n, std::string name_prefix = "cn",
+               int cores_per_node = 12, std::int64_t memory_mb = 64 * 1024);
+
+  std::size_t size() const { return nodes_.size(); }
+  const NodeInfo& node(NodeId id) const { return nodes_.at(id); }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+
+  bool alive(NodeId id) const { return nodes_[id].state == NodeState::Up; }
+  std::size_t alive_count() const { return alive_count_; }
+  std::size_t failed_count() const { return nodes_.size() - alive_count_; }
+
+  /// All node ids currently in the given state.
+  std::vector<NodeId> ids_in_state(NodeState state) const;
+
+  /// State transitions.  Idempotent; observers fire only on real changes.
+  void set_state(NodeId id, NodeState state);
+  void fail(NodeId id) { set_state(id, NodeState::Down); }
+  void restore(NodeId id) { set_state(id, NodeState::Up); }
+
+  /// Observers, e.g. the monitoring substrate and RM node tracking.
+  using StateObserver = std::function<void(NodeId, NodeState old_state, NodeState new_state)>;
+  void add_observer(StateObserver observer);
+
+  /// Liveness oracle in the shape Network expects.
+  std::function<bool(NodeId)> liveness() const;
+
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  sim::Engine& engine_;
+  std::vector<NodeInfo> nodes_;
+  std::size_t alive_count_ = 0;
+  std::vector<StateObserver> observers_;
+};
+
+}  // namespace eslurm::cluster

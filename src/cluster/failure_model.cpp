@@ -1,0 +1,105 @@
+#include "cluster/failure_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace eslurm::cluster {
+
+FailureModel::FailureModel(ClusterModel& cluster, Rng rng, FailureModelParams params)
+    : cluster_(cluster), rng_(rng), params_(params), immune_(cluster.size(), false) {}
+
+void FailureModel::set_immune(std::vector<NodeId> nodes) {
+  std::fill(immune_.begin(), immune_.end(), false);
+  for (NodeId n : nodes) immune_.at(n) = true;
+}
+
+void FailureModel::add_pre_failure_hook(PreFailureHook hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+NodeId FailureModel::pick_victim() {
+  // Rejection-sample an alive, non-immune node; bounded attempts keep the
+  // call O(1) in the common case of few failures.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto id = static_cast<NodeId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(cluster_.size()) - 1));
+    if (!immune_[id] && cluster_.alive(id)) return id;
+  }
+  return net::kNoNode;
+}
+
+void FailureModel::start(SimTime horizon) {
+  horizon_ = horizon;
+  arm_next_failure();
+}
+
+void FailureModel::arm_next_failure() {
+  if (cluster_.alive_count() == 0) return;
+  const double cluster_rate_per_hour =
+      static_cast<double>(cluster_.alive_count()) / params_.node_mtbf_hours;
+  const double gap_hours = rng_.exponential(1.0 / cluster_rate_per_hour);
+  const SimTime at = cluster_.engine().now() + from_seconds(gap_hours * 3600.0);
+  if (at > horizon_) return;
+  cluster_.engine().schedule_at(at, [this] {
+    const NodeId victim = pick_victim();
+    if (victim != net::kNoNode) {
+      const double lead_min =
+          rng_.exponential(std::max(1e-3, params_.alert_lead_mean_minutes));
+      const SimTime fail_at =
+          cluster_.engine().now() + from_seconds(lead_min * 60.0);
+      for (const auto& hook : hooks_) hook(victim, fail_at);
+      const double repair_hours =
+          params_.repair_mean_hours *
+          std::exp(rng_.normal(0.0, params_.repair_sigma)) /
+          std::exp(params_.repair_sigma * params_.repair_sigma / 2.0);
+      cluster_.engine().schedule_at(fail_at, [this, victim, repair_hours] {
+        execute_failure(victim, from_seconds(repair_hours * 3600.0));
+      });
+    }
+    arm_next_failure();
+  });
+}
+
+void FailureModel::execute_failure(NodeId node, SimTime repair_after) {
+  if (!cluster_.alive(node)) return;
+  ++injected_;
+  ESLURM_DEBUG("failure: node ", node, " down at t=", to_seconds(cluster_.engine().now()),
+               "s for ", to_seconds(repair_after), "s");
+  cluster_.fail(node);
+  cluster_.engine().schedule_after(repair_after, [this, node] {
+    if (!cluster_.alive(node)) cluster_.restore(node);
+  });
+}
+
+void FailureModel::schedule_burst(const BurstEvent& burst) {
+  cluster_.engine().schedule_at(burst.at, [this, burst] {
+    std::size_t taken = 0;
+    // Bursts hit a contiguous span of nodes (a rack / chassis group),
+    // starting from a random origin.
+    const auto n = static_cast<NodeId>(cluster_.size());
+    const auto origin = static_cast<NodeId>(rng_.uniform_int(0, n - 1));
+    const SimTime down_for = from_seconds(burst.duration_hours * 3600.0);
+    for (NodeId offset = 0; offset < n && taken < burst.node_count; ++offset) {
+      const NodeId id = (origin + offset) % n;
+      if (immune_[id] || !cluster_.alive(id)) continue;
+      // A short staggered lead so monitoring sees the wave coming.
+      const SimTime fail_at = cluster_.engine().now() + milliseconds(10 * taken);
+      for (const auto& hook : hooks_) hook(id, fail_at);
+      cluster_.engine().schedule_at(fail_at, [this, id, down_for] {
+        execute_failure(id, down_for);
+      });
+      ++taken;
+    }
+    ESLURM_INFO("burst failure: ", taken, " nodes at t=",
+                to_seconds(cluster_.engine().now()), "s");
+  });
+}
+
+void FailureModel::fail_now(NodeId node, SimTime down_for) {
+  for (const auto& hook : hooks_) hook(node, cluster_.engine().now());
+  execute_failure(node, down_for);
+}
+
+}  // namespace eslurm::cluster

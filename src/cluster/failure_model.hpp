@@ -1,0 +1,81 @@
+// Failure injection.
+//
+// Reproduces the failure behaviour the paper measured in production:
+// sporadic single-node failures (power, network, memory), plus rare
+// large-scale bursts (the paper observed one 600+-node event caused by a
+// hardware replacement).  Failures are *scheduled ahead of time* inside
+// the model; the monitoring substrate (monitoring.hpp) taps that schedule
+// to emit leading hardware alerts -- physical sensors degrade before the
+// node actually drops off the fabric.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace eslurm::cluster {
+
+struct FailureModelParams {
+  /// Per-node mean time between failures.  The cluster-wide failure
+  /// arrival rate is n_alive / mtbf.
+  double node_mtbf_hours = 8760.0;  // one failure per node-year
+  /// Repair time: lognormal-ish around the mean (most repairs are a
+  /// reboot; some need hardware swap).
+  double repair_mean_hours = 2.0;
+  double repair_sigma = 0.8;
+  /// Lead time between the hardware first misbehaving (alert-able) and
+  /// the node actually failing.
+  double alert_lead_mean_minutes = 20.0;
+};
+
+struct BurstEvent {
+  SimTime at = 0;
+  std::size_t node_count = 0;     ///< nodes taken down together
+  double duration_hours = 4.0;    ///< until restored
+};
+
+class FailureModel {
+ public:
+  FailureModel(ClusterModel& cluster, Rng rng, FailureModelParams params = {});
+
+  /// Nodes that must never fail (e.g. the master in experiments where the
+  /// paper kept the master dedicated and monitored).
+  void set_immune(std::vector<NodeId> nodes);
+
+  /// Registers a pre-failure hook: called when a failure is *scheduled*,
+  /// with the victim and the time it will go down.  The monitoring
+  /// substrate uses this to model leading sensor alerts.
+  using PreFailureHook = std::function<void(NodeId, SimTime fail_at)>;
+  void add_pre_failure_hook(PreFailureHook hook);
+
+  /// Starts random single-node failure injection until `horizon`.
+  void start(SimTime horizon);
+
+  /// Schedules a correlated burst (maintenance wave / chassis loss).
+  void schedule_burst(const BurstEvent& burst);
+
+  /// Fails a specific node now, restoring it after `down_for`.
+  /// Pre-failure hooks fire with lead time 0 (unpredicted failure).
+  void fail_now(NodeId node, SimTime down_for);
+
+  std::uint64_t injected_failures() const { return injected_; }
+
+  const FailureModelParams& params() const { return params_; }
+
+ private:
+  void arm_next_failure();
+  void execute_failure(NodeId node, SimTime repair_after);
+  NodeId pick_victim();
+
+  ClusterModel& cluster_;
+  Rng rng_;
+  FailureModelParams params_;
+  SimTime horizon_ = 0;
+  std::vector<bool> immune_;
+  std::vector<PreFailureHook> hooks_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace eslurm::cluster

@@ -1,0 +1,55 @@
+#include "cluster/history_predictor.hpp"
+
+namespace eslurm::cluster {
+
+HistoryFailurePredictor::HistoryFailurePredictor(ClusterModel& cluster,
+                                                 SimTime suspicion_window,
+                                                 std::uint32_t chronic_threshold)
+    : cluster_(cluster),
+      suspicion_window_(suspicion_window),
+      chronic_threshold_(chronic_threshold) {
+  cluster_.add_observer([this](NodeId node, NodeState, NodeState now_state) {
+    if (now_state == NodeState::Down) {
+      History& entry = history_[node];
+      ++entry.failures;
+      entry.last_failure = cluster_.engine().now();
+    }
+  });
+}
+
+bool HistoryFailurePredictor::predicted_failed(NodeId node) const {
+  const auto it = history_.find(node);
+  if (it == history_.end()) return false;
+  if (it->second.failures >= chronic_threshold_) return true;  // chronic
+  return it->second.last_failure >= 0 &&
+         cluster_.engine().now() - it->second.last_failure <= suspicion_window_;
+}
+
+std::size_t HistoryFailurePredictor::predicted_count() const {
+  std::size_t count = 0;
+  for (const auto& [node, entry] : history_)
+    if (predicted_failed(node)) ++count;
+  return count;
+}
+
+std::uint32_t HistoryFailurePredictor::failure_count(NodeId node) const {
+  const auto it = history_.find(node);
+  return it == history_.end() ? 0 : it->second.failures;
+}
+
+CompositePredictor::CompositePredictor(std::vector<const FailurePredictor*> parts)
+    : parts_(std::move(parts)) {}
+
+bool CompositePredictor::predicted_failed(NodeId node) const {
+  for (const FailurePredictor* part : parts_)
+    if (part->predicted_failed(node)) return true;
+  return false;
+}
+
+std::size_t CompositePredictor::predicted_count() const {
+  std::size_t count = 0;
+  for (const FailurePredictor* part : parts_) count += part->predicted_count();
+  return count;
+}
+
+}  // namespace eslurm::cluster

@@ -1,0 +1,55 @@
+// History-based failure prediction plugins.
+//
+// Section IV-C: "As the failure node prediction mechanism is implemented
+// as a plugin, more advanced techniques can be easily integrated."  Two
+// such plugins beyond the alert-driven MonitoringSystem:
+//
+//   * HistoryFailurePredictor -- nodes that failed recently are likely to
+//     fail again (infant-mortality / flapping hardware): a node is
+//     predicted for `suspicion_window` after each failure, and forever
+//     once its failure count passes `chronic_threshold`;
+//   * CompositePredictor -- union of any number of plugins (the paper's
+//     over-prediction principle: a false positive only costs a leaf slot).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/monitoring.hpp"
+
+namespace eslurm::cluster {
+
+class HistoryFailurePredictor final : public FailurePredictor {
+ public:
+  /// Subscribes to the cluster's state changes.
+  HistoryFailurePredictor(ClusterModel& cluster, SimTime suspicion_window = hours(24),
+                          std::uint32_t chronic_threshold = 3);
+
+  bool predicted_failed(NodeId node) const override;
+  std::size_t predicted_count() const override;
+
+  std::uint32_t failure_count(NodeId node) const;
+
+ private:
+  ClusterModel& cluster_;
+  SimTime suspicion_window_;
+  std::uint32_t chronic_threshold_;
+  struct History {
+    std::uint32_t failures = 0;
+    SimTime last_failure = -1;
+  };
+  std::unordered_map<NodeId, History> history_;
+};
+
+class CompositePredictor final : public FailurePredictor {
+ public:
+  explicit CompositePredictor(std::vector<const FailurePredictor*> parts);
+
+  bool predicted_failed(NodeId node) const override;
+  std::size_t predicted_count() const override;  ///< sum (may overcount overlap)
+
+ private:
+  std::vector<const FailurePredictor*> parts_;
+};
+
+}  // namespace eslurm::cluster

@@ -1,0 +1,115 @@
+#include "cluster/monitoring.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace eslurm::cluster {
+
+const char* indicator_name(IndicatorKind kind) {
+  switch (kind) {
+    case IndicatorKind::Voltage: return "voltage";
+    case IndicatorKind::Current: return "current";
+    case IndicatorKind::Temperature: return "temperature";
+    case IndicatorKind::Humidity: return "humidity";
+    case IndicatorKind::LiquidCooling: return "liquid-cooling";
+    case IndicatorKind::AirCooling: return "air-cooling";
+    case IndicatorKind::NetworkCard: return "network-card";
+    case IndicatorKind::Memory: return "memory";
+  }
+  return "?";
+}
+
+StaticFailurePredictor::StaticFailurePredictor(std::vector<NodeId> nodes)
+    : set_(nodes.begin(), nodes.end()) {}
+
+MonitoringSystem::MonitoringSystem(ClusterModel& cluster, FailureModel& failures,
+                                   Rng rng, MonitoringParams params)
+    : cluster_(cluster), rng_(rng), params_(params) {
+  // Genuine alerts: the failure model tells us a node will fail at
+  // `fail_at`; with probability hit_rate the BMU notices the degradation
+  // and the alert climbs the BMU -> CMU -> SMU chain.
+  failures.add_pre_failure_hook([this](NodeId node, SimTime fail_at) {
+    if (!rng_.chance(params_.hit_rate)) return;
+    const SimTime smu_at = cluster_.engine().now() + params_.bmu_to_cmu_delay +
+                           params_.cmu_to_smu_delay;
+    // The alert is held until well past the failure; once the node is
+    // actually down it is excluded from node lists anyway, and it clears
+    // on restore.
+    const SimTime expires = fail_at + hours(24);
+    cluster_.engine().schedule_at(smu_at, [this, node, expires] {
+      raise_alert(node, /*genuine=*/true, expires);
+    });
+  });
+  // Restores clear any outstanding alert for the node.
+  cluster_.add_observer([this](NodeId node, NodeState, NodeState now_state) {
+    if (now_state == NodeState::Up) active_.erase(node);
+  });
+}
+
+void MonitoringSystem::start(SimTime horizon) { arm_false_alarm(horizon); }
+
+void MonitoringSystem::arm_false_alarm(SimTime horizon) {
+  const double rate_per_hour = params_.false_alarms_per_node_day *
+                               static_cast<double>(cluster_.size()) / 24.0;
+  if (rate_per_hour <= 0.0) return;
+  const SimTime at =
+      cluster_.engine().now() + from_seconds(rng_.exponential(1.0 / rate_per_hour) * 3600.0);
+  if (at > horizon) return;
+  cluster_.engine().schedule_at(at, [this, horizon] {
+    const auto victim = static_cast<NodeId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(cluster_.size()) - 1));
+    if (cluster_.alive(victim)) {
+      const SimTime expires =
+          cluster_.engine().now() + from_seconds(params_.false_alarm_hold_hours * 3600.0);
+      raise_alert(victim, /*genuine=*/false, expires);
+    }
+    arm_false_alarm(horizon);
+  });
+}
+
+void MonitoringSystem::raise_alert(NodeId node, bool genuine, SimTime expires_at) {
+  ++raised_;
+  if (genuine)
+    ++genuine_;
+  else
+    ++false_;
+  Entry& entry = active_[node];
+  entry.alert.node = node;
+  entry.alert.kind = static_cast<IndicatorKind>(rng_.uniform_int(0, 7));
+  entry.alert.raised_at = cluster_.engine().now();
+  entry.alert.expires_at = expires_at;
+  entry.alert.genuine = genuine;
+  entry.token = next_token_++;
+  const std::uint64_t token = entry.token;
+  if (expires_at != kTimeNever) {
+    cluster_.engine().schedule_at(expires_at, [this, node, token] {
+      expire_alert(node, token);
+    });
+  }
+  ESLURM_DEBUG("monitoring: alert on node ", node, " (",
+               indicator_name(entry.alert.kind), genuine ? ", genuine)" : ", false)");
+}
+
+void MonitoringSystem::expire_alert(NodeId node, std::uint64_t token) {
+  const auto it = active_.find(node);
+  if (it != active_.end() && it->second.token == token) active_.erase(it);
+}
+
+bool MonitoringSystem::predicted_failed(NodeId node) const {
+  return active_.count(node) > 0;
+}
+
+std::vector<Alert> MonitoringSystem::active_alerts() const {
+  std::vector<Alert> out;
+  out.reserve(active_.size());
+  for (const auto& [node, entry] : active_) {
+    (void)node;
+    out.push_back(entry.alert);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Alert& a, const Alert& b) { return a.node < b.node; });
+  return out;
+}
+
+}  // namespace eslurm::cluster

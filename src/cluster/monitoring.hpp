@@ -1,0 +1,131 @@
+// Monitoring & diagnostic substrate and failure prediction.
+//
+// Models the Tianhe three-layer monitoring hierarchy the paper relies on
+// (Section IV-C): per-board BMUs report to chassis CMUs, which report to
+// the system SMU over a dedicated diagnostic network.  Over 200 hardware
+// indicators (voltage, current, temperature, cooling, NIC health ...) are
+// abstracted into alert events: when a node's hardware starts degrading,
+// an alert propagates BMU -> CMU -> SMU with small hop delays and, from
+// then on, the node is *predicted failed*.
+//
+// The paper adopts over-prediction on purpose: a predicted node is merely
+// moved to a leaf of the communication tree, so false alarms are cheap.
+// We model an imperfect sensor: a true pre-failure alert fires with
+// probability `hit_rate`; independent false alarms arrive as a Poisson
+// process and expire after a holding time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/failure_model.hpp"
+#include "util/rng.hpp"
+
+namespace eslurm::cluster {
+
+/// Indicator families carried by alerts, mirroring the categories the
+/// paper lists for the Tianhe monitoring subsystem.
+enum class IndicatorKind : std::uint8_t {
+  Voltage,
+  Current,
+  Temperature,
+  Humidity,
+  LiquidCooling,
+  AirCooling,
+  NetworkCard,
+  Memory,
+};
+
+const char* indicator_name(IndicatorKind kind);
+
+struct Alert {
+  NodeId node = net::kNoNode;
+  IndicatorKind kind = IndicatorKind::Voltage;
+  SimTime raised_at = 0;
+  SimTime expires_at = kTimeNever;
+  bool genuine = false;  ///< whether a real failure is scheduled behind it
+};
+
+struct MonitoringParams {
+  double hit_rate = 0.85;            ///< P(alert precedes a real failure)
+  double false_alarms_per_node_day = 0.002;
+  double false_alarm_hold_hours = 6.0;
+  SimTime bmu_to_cmu_delay = milliseconds(5);
+  SimTime cmu_to_smu_delay = milliseconds(5);
+  std::size_t nodes_per_chassis = 32;  ///< BMUs aggregated per CMU
+};
+
+/// Abstract failure predictor consumed by the FP-Tree constructor.  The
+/// paper implements prediction as a plugin; this interface is that plugin
+/// boundary.
+class FailurePredictor {
+ public:
+  virtual ~FailurePredictor() = default;
+  /// True if `node` is currently predicted to fail.
+  virtual bool predicted_failed(NodeId node) const = 0;
+  /// Number of currently predicted nodes (diagnostics only).
+  virtual std::size_t predicted_count() const = 0;
+};
+
+/// Predictor that never predicts: turns an FP-Tree into a plain tree.
+class NullFailurePredictor final : public FailurePredictor {
+ public:
+  bool predicted_failed(NodeId) const override { return false; }
+  std::size_t predicted_count() const override { return 0; }
+};
+
+/// Oracle predictor for tests/benches: exactly a fixed set.
+class StaticFailurePredictor final : public FailurePredictor {
+ public:
+  explicit StaticFailurePredictor(std::vector<NodeId> nodes);
+  bool predicted_failed(NodeId node) const override { return set_.count(node) > 0; }
+  std::size_t predicted_count() const override { return set_.size(); }
+
+ private:
+  std::unordered_set<NodeId> set_;
+};
+
+class MonitoringSystem final : public FailurePredictor {
+ public:
+  MonitoringSystem(ClusterModel& cluster, FailureModel& failures, Rng rng,
+                   MonitoringParams params = {});
+
+  /// Starts false-alarm generation until `horizon` (genuine alerts are
+  /// driven by the failure model's pre-failure hook regardless).
+  void start(SimTime horizon);
+
+  // FailurePredictor interface: the SMU's live alert set.
+  bool predicted_failed(NodeId node) const override;
+  std::size_t predicted_count() const override { return active_.size(); }
+
+  /// Full current alert set (e.g. for an administrator dashboard).
+  std::vector<Alert> active_alerts() const;
+
+  std::uint64_t alerts_raised() const { return raised_; }
+  std::uint64_t genuine_alerts() const { return genuine_; }
+  std::uint64_t false_alarms() const { return false_; }
+
+ private:
+  void raise_alert(NodeId node, bool genuine, SimTime expires_at);
+  void expire_alert(NodeId node, std::uint64_t token);
+  void arm_false_alarm(SimTime horizon);
+
+  ClusterModel& cluster_;
+  Rng rng_;
+  MonitoringParams params_;
+  // node -> (alert, generation token); the token invalidates stale expiry
+  // events when an alert is refreshed.
+  struct Entry {
+    Alert alert;
+    std::uint64_t token = 0;
+  };
+  std::unordered_map<NodeId, Entry> active_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t raised_ = 0, genuine_ = 0, false_ = 0;
+};
+
+}  // namespace eslurm::cluster

@@ -1,0 +1,33 @@
+#include "comm/broadcaster.hpp"
+
+namespace eslurm::comm {
+namespace {
+// Process-wide allocator for per-instance message-type ranges.  Types are
+// assigned deterministically in construction order.
+net::MessageType g_next_type = kCommTypeBase;
+}  // namespace
+
+Broadcaster::Broadcaster(net::Network& network, std::string name)
+    : net_(network), name_(std::move(name)) {}
+
+net::MessageType Broadcaster::alloc_type_range(int width) {
+  const net::MessageType base = g_next_type;
+  g_next_type += width;
+  return base;
+}
+
+void Broadcaster::broadcast(NodeId root, std::vector<NodeId> targets,
+                            const BroadcastOptions& options, Callback done) {
+  broadcast(root, std::make_shared<const std::vector<NodeId>>(std::move(targets)),
+            options, std::move(done));
+}
+
+bool Broadcaster::mark_delivered(std::uint64_t broadcast_id, std::vector<bool>& bitmap,
+                                 NodeId node) {
+  if (bitmap[node]) return false;
+  bitmap[node] = true;
+  if (delivery_hook_) delivery_hook_(node, broadcast_id);
+  return true;
+}
+
+}  // namespace eslurm::comm

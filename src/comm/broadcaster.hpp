@@ -1,0 +1,96 @@
+// Broadcast-structure interface (Section IV / Fig. 8b of the paper).
+//
+// A Broadcaster delivers one control message (job-load, job-terminate,
+// heartbeat ...) from a root node to a set of target nodes over the
+// simulated network, tolerating target failures.  Five implementations
+// mirror the structures the paper evaluates: ring, star, shared-memory,
+// k-ary tree, and the FP-Tree (failure-prediction-rearranged tree).
+//
+// Failure semantics shared by all implementations: a send to a dead node
+// is detected only after `timeout`; `retries` connection attempts are
+// made before a peer is declared unreachable (the paper sets 3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace eslurm::comm {
+
+using net::NodeId;
+
+/// Message-type space reserved for communication structures (100-199).
+/// Each Broadcaster instance takes a distinct stride so several
+/// structures can coexist on the same nodes.
+inline constexpr net::MessageType kCommTypeBase = 100;
+
+struct BroadcastOptions {
+  std::size_t payload_bytes = 512;  ///< control messages are small
+  SimTime timeout = seconds(1);     ///< dead-peer detection threshold
+  int retries = 3;                  ///< connection attempts per peer
+  int tree_width = 50;              ///< k-ary fan-out (Slurm default 50)
+  std::size_t star_slots = 16;      ///< concurrent connections at a star root
+  /// Root-side service time per target (star only): session setup /
+  /// fork-exec work a master performs per contacted node.  This is what
+  /// makes sequential-dispatch RMs collapse as job size grows (Fig. 7f).
+  SimTime root_service_time = 0;
+  SimTime shm_poll_interval = seconds(2);  ///< shared-memory fetch cadence
+};
+
+struct BroadcastResult {
+  std::uint64_t broadcast_id = 0;
+  SimTime started = 0;
+  SimTime finished = 0;
+  std::size_t targets = 0;      ///< requested target count
+  std::size_t delivered = 0;    ///< distinct targets that got the payload
+  std::size_t unreachable = 0;  ///< targets declared dead
+  int repairs = 0;              ///< tree re-parenting events
+
+  SimTime elapsed() const { return finished - started; }
+};
+
+class Broadcaster {
+ public:
+  using Callback = std::function<void(const BroadcastResult&)>;
+  /// Called once per target node when the payload reaches it.
+  using DeliveryHook = std::function<void(NodeId node, std::uint64_t broadcast_id)>;
+
+  explicit Broadcaster(net::Network& network, std::string name);
+  virtual ~Broadcaster() = default;
+  Broadcaster(const Broadcaster&) = delete;
+  Broadcaster& operator=(const Broadcaster&) = delete;
+
+  /// Starts a broadcast; the callback fires exactly once, when every
+  /// target has been delivered or declared unreachable.  `targets` must
+  /// not contain `root`.
+  virtual void broadcast(NodeId root, std::shared_ptr<const std::vector<NodeId>> targets,
+                         const BroadcastOptions& options, Callback done) = 0;
+
+  /// Convenience overload taking the target list by value.
+  void broadcast(NodeId root, std::vector<NodeId> targets,
+                 const BroadcastOptions& options, Callback done);
+
+  void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+
+  const std::string& name() const { return name_; }
+  net::Network& network() { return net_; }
+
+ protected:
+  /// Allocates this instance's private message-type range.
+  net::MessageType alloc_type_range(int width);
+
+  /// Records a delivery in the per-broadcast bitmap (idempotent) and
+  /// fires the delivery hook for first-time deliveries.  Returns true if
+  /// this was the first delivery to that node.
+  bool mark_delivered(std::uint64_t broadcast_id, std::vector<bool>& bitmap, NodeId node);
+
+  net::Network& net_;
+  std::string name_;
+  DeliveryHook delivery_hook_;
+  std::uint64_t next_broadcast_id_ = 1;
+};
+
+}  // namespace eslurm::comm

@@ -1,0 +1,93 @@
+#include "comm/fp_tree.hpp"
+
+namespace eslurm::comm {
+namespace {
+
+void mark_leaves(std::size_t begin, std::size_t end, int width, std::vector<bool>& leaf) {
+  // Mirrors the live fan-out: each group's head becomes an internal node
+  // (unless it has no subtree) and the tail recurses.
+  for (const Range& group : partition_range(begin, end, width)) {
+    if (group.size() == 1) {
+      leaf[group.begin] = true;
+    } else {
+      mark_leaves(group.begin + 1, group.end, width, leaf);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<bool> locate_leaf_positions(std::size_t n, int width) {
+  std::vector<bool> leaf(n, false);
+  mark_leaves(0, n, width, leaf);
+  return leaf;
+}
+
+std::vector<NodeId> rearrange_nodelist(const std::vector<NodeId>& list, int width,
+                                       const cluster::FailurePredictor& predictor,
+                                       RearrangeStats* stats) {
+  const std::size_t n = list.size();
+  const std::vector<bool> leaf = locate_leaf_positions(n, width);
+
+  // Split the input (stably) into healthy and predicted-failed queues.
+  std::vector<NodeId> healthy, predicted;
+  healthy.reserve(n);
+  for (NodeId node : list)
+    (predictor.predicted_failed(node) ? predicted : healthy).push_back(node);
+
+  RearrangeStats local;
+  local.predicted = predicted.size();
+
+  std::vector<NodeId> out(n);
+  std::size_t h = 0, p = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (leaf[pos]) ++local.leaf_slots;
+    const bool want_predicted = leaf[pos];
+    NodeId chosen;
+    if (want_predicted) {
+      if (p < predicted.size()) {
+        chosen = predicted[p++];
+        ++local.predicted_on_leaf;
+      } else {
+        chosen = healthy[h++];
+      }
+    } else {
+      if (h < healthy.size()) {
+        chosen = healthy[h++];
+      } else {
+        chosen = predicted[p++];
+      }
+    }
+    out[pos] = chosen;
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+FpTreeBroadcaster::FpTreeBroadcaster(net::Network& network,
+                                     const cluster::FailurePredictor& predictor,
+                                     std::string name)
+    : TreeBroadcaster(network, std::move(name)), predictor_(predictor) {}
+
+std::shared_ptr<const std::vector<NodeId>> FpTreeBroadcaster::prepare(
+    std::shared_ptr<const std::vector<NodeId>> targets, const BroadcastOptions& options) {
+  RearrangeStats stats;
+  auto rearranged = std::make_shared<const std::vector<NodeId>>(
+      rearrange_nodelist(*targets, options.tree_width, predictor_, &stats));
+  cumulative_.predicted += stats.predicted;
+  cumulative_.predicted_on_leaf += stats.predicted_on_leaf;
+  cumulative_.leaf_slots += stats.leaf_slots;
+  if (ground_truth_) {
+    const auto leaf = locate_leaf_positions(rearranged->size(), options.tree_width);
+    for (std::size_t pos = 0; pos < rearranged->size(); ++pos) {
+      if (ground_truth_((*rearranged)[pos])) {
+        ++cumulative_.failed_encountered;
+        if (leaf[pos]) ++cumulative_.failed_on_leaf;
+      }
+    }
+  }
+  ++trees_;
+  return rearranged;
+}
+
+}  // namespace eslurm::comm

@@ -1,0 +1,48 @@
+// Star broadcast: the root contacts every target directly, the pattern of
+// naive centralized RMs.  The root drives at most `star_slots` concurrent
+// connections (a realistic dispatch thread pool); each dead target holds
+// a slot for `retries * timeout`, which is why the structure collapses as
+// the failure ratio grows (Fig. 8b).
+#pragma once
+
+#include <unordered_map>
+
+#include "comm/broadcaster.hpp"
+
+namespace eslurm::comm {
+
+class StarBroadcaster final : public Broadcaster {
+ public:
+  explicit StarBroadcaster(net::Network& network, std::string name = "star");
+
+  void broadcast(NodeId root, std::shared_ptr<const std::vector<NodeId>> targets,
+                 const BroadcastOptions& options, Callback done) override;
+  using Broadcaster::broadcast;
+
+ private:
+  struct State {
+    std::uint64_t id = 0;
+    NodeId root = net::kNoNode;
+    std::shared_ptr<const std::vector<NodeId>> list;
+    BroadcastOptions opts;
+    Callback done;
+    SimTime started = 0;
+    std::vector<bool> delivered;
+    std::size_t next = 0;        ///< next target index to start
+    std::size_t in_flight = 0;
+    std::size_t unreachable = 0;
+    std::size_t completed = 0;
+  };
+
+  void pump(State& state);
+  /// `service_paid`: whether the root's per-target service time has
+  /// already been spent for this attempt.
+  void attempt(State& state, std::size_t index, int attempts_left,
+               bool service_paid = false);
+  void finish(State& state);
+
+  net::MessageType payload_type_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<State>> active_;
+};
+
+}  // namespace eslurm::comm

@@ -1,0 +1,62 @@
+#include "comm/topology_aware.hpp"
+
+namespace eslurm::comm {
+
+double cross_rack_fraction(const net::Topology& topology,
+                           const std::vector<NodeId>& list, int tree_width) {
+  if (list.empty()) return 0.0;
+  std::size_t hops = 0, cross = 0;
+  // Walk the same recursion the live tree uses; count parent->child hops.
+  std::vector<Range> stack{Range{0, list.size()}};
+  std::vector<NodeId> parents{net::kNoNode};  // root is rack-external
+  while (!stack.empty()) {
+    const Range range = stack.back();
+    stack.pop_back();
+    const NodeId parent = parents.back();
+    parents.pop_back();
+    for (const Range& group : partition_range(range.begin, range.end, tree_width)) {
+      const NodeId child = list[group.begin];
+      if (parent != net::kNoNode) {
+        ++hops;
+        if (topology.rack_of(parent) != topology.rack_of(child)) ++cross;
+      }
+      if (group.size() > 1) {
+        stack.push_back(Range{group.begin + 1, group.end});
+        parents.push_back(child);
+      }
+    }
+  }
+  return hops ? static_cast<double>(cross) / static_cast<double>(hops) : 0.0;
+}
+
+TopologyTreeBroadcaster::TopologyTreeBroadcaster(net::Network& network,
+                                                 const net::Topology& topology,
+                                                 std::string name)
+    : TreeBroadcaster(network, std::move(name)), topology_(topology) {}
+
+std::shared_ptr<const std::vector<NodeId>> TopologyTreeBroadcaster::prepare(
+    std::shared_ptr<const std::vector<NodeId>> targets, const BroadcastOptions&) {
+  return std::make_shared<const std::vector<NodeId>>(
+      topology_.topology_order(*targets));
+}
+
+TopologyFpTreeBroadcaster::TopologyFpTreeBroadcaster(
+    net::Network& network, const net::Topology& topology,
+    const cluster::FailurePredictor& predictor, std::string name)
+    : TreeBroadcaster(network, std::move(name)),
+      topology_(topology),
+      predictor_(predictor) {}
+
+std::shared_ptr<const std::vector<NodeId>> TopologyFpTreeBroadcaster::prepare(
+    std::shared_ptr<const std::vector<NodeId>> targets,
+    const BroadcastOptions& options) {
+  RearrangeStats stats;
+  auto tuned = std::make_shared<const std::vector<NodeId>>(rearrange_nodelist(
+      topology_.topology_order(*targets), options.tree_width, predictor_, &stats));
+  cumulative_.predicted += stats.predicted;
+  cumulative_.predicted_on_leaf += stats.predicted_on_leaf;
+  cumulative_.leaf_slots += stats.leaf_slots;
+  return tuned;
+}
+
+}  // namespace eslurm::comm

@@ -1,0 +1,63 @@
+// Topology-aware tree construction and its composition with the FP-Tree
+// (Section IV-E of the paper): "the communication tree can be constructed
+// first using topology-aware techniques and then fine-tuned using the
+// FP-Tree constructor.  This approach can reduce the impact of failed
+// nodes while preserving the topology-aware properties of the tree."
+//
+// The composition works because the FP-Tree rearranger is *stable* within
+// the healthy and predicted subsets: ordering the list by (group, rack)
+// first means contiguous subtrees -- and therefore most parent->child
+// hops -- stay rack-local, and the (few) predicted-failed nodes are then
+// demoted to leaves without shuffling the rest.
+#pragma once
+
+#include "comm/fp_tree.hpp"
+#include "net/topology.hpp"
+
+namespace eslurm::comm {
+
+/// Fraction of parent->child hops of the contiguous k-ary tree over
+/// `list` that leave the parent's rack (diagnostic: lower is better for
+/// latency).  The satellite/root is assumed rack-external, so the
+/// first-level hops are not counted.
+double cross_rack_fraction(const net::Topology& topology,
+                           const std::vector<NodeId>& list, int tree_width);
+
+/// Tree broadcaster that orders the node list topology-aware before
+/// building (no failure prediction).
+class TopologyTreeBroadcaster : public TreeBroadcaster {
+ public:
+  TopologyTreeBroadcaster(net::Network& network, const net::Topology& topology,
+                          std::string name = "topo-tree");
+
+ protected:
+  std::shared_ptr<const std::vector<NodeId>> prepare(
+      std::shared_ptr<const std::vector<NodeId>> targets,
+      const BroadcastOptions& options) override;
+
+ private:
+  const net::Topology& topology_;
+};
+
+/// The Section IV-E composition: topology-aware ordering, then FP-Tree
+/// fine-tuning.
+class TopologyFpTreeBroadcaster : public TreeBroadcaster {
+ public:
+  TopologyFpTreeBroadcaster(net::Network& network, const net::Topology& topology,
+                            const cluster::FailurePredictor& predictor,
+                            std::string name = "topo-fp-tree");
+
+  const RearrangeStats& cumulative_stats() const { return cumulative_; }
+
+ protected:
+  std::shared_ptr<const std::vector<NodeId>> prepare(
+      std::shared_ptr<const std::vector<NodeId>> targets,
+      const BroadcastOptions& options) override;
+
+ private:
+  const net::Topology& topology_;
+  const cluster::FailurePredictor& predictor_;
+  RearrangeStats cumulative_;
+};
+
+}  // namespace eslurm::comm

@@ -1,0 +1,241 @@
+#include "comm/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace eslurm::comm {
+
+std::vector<Range> partition_range(std::size_t begin, std::size_t end, int width) {
+  std::vector<Range> groups;
+  const std::size_t len = end - begin;
+  if (len == 0) return groups;
+  if (width < 1) throw std::invalid_argument("partition_range: width must be >= 1");
+  const std::size_t g = std::min<std::size_t>(static_cast<std::size_t>(width), len);
+  const std::size_t base = len / g;
+  const std::size_t rem = len % g;
+  std::size_t cursor = begin;
+  groups.reserve(g);
+  for (std::size_t i = 0; i < g; ++i) {
+    const std::size_t take = base + (i < rem ? 1 : 0);
+    groups.push_back(Range{cursor, cursor + take});
+    cursor += take;
+  }
+  return groups;
+}
+
+int tree_depth_estimate(std::size_t n, int width) {
+  int depth = 0;
+  std::size_t remaining = n;
+  const auto w = static_cast<std::size_t>(std::max(2, width));
+  while (remaining > 0) {
+    ++depth;
+    remaining /= w;
+  }
+  return depth;
+}
+
+TreeBroadcaster::TreeBroadcaster(net::Network& network, std::string name)
+    : Broadcaster(network, std::move(name)) {
+  relay_type_ = alloc_type_range(2);
+  done_type_ = relay_type_ + 1;
+  for (NodeId node = 0; node < net_.node_count(); ++node) {
+    net_.register_handler(node, relay_type_,
+                          [this, node](const net::Message& m) { on_relay(node, m); });
+    net_.register_handler(node, done_type_,
+                          [this, node](const net::Message& m) { on_done(node, m); });
+  }
+}
+
+std::shared_ptr<const std::vector<NodeId>> TreeBroadcaster::prepare(
+    std::shared_ptr<const std::vector<NodeId>> targets, const BroadcastOptions&) {
+  return targets;
+}
+
+void TreeBroadcaster::broadcast(NodeId root,
+                                std::shared_ptr<const std::vector<NodeId>> targets,
+                                const BroadcastOptions& options, Callback done) {
+  auto state = std::make_shared<State>();
+  state->id = next_broadcast_id_++;
+  state->root = root;
+  state->list = prepare(std::move(targets), options);
+  state->opts = options;
+  state->done = std::move(done);
+  state->started = net_.engine().now();
+  state->delivered.assign(net_.node_count(), false);
+  active_.emplace(state->id, state);
+
+  NodeCtx& ctx = state->ctx[root];
+  ctx.self = root;
+  ctx.parent = net::kNoNode;
+  fan_out(*state, ctx, Range{0, state->list->size()});
+  maybe_finish_node(*state, ctx);
+}
+
+void TreeBroadcaster::fan_out(State& state, NodeCtx& ctx, Range range) {
+  const auto groups = partition_range(range.begin, range.end, state.opts.tree_width);
+  // Create every slot before issuing any send so `pending` can never dip
+  // to zero while work remains.
+  const std::size_t first_slot = ctx.slots.size();
+  for (const Range& group : groups) {
+    ChildSlot slot;
+    slot.child = (*state.list)[group.begin];
+    slot.subtree = Range{group.begin + 1, group.end};
+    ctx.slots.push_back(slot);
+    ++ctx.pending;
+  }
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    attempt_child(state, ctx, first_slot + i, state.opts.retries);
+}
+
+void TreeBroadcaster::attempt_child(State& state, NodeCtx& ctx, std::size_t slot_index,
+                                    int attempts_left) {
+  const std::uint64_t id = state.id;
+  const NodeId self = ctx.self;
+  const ChildSlot& slot = ctx.slots[slot_index];
+  net::Message msg;
+  msg.type = relay_type_;
+  // The relay carries the payload plus the serialized subtree list.
+  msg.bytes = state.opts.payload_bytes + 8 * slot.subtree.size();
+  msg.payload = RelayBody{id, slot.subtree};
+  net_.send(self, slot.child, std::move(msg), state.opts.timeout,
+            [this, id, self, slot_index, attempts_left](bool ok) {
+              const auto it = active_.find(id);
+              if (it == active_.end()) return;  // broadcast already finished
+              State& st = *it->second;
+              NodeCtx& c = st.ctx[self];
+              ChildSlot& s = c.slots[slot_index];
+              if (s.done) return;
+              if (ok) {
+                // Accepted: arm a completion watchdog scaled to the
+                // subtree's depth; if the child dies mid-relay its whole
+                // subtree is adopted when this fires.
+                const int depth = tree_depth_estimate(s.subtree.size() + 1,
+                                                      st.opts.tree_width);
+                const SimTime deadline =
+                    st.opts.timeout * (st.opts.retries + 1) * (depth + 1);
+                s.watchdog = net_.engine().schedule_after(
+                    deadline, [this, id, self, slot_index] {
+                      const auto it2 = active_.find(id);
+                      if (it2 == active_.end()) return;
+                      State& st2 = *it2->second;
+                      NodeCtx& c2 = st2.ctx[self];
+                      ChildSlot& s2 = c2.slots[slot_index];
+                      if (s2.done) return;
+                      ESLURM_DEBUG("tree: watchdog adoption of subtree under node ",
+                                   s2.child);
+                      ++c2.agg_repairs;
+                      ++total_repairs_;
+                      adopt_subtree(st2, c2, s2.subtree);
+                      child_finished(st2, c2, slot_index, /*unreachable=*/1,
+                                     /*repairs=*/0);
+                    });
+                return;
+              }
+              if (attempts_left > 1) {
+                attempt_child(st, c, slot_index, attempts_left - 1);
+                return;
+              }
+              // Child unreachable: adopt its subtree directly.
+              if (s.subtree.size() > 0) {
+                ++c.agg_repairs;
+                ++total_repairs_;
+                adopt_subtree(st, c, s.subtree);
+              }
+              child_finished(st, c, slot_index, /*unreachable=*/1, /*repairs=*/0);
+            });
+}
+
+void TreeBroadcaster::adopt_subtree(State& state, NodeCtx& ctx, Range subtree) {
+  if (subtree.size() == 0) return;
+  fan_out(state, ctx, subtree);
+}
+
+void TreeBroadcaster::child_finished(State& state, NodeCtx& ctx, std::size_t slot_index,
+                                     std::size_t unreachable, int repairs) {
+  ChildSlot& slot = ctx.slots[slot_index];
+  if (slot.done) return;
+  slot.done = true;
+  if (slot.watchdog != sim::kInvalidEvent) {
+    net_.engine().cancel(slot.watchdog);
+    slot.watchdog = sim::kInvalidEvent;
+  }
+  ctx.agg_unreachable += unreachable;
+  ctx.agg_repairs += repairs;
+  assert(ctx.pending > 0);
+  --ctx.pending;
+  maybe_finish_node(state, ctx);
+}
+
+void TreeBroadcaster::maybe_finish_node(State& state, NodeCtx& ctx) {
+  if (ctx.pending > 0 || ctx.done_sent) return;
+  ctx.done_sent = true;
+  if (ctx.parent == net::kNoNode) {
+    finish_root(state, ctx);
+    return;
+  }
+  net::Message msg;
+  msg.type = done_type_;
+  msg.bytes = 64;
+  msg.payload = DoneBody{state.id, ctx.agg_unreachable, ctx.agg_repairs};
+  net_.send(ctx.self, ctx.parent, std::move(msg), state.opts.timeout);
+}
+
+void TreeBroadcaster::finish_root(State& state, NodeCtx& ctx) {
+  BroadcastResult result;
+  result.broadcast_id = state.id;
+  result.started = state.started;
+  result.finished = net_.engine().now();
+  result.targets = state.list->size();
+  result.delivered = static_cast<std::size_t>(
+      std::count(state.delivered.begin(), state.delivered.end(), true));
+  result.unreachable = ctx.agg_unreachable;
+  result.repairs = ctx.agg_repairs;
+  const std::uint64_t id = state.id;
+  if (state.done) state.done(result);
+  active_.erase(id);
+}
+
+void TreeBroadcaster::on_relay(NodeId self, const net::Message& msg) {
+  const auto& body = msg.body<RelayBody>();
+  const auto it = active_.find(body.broadcast_id);
+  if (it == active_.end()) return;
+  State& state = *it->second;
+  if (state.delivered[self]) {
+    // Duplicate relay from an adoption: acknowledge completion without
+    // re-relaying (the original relay is already covering the subtree).
+    net::Message done_msg;
+    done_msg.type = done_type_;
+    done_msg.bytes = 64;
+    done_msg.payload = DoneBody{state.id, 0, 0};
+    net_.send(self, msg.src, std::move(done_msg), state.opts.timeout);
+    return;
+  }
+  mark_delivered(state.id, state.delivered, self);
+  NodeCtx& ctx = state.ctx[self];
+  ctx.self = self;
+  ctx.parent = msg.src;
+  fan_out(state, ctx, body.subtree);
+  maybe_finish_node(state, ctx);
+}
+
+void TreeBroadcaster::on_done(NodeId self, const net::Message& msg) {
+  const auto& body = msg.body<DoneBody>();
+  const auto it = active_.find(body.broadcast_id);
+  if (it == active_.end()) return;
+  State& state = *it->second;
+  const auto ctx_it = state.ctx.find(self);
+  if (ctx_it == state.ctx.end()) return;
+  NodeCtx& ctx = ctx_it->second;
+  // Match the first unfinished slot for this child.
+  for (std::size_t i = 0; i < ctx.slots.size(); ++i) {
+    if (!ctx.slots[i].done && ctx.slots[i].child == msg.src) {
+      child_finished(state, ctx, i, body.unreachable, body.repairs);
+      return;
+    }
+  }
+}
+
+}  // namespace eslurm::comm

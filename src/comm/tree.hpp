@@ -1,0 +1,113 @@
+// K-ary communication tree with timeout-based fault repair -- the
+// structure Slurm-style RMs use for fan-out, and the base the FP-Tree
+// rearranges (Section IV-B).
+//
+// Construction rule (identical to the paper's): a node that receives the
+// contiguous node-list range [b, e) splits it into min(width, len) near-
+// equal groups; the first element of each group becomes a child and the
+// rest of the group is that child's subtree range.  Because every node
+// applies the same rule, a node's position in the flat list fully
+// determines its position in the tree -- which is exactly what lets the
+// FP-Tree relocate likely-to-fail nodes by rearranging the list.
+//
+// Fault tolerance: a child that does not accept the relay within
+// `timeout` is retried `retries` times, then declared unreachable and its
+// subtree is *adopted* by the parent (re-partitioned among new children).
+// A child that accepts but never reports completion is caught by a
+// watchdog sized to the subtree depth, and its subtree is adopted too.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "comm/broadcaster.hpp"
+
+namespace eslurm::comm {
+
+/// Contiguous slice of a broadcast node list.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Splits [begin, end) into min(width, len) contiguous near-equal groups
+/// (earlier groups take the remainder).  Shared by the live broadcaster
+/// and the FP-Tree leaf locator so both see the same tree shape.
+std::vector<Range> partition_range(std::size_t begin, std::size_t end, int width);
+
+/// Tree depth estimate used to size completion watchdogs.
+int tree_depth_estimate(std::size_t n, int width);
+
+class TreeBroadcaster : public Broadcaster {
+ public:
+  explicit TreeBroadcaster(net::Network& network, std::string name = "tree");
+
+  void broadcast(NodeId root, std::shared_ptr<const std::vector<NodeId>> targets,
+                 const BroadcastOptions& options, Callback done) override;
+  using Broadcaster::broadcast;
+
+  /// Number of subtree adoptions across all finished broadcasts.
+  std::uint64_t total_repairs() const { return total_repairs_; }
+
+ protected:
+  /// Hook for the FP-Tree: returns the (possibly rearranged) node list to
+  /// build the tree from.  Default: identity.
+  virtual std::shared_ptr<const std::vector<NodeId>> prepare(
+      std::shared_ptr<const std::vector<NodeId>> targets, const BroadcastOptions& options);
+
+ private:
+  struct ChildSlot {
+    NodeId child = net::kNoNode;
+    Range subtree;
+    bool done = false;
+    sim::EventId watchdog = sim::kInvalidEvent;
+  };
+  struct NodeCtx {
+    NodeId self = net::kNoNode;
+    NodeId parent = net::kNoNode;  ///< kNoNode marks the root
+    std::vector<ChildSlot> slots;
+    std::size_t pending = 0;
+    bool done_sent = false;
+    // Subtree aggregates reported upward with the completion message.
+    std::size_t agg_unreachable = 0;
+    int agg_repairs = 0;
+  };
+  struct State {
+    std::uint64_t id = 0;
+    NodeId root = net::kNoNode;
+    std::shared_ptr<const std::vector<NodeId>> list;
+    BroadcastOptions opts;
+    Callback done;
+    SimTime started = 0;
+    std::vector<bool> delivered;  ///< indexed by node id
+    std::unordered_map<NodeId, NodeCtx> ctx;
+  };
+
+  struct RelayBody {
+    std::uint64_t broadcast_id;
+    Range subtree;
+  };
+  struct DoneBody {
+    std::uint64_t broadcast_id;
+    std::size_t unreachable;
+    int repairs;
+  };
+
+  void on_relay(NodeId self, const net::Message& msg);
+  void on_done(NodeId self, const net::Message& msg);
+  void fan_out(State& state, NodeCtx& ctx, Range range);
+  void attempt_child(State& state, NodeCtx& ctx, std::size_t slot_index, int attempts_left);
+  void adopt_subtree(State& state, NodeCtx& ctx, Range subtree);
+  void child_finished(State& state, NodeCtx& ctx, std::size_t slot_index,
+                      std::size_t unreachable, int repairs);
+  void maybe_finish_node(State& state, NodeCtx& ctx);
+  void finish_root(State& state, NodeCtx& ctx);
+
+  net::MessageType relay_type_;
+  net::MessageType done_type_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<State>> active_;
+  std::uint64_t total_repairs_ = 0;
+};
+
+}  // namespace eslurm::comm

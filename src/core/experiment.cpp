@@ -1,0 +1,113 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+namespace eslurm::core {
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  const bool is_eslurm = config_.rm == "eslurm";
+  const std::size_t satellites = is_eslurm ? config_.satellite_count : 0;
+  const std::size_t total = 1 + satellites + config_.compute_nodes;
+
+  engine_ = std::make_unique<sim::Engine>();
+  network_ = std::make_unique<net::Network>(*engine_, total, config_.link,
+                                            Rng(config_.seed ^ 0x4E7));
+  if (config_.use_topology) {
+    topology_ = std::make_unique<net::Topology>(total, config_.topology);
+    network_->set_topology(topology_.get());
+  }
+  cluster_ = std::make_unique<cluster::ClusterModel>(*engine_, total);
+  network_->set_liveness(cluster_->liveness());
+
+  failures_ = std::make_unique<cluster::FailureModel>(
+      *cluster_, Rng(config_.seed ^ 0xFA11), config_.failure_params);
+  monitoring_ = std::make_unique<cluster::MonitoringSystem>(
+      *cluster_, *failures_, Rng(config_.seed ^ 0x30), config_.monitoring);
+
+  rm::RmDeployment deployment;
+  deployment.master = 0;
+  for (std::size_t i = 0; i < satellites; ++i)
+    deployment.satellites.push_back(static_cast<net::NodeId>(1 + i));
+  for (std::size_t i = 0; i < config_.compute_nodes; ++i)
+    deployment.compute.push_back(static_cast<net::NodeId>(1 + satellites + i));
+
+  // Control infrastructure never receives injected failures: the paper's
+  // master node is a managed, monitored machine (satellites *can* fail in
+  // dedicated experiments via cluster().fail()).
+  failures_->set_immune({deployment.master});
+
+  rm::RmRuntimeConfig rm_config = config_.rm_config;
+  rm_config.seed = config_.seed ^ 0x5EED;
+  if (is_eslurm) {
+    manager_ = std::make_unique<rm::EslurmRm>(
+        *engine_, *network_, *cluster_, rm::eslurm_profile(), deployment, rm_config,
+        monitoring_.get());
+  } else {
+    manager_ = std::make_unique<rm::CentralizedRm>(
+        *engine_, *network_, *cluster_, rm::profile_by_name(config_.rm), deployment,
+        rm_config);
+  }
+}
+
+Experiment::~Experiment() = default;
+
+rm::EslurmRm* Experiment::eslurm() {
+  return dynamic_cast<rm::EslurmRm*>(manager_.get());
+}
+
+void Experiment::submit_trace(const std::vector<sched::Job>& jobs) {
+  for (const auto& job : jobs) {
+    if (job.submit_time >= config_.horizon) continue;
+    engine_->schedule_at(job.submit_time, [this, job] {
+      auto copy = job;
+      manager_->submit(std::move(copy));
+    });
+  }
+}
+
+void Experiment::run() {
+  if (!started_) {
+    started_ = true;
+    manager_->start(config_.horizon);
+    if (config_.enable_failures) {
+      failures_->start(config_.horizon);
+      monitoring_->start(config_.horizon);
+    }
+  }
+  engine_->run_until(config_.horizon);
+}
+
+sched::SchedulingReport Experiment::report() const {
+  return manager_->report(0, config_.horizon);
+}
+
+ExperimentConfig Experiment::config_from_text(const std::string& text) {
+  const Config parsed = Config::parse(text);
+  ExperimentConfig config;
+  config.rm = parsed.get_or("resourcemanager", config.rm);
+  config.compute_nodes = static_cast<std::size_t>(
+      parsed.get_int("nodes", static_cast<std::int64_t>(config.compute_nodes)));
+  config.satellite_count = static_cast<std::size_t>(parsed.get_int(
+      "satellitenodes", static_cast<std::int64_t>(config.satellite_count)));
+  config.horizon = hours(parsed.get_int("horizonhours", 24));
+  config.seed = static_cast<std::uint64_t>(parsed.get_int("seed", 42));
+  config.rm_config.bcast.tree_width =
+      static_cast<int>(parsed.get_int("treewidth", config.rm_config.bcast.tree_width));
+  config.rm_config.sched_interval =
+      seconds(parsed.get_int("schedinterval", 30));
+  config.rm_config.use_runtime_estimation =
+      parsed.get_bool("useruntimeestimation", config.rm_config.use_runtime_estimation);
+  config.rm_config.use_fp_tree =
+      parsed.get_bool("usefptree", config.rm_config.use_fp_tree);
+  config.rm_config.estimator.interest_window = static_cast<std::size_t>(parsed.get_int(
+      "estimatorwindow",
+      static_cast<std::int64_t>(config.rm_config.estimator.interest_window)));
+  config.rm_config.estimator.alpha =
+      parsed.get_double("estimatoralpha", config.rm_config.estimator.alpha);
+  config.enable_failures = parsed.get_bool("enablefailures", false);
+  config.failure_params.node_mtbf_hours =
+      parsed.get_double("nodemtbfhours", config.failure_params.node_mtbf_hours);
+  return config;
+}
+
+}  // namespace eslurm::core

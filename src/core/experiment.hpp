@@ -1,0 +1,94 @@
+// Public facade: one object that assembles the whole simulated world --
+// cluster, network, failure injection, monitoring, a resource manager --
+// and drives a workload through it.  This is the API the examples and
+// every benchmark harness use.
+//
+//   eslurm::core::ExperimentConfig config;
+//   config.rm = "eslurm";
+//   config.compute_nodes = 4096;
+//   config.satellite_count = 2;
+//   eslurm::core::Experiment experiment(config);
+//   experiment.submit_trace(jobs);
+//   experiment.run();
+//   auto report = experiment.report();
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/failure_model.hpp"
+#include "cluster/monitoring.hpp"
+#include "rm/centralized_rm.hpp"
+#include "rm/eslurm_rm.hpp"
+#include "trace/generator.hpp"
+#include "util/config.hpp"
+
+namespace eslurm::core {
+
+struct ExperimentConfig {
+  std::string rm = "eslurm";        ///< slurm/lsf/sge/torque/openpbs/eslurm
+  std::size_t compute_nodes = 1024;
+  std::size_t satellite_count = 2;  ///< ESLURM only (0 is allowed)
+  SimTime horizon = hours(24);
+  std::uint64_t seed = 42;
+
+  net::LinkModel link;
+  /// Optional rack/group interconnect topology (flat latency when off).
+  bool use_topology = false;
+  net::TopologyConfig topology;
+  rm::RmRuntimeConfig rm_config;
+
+  bool enable_failures = false;
+  cluster::FailureModelParams failure_params;
+  std::vector<cluster::BurstEvent> bursts;
+  cluster::MonitoringParams monitoring;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Builds an ExperimentConfig from slurm.conf-style text.  Recognized
+  /// keys: ResourceManager, Nodes, SatelliteNodes, TreeWidth,
+  /// HorizonHours, Seed, SchedInterval, UseRuntimeEstimation, UseFpTree,
+  /// EstimatorWindow, EstimatorAlpha, EnableFailures, NodeMtbfHours.
+  static ExperimentConfig config_from_text(const std::string& text);
+
+  // --- world access ----------------------------------------------------
+  sim::Engine& engine() { return *engine_; }
+  net::Network& network() { return *network_; }
+  cluster::ClusterModel& cluster() { return *cluster_; }
+  cluster::FailureModel& failures() { return *failures_; }
+  cluster::MonitoringSystem& monitoring() { return *monitoring_; }
+  rm::ResourceManager& manager() { return *manager_; }
+  /// Non-null when the deployed RM is ESLURM.
+  rm::EslurmRm* eslurm();
+  const ExperimentConfig& config() const { return config_; }
+
+  // --- driving ---------------------------------------------------------
+  /// Schedules every job's submission at its submit_time.
+  void submit_trace(const std::vector<sched::Job>& jobs);
+  /// Starts the RM (plus failures/monitoring if enabled) and runs the
+  /// simulation to the horizon.
+  void run();
+  /// Scheduling metrics over the full horizon (Fig. 10).
+  sched::SchedulingReport report() const;
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<cluster::ClusterModel> cluster_;
+  std::unique_ptr<cluster::FailureModel> failures_;
+  std::unique_ptr<cluster::MonitoringSystem> monitoring_;
+  std::unique_ptr<rm::ResourceManager> manager_;
+  bool started_ = false;
+};
+
+}  // namespace eslurm::core

@@ -1,0 +1,14 @@
+#include "ml/dataset.hpp"
+
+namespace eslurm::ml {
+
+void Dataset::check() const {
+  if (x.size() != y.size())
+    throw std::invalid_argument("Dataset: |x| != |y|");
+  const std::size_t width = cols();
+  for (const auto& row : x)
+    if (row.size() != width)
+      throw std::invalid_argument("Dataset: ragged feature matrix");
+}
+
+}  // namespace eslurm::ml

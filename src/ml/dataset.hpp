@@ -1,0 +1,41 @@
+// Dense regression dataset shared by all estimators in eslurm::ml.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace eslurm::ml {
+
+/// Row-major feature matrix plus targets.  Kept deliberately simple: the
+/// runtime-estimation workloads are a few hundred rows x ~6 features per
+/// cluster, so cache-friendliness beats abstraction.
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  std::size_t rows() const { return x.size(); }
+  std::size_t cols() const { return x.empty() ? 0 : x.front().size(); }
+
+  void add(std::vector<double> features, double target) {
+    if (!x.empty() && features.size() != x.front().size())
+      throw std::invalid_argument("Dataset::add: inconsistent feature width");
+    x.push_back(std::move(features));
+    y.push_back(target);
+  }
+
+  /// Validates rectangular shape and matching target length.
+  void check() const;
+};
+
+/// Abstract regressor interface so the prediction framework can swap
+/// models (SVR / RF / ridge / Tobit / ensembles) behind one API.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const Dataset& data) = 0;
+  virtual double predict(const std::vector<double>& features) const = 0;
+  virtual bool trained() const = 0;
+};
+
+}  // namespace eslurm::ml

@@ -1,0 +1,43 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eslurm::ml {
+
+RandomForest::RandomForest(ForestParams params, Rng rng) : params_(params), rng_(rng) {
+  if (params_.n_trees == 0) throw std::invalid_argument("RandomForest: n_trees >= 1");
+}
+
+void RandomForest::fit(const Dataset& data) {
+  data.check();
+  if (data.rows() == 0) throw std::invalid_argument("RandomForest::fit: empty dataset");
+  trees_.clear();
+  trees_.reserve(params_.n_trees);
+
+  TreeParams tp = params_.tree;
+  if (tp.max_features == 0)
+    tp.max_features = std::max<std::size_t>(1, data.cols() / 3);
+
+  const auto sample_size = static_cast<std::size_t>(
+      params_.bootstrap_fraction * static_cast<double>(data.rows()));
+  for (std::size_t t = 0; t < params_.n_trees; ++t) {
+    std::vector<std::size_t> indices;
+    indices.reserve(sample_size);
+    for (std::size_t i = 0; i < std::max<std::size_t>(1, sample_size); ++i)
+      indices.push_back(static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(data.rows()) - 1)));
+    DecisionTree tree(tp, rng_.fork());
+    tree.fit_indices(data, indices);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& features) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::predict before fit");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace eslurm::ml

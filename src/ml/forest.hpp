@@ -1,0 +1,35 @@
+// Random-forest regression: bagged CART trees with feature subsampling.
+// Serves as the RandomForest baseline of Fig. 11b and as a component of
+// the IRPA ensemble baseline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace eslurm::ml {
+
+struct ForestParams {
+  std::size_t n_trees = 50;
+  TreeParams tree;          ///< tree.max_features == 0 -> d/3 heuristic
+  double bootstrap_fraction = 1.0;
+};
+
+class RandomForest final : public Regressor {
+ public:
+  explicit RandomForest(ForestParams params = {}, Rng rng = Rng(101));
+
+  void fit(const Dataset& data) override;
+  double predict(const std::vector<double>& features) const override;
+  bool trained() const override { return !trees_.empty(); }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ForestParams params_;
+  Rng rng_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace eslurm::ml

@@ -1,0 +1,47 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eslurm::ml {
+namespace {
+void check_sizes(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("metrics: size mismatch or empty");
+}
+}  // namespace
+
+double mean_squared_error(const std::vector<double>& truth,
+                          const std::vector<double>& predicted) {
+  check_sizes(truth, predicted);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double mean_absolute_error(const std::vector<double>& truth,
+                           const std::vector<double>& predicted) {
+  check_sizes(truth, predicted);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) s += std::abs(truth[i] - predicted[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+double r2_score(const std::vector<double>& truth, const std::vector<double>& predicted) {
+  check_sizes(truth, predicted);
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot < 1e-12) return ss_res < 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace eslurm::ml

@@ -1,0 +1,15 @@
+// Regression quality metrics.
+#pragma once
+
+#include <vector>
+
+namespace eslurm::ml {
+
+double mean_squared_error(const std::vector<double>& truth,
+                          const std::vector<double>& predicted);
+double mean_absolute_error(const std::vector<double>& truth,
+                           const std::vector<double>& predicted);
+/// Coefficient of determination; 1 is perfect, 0 matches predicting the mean.
+double r2_score(const std::vector<double>& truth, const std::vector<double>& predicted);
+
+}  // namespace eslurm::ml

@@ -1,0 +1,46 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eslurm::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  data.check();
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  if (n == 0) throw std::invalid_argument("StandardScaler::fit: empty dataset");
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  for (const auto& row : data.x)
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  for (std::size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(n);
+  for (const auto& row : data.x)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      stddev_[j] += delta * delta;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    stddev_[j] = std::sqrt(stddev_[j] / static_cast<double>(n));
+    if (stddev_[j] < 1e-12) stddev_[j] = 1.0;  // constant feature
+  }
+}
+
+std::vector<double> StandardScaler::transform(const std::vector<double>& row) const {
+  if (row.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler::transform: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - mean_[j]) / stddev_[j];
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out;
+  out.y = data.y;
+  out.x.reserve(data.rows());
+  for (const auto& row : data.x) out.x.push_back(transform(row));
+  return out;
+}
+
+}  // namespace eslurm::ml

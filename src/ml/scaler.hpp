@@ -1,0 +1,26 @@
+// Per-feature standardization (zero mean, unit variance).
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace eslurm::ml {
+
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  bool fitted() const { return !mean_.empty(); }
+
+  std::vector<double> transform(const std::vector<double>& row) const;
+  Dataset transform(const Dataset& data) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;  ///< constant features get stddev 1
+};
+
+}  // namespace eslurm::ml

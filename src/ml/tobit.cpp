@@ -1,0 +1,129 @@
+#include "ml/tobit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eslurm::ml {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+double norm_pdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+double norm_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Inverse Mills ratio phi(z)/Phi(z) with a stable tail approximation.
+double mills(double z) {
+  const double cdf = norm_cdf(z);
+  if (cdf < 1e-12) return -z;  // asymptote for z -> -inf
+  return norm_pdf(z) / cdf;
+}
+
+}  // namespace
+
+TobitRegression::TobitRegression(TobitParams params) : params_(params) {}
+
+void TobitRegression::fit(const Dataset& data) {
+  CensoredDataset cd;
+  cd.data = data;
+  cd.censored.assign(data.rows(), false);
+  fit_censored(cd);
+}
+
+void TobitRegression::fit_censored(const CensoredDataset& cd) {
+  const Dataset& data = cd.data;
+  data.check();
+  const std::size_t n = data.rows(), d = data.cols();
+  if (n == 0) throw std::invalid_argument("TobitRegression: empty dataset");
+  if (cd.censored.size() != n)
+    throw std::invalid_argument("TobitRegression: censoring flags mismatch");
+
+  // Standardize features for well-conditioned gradient steps.
+  feat_mean_.assign(d, 0.0);
+  feat_scale_.assign(d, 0.0);
+  for (const auto& row : data.x)
+    for (std::size_t j = 0; j < d; ++j) feat_mean_[j] += row[j];
+  for (auto& m : feat_mean_) m /= static_cast<double>(n);
+  for (const auto& row : data.x)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - feat_mean_[j];
+      feat_scale_[j] += delta * delta;
+    }
+  for (auto& s : feat_scale_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;
+  }
+  std::vector<std::vector<double>> xs(n, std::vector<double>(d));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      xs[i][j] = (data.x[i][j] - feat_mean_[j]) / feat_scale_[j];
+
+  // Init: OLS-free start at the target mean, sigma at the target stddev.
+  double y_mean = 0.0;
+  for (double y : data.y) y_mean += y;
+  y_mean /= static_cast<double>(n);
+  double y_var = 0.0;
+  for (double y : data.y) y_var += (y - y_mean) * (y - y_mean);
+  y_var /= static_cast<double>(n);
+
+  w_.assign(d, 0.0);
+  b_ = y_mean;
+  double log_sigma = 0.5 * std::log(std::max(y_var, 1e-6));
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double prev_ll = -1e300;
+  for (std::size_t iter = 0; iter < params_.max_iters; ++iter) {
+    const double sigma = std::exp(log_sigma);
+    std::vector<double> gw(d, 0.0);
+    double gb = 0.0, gs = 0.0, ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double mu = b_;
+      for (std::size_t j = 0; j < d; ++j) mu += w_[j] * xs[i][j];
+      const double z = (data.y[i] - mu) / sigma;
+      if (!cd.censored[i]) {
+        // log pdf term.
+        ll += -0.5 * z * z - log_sigma - std::log(std::sqrt(2.0 * M_PI));
+        const double common = z / sigma;  // d(ll)/d(mu)
+        gb += common;
+        for (std::size_t j = 0; j < d; ++j) gw[j] += common * xs[i][j];
+        gs += z * z - 1.0;  // d(ll)/d(log sigma)
+      } else {
+        // Right censored at y: contributes log P(Y* > y) = log(1 - Phi(z))
+        // = log Phi(-z).
+        const double cdf = std::max(norm_cdf(-z), 1e-300);
+        ll += std::log(cdf);
+        const double m = mills(-z);  // phi(-z)/Phi(-z)
+        const double common = m / sigma;  // d(ll)/d(mu)
+        gb += common;
+        for (std::size_t j = 0; j < d; ++j) gw[j] += common * xs[i][j];
+        gs += m * z;
+      }
+    }
+    // Clipped steps: near-zero sigma makes the censored-term gradients
+    // explode (Mills ratio / sigma), so bound each parameter's move.
+    const double lr = params_.learning_rate;
+    auto step = [&](double g) { return std::clamp(lr * g * inv_n, -0.1, 0.1); };
+    for (std::size_t j = 0; j < d; ++j) w_[j] += step(gw[j]);
+    b_ += step(gb);
+    log_sigma += step(gs);
+    log_sigma = std::clamp(log_sigma, -15.0, 15.0);
+    if (std::abs(ll - prev_ll) < params_.tol * (std::abs(prev_ll) + 1.0)) {
+      prev_ll = ll;
+      break;
+    }
+    prev_ll = ll;
+  }
+  sigma_ = std::exp(log_sigma);
+  loglik_ = prev_ll;
+  trained_ = true;
+}
+
+double TobitRegression::predict(const std::vector<double>& features) const {
+  if (!trained_) throw std::logic_error("TobitRegression::predict before fit");
+  double out = b_;
+  for (std::size_t j = 0; j < w_.size(); ++j)
+    out += w_[j] * (features[j] - feat_mean_[j]) / feat_scale_[j];
+  return out;
+}
+
+}  // namespace eslurm::ml

@@ -1,0 +1,60 @@
+// Tobit (censored) regression, the core of the TRIP baseline (Fan et al.,
+// CLUSTER'17): recorded job runtimes are right-censored whenever the job
+// was killed at its requested wall-clock limit, and Tobit regression
+// recovers the uncensored relationship by maximizing the censored
+// likelihood.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace eslurm::ml {
+
+/// Right-censored dataset: censored[i] == true means y[i] is only a lower
+/// bound on the true value (the job hit its limit at y[i]).
+struct CensoredDataset {
+  Dataset data;
+  std::vector<bool> censored;
+
+  void add(std::vector<double> features, double target, bool is_censored) {
+    data.add(std::move(features), target);
+    censored.push_back(is_censored);
+  }
+};
+
+struct TobitParams {
+  std::size_t max_iters = 500;
+  double learning_rate = 0.05;
+  double tol = 1e-6;
+};
+
+class TobitRegression final : public Regressor {
+ public:
+  explicit TobitRegression(TobitParams params = {});
+
+  /// Regressor-interface fit treats all samples as uncensored.
+  void fit(const Dataset& data) override;
+
+  /// Full Tobit fit with per-sample censoring flags.  Maximizes the
+  /// censored log likelihood by gradient ascent on (w, b, log sigma);
+  /// features are internally standardized for stable steps.
+  void fit_censored(const CensoredDataset& data);
+
+  double predict(const std::vector<double>& features) const override;
+  bool trained() const override { return trained_; }
+
+  double sigma() const { return sigma_; }
+  double log_likelihood() const { return loglik_; }
+
+ private:
+  TobitParams params_;
+  bool trained_ = false;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  double sigma_ = 1.0;
+  double loglik_ = 0.0;
+  std::vector<double> feat_mean_, feat_scale_;
+};
+
+}  // namespace eslurm::ml

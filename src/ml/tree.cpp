@@ -1,0 +1,130 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace eslurm::ml {
+
+DecisionTree::DecisionTree(TreeParams params, Rng rng) : params_(params), rng_(rng) {}
+
+void DecisionTree::fit(const Dataset& data) {
+  std::vector<std::size_t> indices(data.rows());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  fit_indices(data, indices);
+}
+
+void DecisionTree::fit_indices(const Dataset& data, const std::vector<std::size_t>& indices) {
+  data.check();
+  if (indices.empty()) throw std::invalid_argument("DecisionTree: no training rows");
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> work = indices;
+  build(data, work, 0, work.size(), 1);
+}
+
+namespace {
+// Mean and sum-of-squares helpers over an index range.
+struct Moments {
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  void add(double y) {
+    sum += y;
+    sum_sq += y * y;
+    ++n;
+  }
+  void remove(double y) {
+    sum -= y;
+    sum_sq -= y * y;
+    --n;
+  }
+  double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+  /// Total squared error around the mean (n * variance).
+  double sse() const {
+    return n ? sum_sq - sum * sum / static_cast<double>(n) : 0.0;
+  }
+};
+}  // namespace
+
+std::size_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                                std::size_t begin, std::size_t end, std::size_t depth) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = end - begin;
+  Moments all;
+  for (std::size_t i = begin; i < end; ++i) all.add(data.y[indices[i]]);
+
+  const std::size_t node_idx = nodes_.size();
+  nodes_.push_back(Node{.value = all.mean()});
+
+  if (depth >= params_.max_depth || n < params_.min_samples_split || all.sse() <= 1e-12)
+    return node_idx;
+
+  // Candidate features: all, or a random subset for forests.
+  const std::size_t d = data.cols();
+  std::vector<std::size_t> features(d);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t n_features = d;
+  if (params_.max_features > 0 && params_.max_features < d) {
+    rng_.shuffle(features);
+    n_features = params_.max_features;
+  }
+
+  double best_gain = 0.0;
+  std::size_t best_feature = SIZE_MAX;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> column(n);  // (feature value, target)
+  for (std::size_t fi = 0; fi < n_features; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = indices[begin + i];
+      column[i] = {data.x[row][f], data.y[row]};
+    }
+    std::sort(column.begin(), column.end());
+    Moments left;
+    Moments right = all;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left.add(column[i].second);
+      right.remove(column[i].second);
+      if (column[i].first == column[i + 1].first) continue;  // no split point here
+      if (left.n < params_.min_samples_leaf || right.n < params_.min_samples_leaf) continue;
+      const double gain = all.sse() - left.sse() - right.sse();
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature == SIZE_MAX) return node_idx;  // no useful split
+
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return data.x[row][best_feature] <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_idx;  // numeric edge case
+
+  nodes_[node_idx].feature = best_feature;
+  nodes_[node_idx].threshold = best_threshold;
+  const std::size_t left_child = build(data, indices, begin, mid, depth + 1);
+  const std::size_t right_child = build(data, indices, mid, end, depth + 1);
+  nodes_[node_idx].left = left_child;
+  nodes_[node_idx].right = right_child;
+  return node_idx;
+}
+
+double DecisionTree::predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::predict before fit");
+  std::size_t idx = 0;
+  while (nodes_[idx].feature != SIZE_MAX) {
+    idx = features[nodes_[idx].feature] <= nodes_[idx].threshold ? nodes_[idx].left
+                                                                 : nodes_[idx].right;
+  }
+  return nodes_[idx].value;
+}
+
+}  // namespace eslurm::ml

@@ -1,0 +1,56 @@
+// CART regression tree (variance-reduction splits), the base learner of
+// the RandomForest baseline (Fig. 11b) and of the IRPA ensemble.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace eslurm::ml {
+
+struct TreeParams {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features examined per split; 0 means all (plain CART).  Forests set
+  /// this to ~d/3 for regression.
+  std::size_t max_features = 0;
+};
+
+class DecisionTree final : public Regressor {
+ public:
+  explicit DecisionTree(TreeParams params = {}, Rng rng = Rng(77));
+
+  void fit(const Dataset& data) override;
+
+  /// Fits on a row subset (bootstrap support for forests).
+  void fit_indices(const Dataset& data, const std::vector<std::size_t>& indices);
+
+  double predict(const std::vector<double>& features) const override;
+  bool trained() const override { return !nodes_.empty(); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf iff feature == SIZE_MAX.
+    std::size_t feature = SIZE_MAX;
+    double threshold = 0.0;
+    double value = 0.0;  ///< mean target at the leaf
+    std::size_t left = 0, right = 0;
+  };
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                    std::size_t begin, std::size_t end, std::size_t depth);
+
+  TreeParams params_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace eslurm::ml

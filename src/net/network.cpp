@@ -1,0 +1,135 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace eslurm::net {
+
+Network::Network(sim::Engine& engine, std::size_t node_count, LinkModel model, Rng rng)
+    : engine_(engine), model_(model), rng_(rng), nodes_(node_count) {}
+
+void Network::set_liveness(std::function<bool(NodeId)> alive) { alive_ = std::move(alive); }
+
+void Network::set_recv_processing(NodeId node, SimTime per_message) {
+  nodes_.at(node).recv_processing_override = per_message;
+}
+
+SimTime Network::recv_processing(NodeId node) const {
+  const SimTime override_value = nodes_.at(node).recv_processing_override;
+  return override_value > 0 ? override_value : model_.recv_processing;
+}
+
+void Network::register_handler(NodeId node, MessageType type, Handler handler) {
+  nodes_.at(node).handlers[type] = std::move(handler);
+}
+
+void Network::unregister_handler(NodeId node, MessageType type) {
+  nodes_.at(node).handlers.erase(type);
+}
+
+SimTime Network::propagation(NodeId from, NodeId to) const {
+  if (!topology_) return model_.base_latency;
+  // The topology supplies hop latency; the stack cost stays flat.
+  return topology_->latency(from, to) + model_.base_latency / 2;
+}
+
+SimTime Network::jittered(SimTime t) {
+  return static_cast<SimTime>(static_cast<double>(t) *
+                              (1.0 + model_.jitter_frac * rng_.next_double()));
+}
+
+void Network::adjust_sockets(NodeId node, int delta) {
+  NodeState& st = nodes_[node];
+  st.open_sockets += delta;
+  if (st.watched) st.socket_ts.record(engine_.now(), st.open_sockets);
+}
+
+void Network::watch_sockets(NodeId node) {
+  NodeState& st = nodes_.at(node);
+  st.watched = true;
+  st.socket_ts.record(engine_.now(), st.open_sockets);
+}
+
+const TimeSeries& Network::socket_series(NodeId node) const {
+  return nodes_.at(node).socket_ts;
+}
+
+void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
+                   SendCallback on_complete) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    throw std::out_of_range("Network::send: bad node id");
+  if (timeout <= 0) timeout = model_.default_timeout;
+
+  msg.id = next_msg_id_++;
+  msg.src = from;
+  ++total_messages_;
+  total_bytes_ += msg.bytes;
+
+  NodeState& sender = nodes_[from];
+  ++sender.sent;
+
+  // Sender-side serialization: the sending daemon spends send_processing
+  // per message, one at a time.  Fan-out from a single node is therefore
+  // inherently serial -- the core scalability effect the paper exploits.
+  const SimTime send_start = std::max(engine_.now(), sender.send_busy_until);
+  const SimTime send_done = send_start + model_.send_processing;
+  sender.send_busy_until = send_done;
+
+  const SimTime wire =
+      jittered(propagation(from, to) + model_.connection_setup) +
+      static_cast<SimTime>(static_cast<double>(msg.bytes) /
+                           model_.bandwidth_bytes_per_sec * 1e9);
+  const SimTime arrival = send_done + wire;
+
+  // The connection stays open from the start of the send until completion
+  // (ack) or timeout; both endpoints hold a socket for that span.
+  adjust_sockets(from, +1);
+  adjust_sockets(to, +1);
+
+  const SimTime deadline = engine_.now() + timeout;
+
+  // Failure path resolved at arrival time: if the receiver is dead (or
+  // the sender died mid-flight), the sender blocks until its timeout.
+  engine_.schedule_at(arrival, [this, from, to, msg = std::move(msg), deadline,
+                                on_complete = std::move(on_complete)]() mutable {
+    if (!alive(to) || !alive(from)) {
+      ++failed_sends_;
+      const SimTime fail_at = std::max(deadline, engine_.now());
+      engine_.schedule_at(fail_at, [this, from, to, on_complete = std::move(on_complete)] {
+        adjust_sockets(from, -1);
+        adjust_sockets(to, -1);
+        if (on_complete) on_complete(false);
+      });
+      return;
+    }
+    // Receive-side serialization: one message at a time per node.
+    NodeState& receiver = nodes_[to];
+    const SimTime recv_start = std::max(engine_.now(), receiver.recv_busy_until);
+    const SimTime recv_done = recv_start + recv_processing(to);
+    receiver.recv_busy_until = recv_done;
+
+    engine_.schedule_at(recv_done, [this, from, to, msg = std::move(msg),
+                                    on_complete = std::move(on_complete)]() mutable {
+      NodeState& r = nodes_[to];
+      ++r.received;
+      const auto it = r.handlers.find(msg.type);
+      if (it != r.handlers.end()) {
+        it->second(msg);
+      } else {
+        ESLURM_DEBUG("node ", to, " dropped message type ", msg.type, " from ", from);
+      }
+      // Ack back to the sender: half a round trip of pure latency.
+      const SimTime ack_at = engine_.now() + jittered(propagation(to, from));
+      engine_.schedule_at(ack_at, [this, from, to, on_complete = std::move(on_complete)] {
+        adjust_sockets(from, -1);
+        adjust_sockets(to, -1);
+        if (on_complete) on_complete(true);
+      });
+    });
+  });
+}
+
+}  // namespace eslurm::net

@@ -1,0 +1,133 @@
+// Simulated cluster interconnect.
+//
+// Models the properties that matter for RM-communication scalability:
+//   * per-link latency + serialization (bytes / bandwidth) + jitter;
+//   * per-node *send* and *receive* serialization: a node handles one
+//     message at a time, so a master that fans out to 20K slaves pays the
+//     fan-out serially while a tree spreads it over the relay nodes --
+//     this is the first-order effect behind Fig. 7/8/9 of the paper;
+//   * TCP-connection (socket) accounting per node, sampled as a time
+//     series for the nodes under observation (master / satellites);
+//   * delivery to a failed node: the sender only learns about it after a
+//     configurable timeout, exactly like a TCP connect/send timing out.
+//
+// Reliability semantics: send() invokes `on_complete(true)` once the
+// receiver has accepted and processed the message (ack included), or
+// `on_complete(false)` after `timeout` when the receiver is dead (or dies
+// before processing).  There is no packet loss between live nodes; HPC
+// interconnects are lossless at this abstraction level.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace eslurm::net {
+
+struct LinkModel {
+  SimTime base_latency = microseconds(25);       ///< propagation + stack
+  double bandwidth_bytes_per_sec = 3.125e9;      ///< 25 Gbps link
+  SimTime connection_setup = microseconds(60);   ///< TCP handshake cost
+  SimTime recv_processing = microseconds(15);    ///< per-message receiver CPU
+  SimTime send_processing = microseconds(10);    ///< per-message sender CPU
+  double jitter_frac = 0.10;                     ///< multiplicative jitter on latency
+  SimTime default_timeout = seconds(1);          ///< dead-peer detection
+};
+
+/// Invoked when a message is delivered to a node (after receive
+/// serialization).  Handlers are registered per (node, message type).
+using Handler = std::function<void(const Message&)>;
+
+/// Completion callback of a send: ok=true means processed by the peer.
+using SendCallback = std::function<void(bool ok)>;
+
+class Network {
+ public:
+  Network(sim::Engine& engine, std::size_t node_count, LinkModel model, Rng rng);
+
+  sim::Engine& engine() { return engine_; }
+  const LinkModel& link_model() const { return model_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// The liveness oracle (normally Cluster::alive).  Defaults to all-up.
+  void set_liveness(std::function<bool(NodeId)> alive);
+
+  /// Attaches an interconnect topology: propagation latency then depends
+  /// on the endpoints' rack/group relationship instead of the flat
+  /// base_latency.  The pointer must outlive the network; nullptr
+  /// restores the flat model.
+  void set_topology(const Topology* topology) { topology_ = topology; }
+  const Topology* topology() const { return topology_; }
+
+  /// Registers/replaces the handler for one message type on one node.
+  void register_handler(NodeId node, MessageType type, Handler handler);
+  void unregister_handler(NodeId node, MessageType type);
+
+  /// Per-node receive-processing override (0 = use the link model's
+  /// default).  A centralized RM master pays a full RPC-handling cost
+  /// (global locks, protocol work) per inbound message -- the first-order
+  /// reason it saturates at scale.
+  void set_recv_processing(NodeId node, SimTime per_message);
+  SimTime recv_processing(NodeId node) const;
+
+  /// Sends a message.  `timeout` <= 0 uses the model default.  The
+  /// callback may be empty for fire-and-forget traffic.
+  void send(NodeId from, NodeId to, Message msg, SimTime timeout = 0,
+            SendCallback on_complete = {});
+
+  /// --- socket / traffic accounting -------------------------------------
+  int open_sockets(NodeId node) const { return nodes_[node].open_sockets; }
+
+  /// Starts recording this node's concurrent-socket count as a time
+  /// series (one point per change).  Only watched nodes pay the memory.
+  void watch_sockets(NodeId node);
+  const TimeSeries& socket_series(NodeId node) const;
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t failed_sends() const { return failed_sends_; }
+
+  /// Messages processed by a given node (receive side); used to charge
+  /// daemon CPU time in the RM resource accountant.
+  std::uint64_t messages_received(NodeId node) const { return nodes_[node].received; }
+  std::uint64_t messages_sent(NodeId node) const { return nodes_[node].sent; }
+
+ private:
+  struct NodeState {
+    SimTime send_busy_until = 0;
+    SimTime recv_busy_until = 0;
+    SimTime recv_processing_override = 0;
+    int open_sockets = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::unordered_map<MessageType, Handler> handlers;
+    bool watched = false;
+    TimeSeries socket_ts;
+  };
+
+  bool alive(NodeId node) const { return alive_ ? alive_(node) : true; }
+  void adjust_sockets(NodeId node, int delta);
+  SimTime jittered(SimTime t);
+
+  SimTime propagation(NodeId from, NodeId to) const;
+
+  sim::Engine& engine_;
+  LinkModel model_;
+  Rng rng_;
+  std::function<bool(NodeId)> alive_;
+  const Topology* topology_ = nullptr;
+  std::vector<NodeState> nodes_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t failed_sends_ = 0;
+};
+
+}  // namespace eslurm::net

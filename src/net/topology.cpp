@@ -1,0 +1,42 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eslurm::net {
+
+Topology::Topology(std::size_t node_count, TopologyConfig config)
+    : node_count_(node_count), config_(config) {
+  if (config_.nodes_per_rack == 0 || config_.racks_per_group == 0)
+    throw std::invalid_argument("Topology: rack/group sizes must be positive");
+}
+
+std::size_t Topology::rack_of(NodeId node) const {
+  return node / config_.nodes_per_rack;
+}
+
+std::size_t Topology::group_of(NodeId node) const {
+  return rack_of(node) / config_.racks_per_group;
+}
+
+std::size_t Topology::rack_count() const {
+  return (node_count_ + config_.nodes_per_rack - 1) / config_.nodes_per_rack;
+}
+
+SimTime Topology::latency(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  if (rack_of(a) == rack_of(b)) return config_.intra_rack_latency;
+  if (group_of(a) == group_of(b)) return config_.inter_rack_latency;
+  return config_.inter_group_latency;
+}
+
+std::vector<NodeId> Topology::topology_order(std::vector<NodeId> list) const {
+  std::stable_sort(list.begin(), list.end(), [this](NodeId a, NodeId b) {
+    const auto ka = std::make_pair(group_of(a), rack_of(a));
+    const auto kb = std::make_pair(group_of(b), rack_of(b));
+    return ka < kb;
+  });
+  return list;
+}
+
+}  // namespace eslurm::net

@@ -1,0 +1,50 @@
+// Interconnect topology model.
+//
+// Tianhe-class machines are built from racks (frames) of nodes joined by
+// a fat-tree of switches; messages inside a rack are cheaper than
+// messages that cross racks.  Section IV-E of the paper notes that
+// communication trees are often constructed *topology-aware* first and
+// only fine-tuned by the FP-Tree constructor, preserving locality; this
+// module provides the topology substrate for that composition.
+#pragma once
+
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/time.hpp"
+
+namespace eslurm::net {
+
+struct TopologyConfig {
+  std::size_t nodes_per_rack = 32;
+  std::size_t racks_per_group = 8;       ///< racks behind one switch group
+  SimTime intra_rack_latency = microseconds(5);
+  SimTime inter_rack_latency = microseconds(25);
+  SimTime inter_group_latency = microseconds(60);
+};
+
+class Topology {
+ public:
+  Topology(std::size_t node_count, TopologyConfig config = {});
+
+  std::size_t node_count() const { return node_count_; }
+  const TopologyConfig& config() const { return config_; }
+
+  std::size_t rack_of(NodeId node) const;
+  std::size_t group_of(NodeId node) const;
+  std::size_t rack_count() const;
+
+  /// Propagation latency between two nodes (0 hops for self).
+  SimTime latency(NodeId a, NodeId b) const;
+
+  /// Stable-sorts a node list by (group, rack): the canonical
+  /// topology-aware ordering, which makes contiguous tree subtrees align
+  /// with racks so most relay hops stay rack-local.
+  std::vector<NodeId> topology_order(std::vector<NodeId> list) const;
+
+ private:
+  std::size_t node_count_;
+  TopologyConfig config_;
+};
+
+}  // namespace eslurm::net

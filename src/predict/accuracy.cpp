@@ -1,0 +1,20 @@
+#include "predict/accuracy.hpp"
+
+#include <algorithm>
+
+namespace eslurm::predict {
+
+double estimation_accuracy(SimTime predicted, SimTime actual) {
+  if (predicted <= 0 || actual <= 0) return 0.0;
+  const double p = static_cast<double>(predicted);
+  const double r = static_cast<double>(actual);
+  return p < r ? p / r : r / p;
+}
+
+void AccuracyTracker::add(SimTime predicted, SimTime actual) {
+  ++n_;
+  ea_sum_ += estimation_accuracy(predicted, actual);
+  if (predicted < actual) ++under_;
+}
+
+}  // namespace eslurm::predict

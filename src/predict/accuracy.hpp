@@ -1,0 +1,33 @@
+// Estimation-accuracy metrics of the record module (Eqs. 4-5) and the
+// evaluation metrics of Section VII-E (AEA, underestimation rate).
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+namespace eslurm::predict {
+
+/// Eq. 4: EA = t_p/t_r if t_p < t_r else t_r/t_p; in (0, 1], 1 = exact.
+double estimation_accuracy(SimTime predicted, SimTime actual);
+
+/// Streaming AEA / underestimation-rate accumulator (Eq. 5).
+class AccuracyTracker {
+ public:
+  void add(SimTime predicted, SimTime actual);
+
+  std::size_t count() const { return n_; }
+  /// Eq. 5: mean per-job estimation accuracy.
+  double aea() const { return n_ ? ea_sum_ / static_cast<double>(n_) : 0.0; }
+  /// Fraction of jobs whose runtime was underestimated (t_p < t_r).
+  double underestimate_rate() const {
+    return n_ ? static_cast<double>(under_) / static_cast<double>(n_) : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t under_ = 0;
+  double ea_sum_ = 0.0;
+};
+
+}  // namespace eslurm::predict

@@ -1,0 +1,215 @@
+// Runtime-prediction baselines evaluated in Fig. 11b, behind a common
+// interface so the comparison bench can sweep them uniformly:
+//
+//   * User        -- the raw user-supplied wall limit;
+//   * Last-2      -- mean of the same user's last two actual runtimes
+//                    (Tsafrir, Etsion & Feitelson 2007);
+//   * SVM         -- one global SVR over the sliding window, no
+//                    clustering (ablates ESLURM's clustering step);
+//   * RandomForest-- global RF regression over the window;
+//   * IRPA        -- ensemble of RF + SVR + Bayesian ridge (Wu et al.);
+//   * TRIP        -- Tobit regression over the window, treating jobs
+//                    killed at their wall limit as right-censored (Fan et
+//                    al., CLUSTER'17);
+//   * PREP        -- per-group models keyed by the job's running path
+//                    (Zhou et al., ICPP'21).  Traces carry no filesystem
+//                    paths, so the application name serves as the path
+//                    key -- the same equivalence class PREP's path
+//                    clustering induces for single-binary HPC apps;
+//   * ESLURM      -- the full framework of estimator.hpp.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "ml/forest.hpp"
+#include "ml/linear.hpp"
+#include "ml/svr.hpp"
+#include "ml/tobit.hpp"
+#include "predict/estimator.hpp"
+
+namespace eslurm::predict {
+
+class RuntimePredictor {
+ public:
+  virtual ~RuntimePredictor() = default;
+  /// Observes a finished job (actual_runtime is ground truth; a job whose
+  /// observed runtime hit the user limit arrives with state TimedOut).
+  virtual void observe(const sched::Job& completed) = 0;
+  /// Predicts the runtime of an incoming job.
+  virtual SimTime predict(const sched::Job& incoming) = 0;
+  /// Periodic retraining hook (no-op for stateless predictors).
+  virtual void maybe_retrain(SimTime /*now*/) {}
+  virtual const char* name() const = 0;
+};
+
+/// Factory for every predictor of Fig. 11b, keyed by name: "user",
+/// "last2", "svm", "rf", "irpa", "trip", "prep", "eslurm".
+std::unique_ptr<RuntimePredictor> make_predictor(const std::string& name,
+                                                 std::uint64_t seed = 7);
+/// All predictor names in the order Fig. 11b lists them.
+std::vector<std::string> predictor_names();
+
+class UserEstimatePredictor final : public RuntimePredictor {
+ public:
+  void observe(const sched::Job&) override {}
+  SimTime predict(const sched::Job& incoming) override;
+  const char* name() const override { return "user"; }
+};
+
+class Last2Predictor final : public RuntimePredictor {
+ public:
+  void observe(const sched::Job& completed) override;
+  SimTime predict(const sched::Job& incoming) override;
+  const char* name() const override { return "last2"; }
+
+ private:
+  std::unordered_map<std::string, std::pair<SimTime, SimTime>> last_two_;
+};
+
+/// Shared scaffolding for the window-trained global models.
+///
+/// `target_encoding` replaces the hashed identity features by running
+/// per-name / per-user mean log-runtimes -- the style of engineered
+/// feature the IRPA and TRIP papers use, and a necessity for their
+/// linear components (a hashed label carries no linear signal).
+class WindowedModelPredictor : public RuntimePredictor {
+ public:
+  WindowedModelPredictor(std::size_t window, SimTime retrain_period,
+                         bool target_encoding = false);
+  void observe(const sched::Job& completed) override;
+  SimTime predict(const sched::Job& incoming) override;
+  void maybe_retrain(SimTime now) override;
+
+ protected:
+  struct Sample {
+    std::vector<double> features;
+    double log_runtime;
+    bool censored;  ///< ran into its wall limit
+  };
+
+  std::vector<double> make_features(const sched::Job& job) const;
+  /// Refits the concrete model on the scaled window.
+  virtual void fit(const ml::Dataset& scaled, const std::vector<bool>& censored) = 0;
+  /// Predicts log-runtime for scaled features.
+  virtual double predict_log(const std::vector<double>& scaled) const = 0;
+  virtual bool fitted() const = 0;
+
+  std::size_t window_;
+  SimTime retrain_period_;
+  bool target_encoding_;
+  SimTime last_retrain_ = -1;
+  std::deque<Sample> history_;
+  ml::StandardScaler scaler_;
+
+ private:
+  struct RunningMean {
+    double sum = 0.0;
+    std::size_t n = 0;
+    double mean(double fallback) const {
+      return n ? sum / static_cast<double>(n) : fallback;
+    }
+  };
+  /// Live means accumulate with every completion; prediction uses the
+  /// snapshot taken at the last retrain (batch semantics: these are
+  /// batch-trained frameworks, so the whole model -- including its
+  /// feature statistics -- refreshes on the training cadence).
+  std::unordered_map<std::string, RunningMean> name_mean_;
+  std::unordered_map<std::string, RunningMean> user_mean_;
+  RunningMean global_mean_;
+  std::unordered_map<std::string, RunningMean> frozen_name_mean_;
+  std::unordered_map<std::string, RunningMean> frozen_user_mean_;
+  RunningMean frozen_global_mean_;
+};
+
+class SvmPredictor final : public WindowedModelPredictor {
+ public:
+  explicit SvmPredictor(std::size_t window = 700);
+  const char* name() const override { return "svm"; }
+
+ protected:
+  void fit(const ml::Dataset& scaled, const std::vector<bool>& censored) override;
+  double predict_log(const std::vector<double>& scaled) const override;
+  bool fitted() const override { return svr_.trained(); }
+
+ private:
+  ml::Svr svr_;
+};
+
+class RandomForestPredictor final : public WindowedModelPredictor {
+ public:
+  explicit RandomForestPredictor(std::size_t window = 700, std::uint64_t seed = 7);
+  const char* name() const override { return "rf"; }
+
+ protected:
+  void fit(const ml::Dataset& scaled, const std::vector<bool>& censored) override;
+  double predict_log(const std::vector<double>& scaled) const override;
+  bool fitted() const override { return forest_ && forest_->trained(); }
+
+ private:
+  std::uint64_t seed_;
+  std::unique_ptr<ml::RandomForest> forest_;
+};
+
+class IrpaPredictor final : public WindowedModelPredictor {
+ public:
+  explicit IrpaPredictor(std::size_t window = 700, std::uint64_t seed = 7);
+  const char* name() const override { return "irpa"; }
+
+ protected:
+  void fit(const ml::Dataset& scaled, const std::vector<bool>& censored) override;
+  double predict_log(const std::vector<double>& scaled) const override;
+  bool fitted() const override { return trained_; }
+
+ private:
+  std::uint64_t seed_;
+  bool trained_ = false;
+  std::unique_ptr<ml::RandomForest> forest_;
+  ml::Svr svr_;
+  ml::BayesianRidge ridge_;
+};
+
+class TripPredictor final : public WindowedModelPredictor {
+ public:
+  explicit TripPredictor(std::size_t window = 700);
+  const char* name() const override { return "trip"; }
+
+ protected:
+  void fit(const ml::Dataset& scaled, const std::vector<bool>& censored) override;
+  double predict_log(const std::vector<double>& scaled) const override;
+  bool fitted() const override { return tobit_.trained(); }
+
+ private:
+  ml::TobitRegression tobit_;
+};
+
+class PrepPredictor final : public RuntimePredictor {
+ public:
+  void observe(const sched::Job& completed) override;
+  SimTime predict(const sched::Job& incoming) override;
+  const char* name() const override { return "prep"; }
+
+ private:
+  struct Group {
+    std::deque<double> recent_runtimes;  ///< seconds, capped window
+  };
+  std::unordered_map<std::string, Group> groups_;
+  std::deque<double> global_recent_;
+};
+
+class EslurmPredictor final : public RuntimePredictor {
+ public:
+  explicit EslurmPredictor(EstimatorConfig config = {}, std::uint64_t seed = 7);
+  void observe(const sched::Job& completed) override;
+  SimTime predict(const sched::Job& incoming) override;
+  void maybe_retrain(SimTime now) override { estimator_.maybe_retrain(now); }
+  const char* name() const override { return "eslurm"; }
+
+  RuntimeEstimator& estimator() { return estimator_; }
+
+ private:
+  RuntimeEstimator estimator_;
+};
+
+}  // namespace eslurm::predict

@@ -1,0 +1,37 @@
+#include "predict/features.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace eslurm::predict {
+namespace {
+double hash01(const std::string& s, char salt) {
+  // FNV-1a has weak high-bit avalanche for strings differing only in a
+  // trailing character ("app1" vs "app3" land ~1e-7 apart), so mix the
+  // hash through a splitmix64-style finalizer before taking the top
+  // bits.
+  std::uint64_t h = fnv1a(salt + s);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+std::vector<double> encode_features(const sched::Job& job) {
+  const double hour = static_cast<double>(hour_of_day(job.submit_time));
+  const double angle = hour / 24.0 * 2.0 * M_PI;
+  return {
+      hash01(job.name, 'a'),
+      hash01(job.name, 'b'),
+      hash01(job.user, 'a'),
+      hash01(job.user, 'b'),
+      std::log2(static_cast<double>(std::max(job.nodes, 1))),
+      std::log2(static_cast<double>(std::max(job.cores, 1))),
+      std::sin(angle),
+      std::cos(angle),
+  };
+}
+
+}  // namespace eslurm::predict

@@ -1,0 +1,27 @@
+// Job feature extraction (Table IV of the paper): job name, user name,
+// required nodes, required cores, and the submission hour.
+//
+// String features are stably hashed into *two* independent [0, 1)
+// coordinates: equal strings coincide exactly (distance 0) while
+// distinct strings land far apart with overwhelming probability -- a
+// single hashed dimension would place unrelated app names arbitrarily
+// close, which misleads centroid- and kernel-based models.  Node and
+// core counts are log-scaled (job sizes span four orders of magnitude).
+// The submission hour is embedded on the unit circle so 23:00 and 00:00
+// are neighbours.
+#pragma once
+
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace eslurm::predict {
+
+inline constexpr std::size_t kFeatureCount = 8;
+
+/// Encodes the Table-IV features of a job into a numeric vector:
+/// [name_h1, name_h2, user_h1, user_h2, log2(nodes), log2(cores),
+///  sin(hour), cos(hour)].
+std::vector<double> encode_features(const sched::Job& job);
+
+}  // namespace eslurm::predict

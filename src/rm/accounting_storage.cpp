@@ -1,0 +1,117 @@
+#include "rm/accounting_storage.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace eslurm::rm {
+
+void AccountingStorage::record(const sched::Job& job) {
+  if (!job.finished())
+    throw std::invalid_argument("AccountingStorage::record: job not finished");
+  JobRecord record;
+  record.id = job.id;
+  record.user = job.user;
+  record.name = job.name;
+  record.partition = job.partition;
+  record.nodes = job.nodes;
+  record.submit = job.submit_time;
+  record.start = job.start_time;
+  record.end = job.end_time;
+  record.final_state = job.state;
+  records_.push_back(std::move(record));
+}
+
+bool AccountingStorage::matches(const JobRecord& record, const JobFilter& filter) {
+  if (filter.user && record.user != *filter.user) return false;
+  if (filter.name && record.name != *filter.name) return false;
+  if (filter.state && record.final_state != *filter.state) return false;
+  if (record.submit < filter.submitted_after) return false;
+  if (record.submit >= filter.submitted_before) return false;
+  return true;
+}
+
+std::vector<JobRecord> AccountingStorage::query(const JobFilter& filter) const {
+  std::vector<JobRecord> out;
+  for (const auto& record : records_)
+    if (matches(record, filter)) out.push_back(record);
+  return out;
+}
+
+std::vector<UserUsage> AccountingStorage::usage_by_user() const {
+  std::map<std::string, UserUsage> by_user;
+  std::map<std::string, double> wait_sums;
+  for (const auto& record : records_) {
+    UserUsage& usage = by_user[record.user];
+    usage.user = record.user;
+    ++usage.jobs;
+    usage.node_hours += record.node_seconds() / 3600.0;
+    if (record.wait() >= 0) wait_sums[record.user] += to_seconds(record.wait());
+  }
+  std::vector<UserUsage> out;
+  out.reserve(by_user.size());
+  for (auto& [user, usage] : by_user) {
+    usage.avg_wait_seconds = wait_sums[user] / static_cast<double>(usage.jobs);
+    out.push_back(std::move(usage));
+  }
+  std::sort(out.begin(), out.end(), [](const UserUsage& a, const UserUsage& b) {
+    return a.node_hours > b.node_hours;
+  });
+  return out;
+}
+
+double AccountingStorage::total_node_hours() const {
+  double total = 0.0;
+  for (const auto& record : records_) total += record.node_seconds() / 3600.0;
+  return total;
+}
+
+void AccountingStorage::save(std::ostream& os) const {
+  os << "# eslurm-acct v1\n";
+  char buf[320];
+  for (const auto& record : records_) {
+    std::snprintf(buf, sizeof(buf), "%llu %s %s %s %d %.3f %.3f %.3f %s\n",
+                  static_cast<unsigned long long>(record.id), record.user.c_str(),
+                  record.name.c_str(), record.partition.c_str(), record.nodes,
+                  to_seconds(record.submit), to_seconds(record.start),
+                  to_seconds(record.end), sched::job_state_name(record.final_state));
+    os << buf;
+  }
+}
+
+AccountingStorage AccountingStorage::load(std::istream& is) {
+  AccountingStorage storage;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    JobRecord record;
+    unsigned long long id = 0;
+    double submit_s = 0, start_s = 0, end_s = 0;
+    std::string state;
+    if (!(fields >> id >> record.user >> record.name >> record.partition >>
+          record.nodes >> submit_s >> start_s >> end_s >> state))
+      throw std::invalid_argument("accounting: malformed line " +
+                                  std::to_string(line_no));
+    record.id = id;
+    record.submit = from_seconds(submit_s);
+    record.start = from_seconds(start_s);
+    record.end = from_seconds(end_s);
+    record.final_state = state == "TIMEOUT"    ? sched::JobState::TimedOut
+                         : state == "CANCELLED" ? sched::JobState::Cancelled
+                                                : sched::JobState::Completed;
+    storage.records_.push_back(std::move(record));
+  }
+  return storage;
+}
+
+}  // namespace eslurm::rm

@@ -1,0 +1,74 @@
+// Accounting storage: the slurmdbd-equivalent job-completion database the
+// paper co-locates with the master daemon (Section VI-C).  Records every
+// finished job and answers sacct/sreport-style queries: filtered job
+// listings, per-user usage summaries, utilization over a window.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace eslurm::rm {
+
+struct JobRecord {
+  sched::JobId id = sched::kNoJob;
+  std::string user;
+  std::string name;
+  std::string partition;
+  int nodes = 0;
+  SimTime submit = 0;
+  SimTime start = -1;
+  SimTime end = -1;
+  sched::JobState final_state = sched::JobState::Completed;
+
+  SimTime wait() const { return start >= 0 ? start - submit : -1; }
+  SimTime runtime() const { return (start >= 0 && end >= 0) ? end - start : 0; }
+  double node_seconds() const {
+    return static_cast<double>(nodes) * to_seconds(runtime());
+  }
+};
+
+struct JobFilter {
+  std::optional<std::string> user;
+  std::optional<std::string> name;
+  std::optional<sched::JobState> state;
+  SimTime submitted_after = 0;
+  SimTime submitted_before = kTimeNever;
+};
+
+struct UserUsage {
+  std::string user;
+  std::size_t jobs = 0;
+  double node_hours = 0.0;
+  double avg_wait_seconds = 0.0;
+};
+
+class AccountingStorage {
+ public:
+  /// Records a finished job (state must be terminal).
+  void record(const sched::Job& job);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<JobRecord>& all() const { return records_; }
+
+  /// sacct: filtered job listing, in recording order.
+  std::vector<JobRecord> query(const JobFilter& filter) const;
+
+  /// sreport: per-user consumption, sorted by node-hours descending.
+  std::vector<UserUsage> usage_by_user() const;
+
+  double total_node_hours() const;
+
+  /// Plain-text persistence (one record per line).
+  void save(std::ostream& os) const;
+  static AccountingStorage load(std::istream& is);
+
+ private:
+  static bool matches(const JobRecord& record, const JobFilter& filter);
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace eslurm::rm

@@ -1,0 +1,72 @@
+#include "rm/centralized_rm.hpp"
+
+namespace eslurm::rm {
+
+CentralizedRm::CentralizedRm(sim::Engine& engine, net::Network& network,
+                             cluster::ClusterModel& cluster, RmCostProfile profile,
+                             RmDeployment deployment, RmRuntimeConfig config)
+    : ResourceManager(engine, network, cluster, std::move(profile),
+                      std::move(deployment), config) {
+  const bool needs_tree = profile_.dispatch == DispatchStyle::Tree ||
+                          profile_.ping == PingStyle::Tree;
+  const bool needs_star = !needs_tree || profile_.dispatch != DispatchStyle::Tree ||
+                          profile_.ping != PingStyle::Tree;
+  if (needs_tree)
+    tree_ = std::make_unique<comm::TreeBroadcaster>(net_, profile_.name + "-tree");
+  if (needs_star)
+    star_ = std::make_unique<comm::StarBroadcaster>(net_, profile_.name + "-star");
+}
+
+comm::BroadcastOptions CentralizedRm::style_options(DispatchStyle style) const {
+  comm::BroadcastOptions opts = config_.bcast;
+  opts.tree_width = profile_.tree_width;
+  switch (style) {
+    case DispatchStyle::Tree:
+      break;
+    case DispatchStyle::Parallel:
+      opts.star_slots = profile_.dispatch_slots;
+      opts.root_service_time = milliseconds(1);
+      break;
+    case DispatchStyle::Sequential:
+      opts.star_slots = profile_.dispatch_slots;
+      opts.root_service_time = config_.dispatch_service;
+      break;
+  }
+  return opts;
+}
+
+void CentralizedRm::dispatch(std::vector<NodeId> targets, std::size_t bytes,
+                             comm::Broadcaster::Callback done) {
+  comm::BroadcastOptions opts = style_options(profile_.dispatch);
+  opts.payload_bytes = bytes;
+  if (profile_.dispatch == DispatchStyle::Tree) {
+    tree_->broadcast(deployment_.master, std::move(targets), opts, std::move(done));
+  } else {
+    star_->broadcast(deployment_.master, std::move(targets), opts, std::move(done));
+  }
+}
+
+void CentralizedRm::ping_all() {
+  comm::BroadcastOptions opts = config_.bcast;
+  opts.payload_bytes = 128;
+  opts.tree_width = profile_.tree_width;
+  // A completed health round reconciles the master's node-state view.
+  const auto on_done = [this](const comm::BroadcastResult&) {
+    refresh_health_view();
+  };
+  switch (profile_.ping) {
+    case PingStyle::Tree:
+      tree_->broadcast(deployment_.master, deployment_.compute, opts, on_done);
+      return;
+    case PingStyle::Parallel:
+      opts.star_slots = profile_.dispatch_slots;
+      break;
+    case PingStyle::Poll:
+      // Status poll sweep: wide window, cheap per-node service.
+      opts.star_slots = 512;
+      break;
+  }
+  star_->broadcast(deployment_.master, deployment_.compute, opts, on_done);
+}
+
+}  // namespace eslurm::rm

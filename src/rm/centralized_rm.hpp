@@ -1,0 +1,33 @@
+// Centralized master-slave RM: the master itself fans every control
+// message out to the compute nodes, in the style selected by its cost
+// profile (tree for Slurm, bounded-parallel for LSF, sequential for the
+// PBS family).  This is the architecture Section II argues cannot scale.
+#pragma once
+
+#include <memory>
+
+#include "comm/star.hpp"
+#include "comm/tree.hpp"
+#include "rm/resource_manager.hpp"
+
+namespace eslurm::rm {
+
+class CentralizedRm final : public ResourceManager {
+ public:
+  CentralizedRm(sim::Engine& engine, net::Network& network,
+                cluster::ClusterModel& cluster, RmCostProfile profile,
+                RmDeployment deployment, RmRuntimeConfig config);
+
+ protected:
+  void dispatch(std::vector<NodeId> targets, std::size_t bytes,
+                comm::Broadcaster::Callback done) override;
+  void ping_all() override;
+
+ private:
+  comm::BroadcastOptions style_options(DispatchStyle style) const;
+
+  std::unique_ptr<comm::TreeBroadcaster> tree_;
+  std::unique_ptr<comm::StarBroadcaster> star_;
+};
+
+}  // namespace eslurm::rm

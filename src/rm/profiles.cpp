@@ -1,0 +1,146 @@
+#include "rm/profiles.hpp"
+
+#include <stdexcept>
+
+namespace eslurm::rm {
+
+RmCostProfile slurm_profile() {
+  RmCostProfile p;
+  p.name = "slurm";
+  p.dispatch = DispatchStyle::Tree;
+  p.ping = PingStyle::Tree;
+  p.tree_width = 50;
+  p.ping_interval = minutes(5);
+  // slurmctld: cheap message handling, heavyweight state.  ~10 GB of
+  // virtual memory at 4K nodes (Fig. 7c) driven by a fat node/job store.
+  p.accounting.cpu_us_per_message = 1200.0;
+  p.accounting.cpu_us_sched_per_job = 30.0;
+  p.accounting.cpu_us_sched_per_node = 40.0;
+  p.accounting.rss_base_mb = 80.0;
+  p.accounting.rss_kb_per_node = 220.0;
+  p.accounting.rss_kb_per_job = 120.0;
+  p.accounting.vmem_base_gb = 0.8;
+  p.accounting.vmem_per_rss = 9.0;
+  p.socket_crash_threshold = 15500;
+  p.crash_base_rate_per_hour = 0.02;
+  return p;
+}
+
+RmCostProfile lsf_profile() {
+  RmCostProfile p;
+  p.name = "lsf";
+  p.dispatch = DispatchStyle::Parallel;
+  p.dispatch_slots = 1024;  // mbatchd fans out over a huge connection pool
+  p.ping = PingStyle::Parallel;
+  p.ping_interval = minutes(5);
+  // mbatchd/lim: heavier per-message work, moderate memory, bursty
+  // 1000+ connection spikes during dispatch/ping waves (Fig. 7e).
+  p.accounting.cpu_us_per_message = 1500.0;
+  p.accounting.cpu_us_sched_per_job = 40.0;
+  p.accounting.cpu_us_sched_per_node = 2.5;
+  p.accounting.rss_base_mb = 120.0;
+  p.accounting.rss_kb_per_node = 90.0;
+  p.accounting.rss_kb_per_job = 80.0;
+  p.accounting.vmem_base_gb = 0.8;
+  p.accounting.vmem_per_rss = 6.0;
+  p.socket_crash_threshold = 18000;
+  p.crash_base_rate_per_hour = 0.02;
+  return p;
+}
+
+RmCostProfile sge_profile() {
+  RmCostProfile p;
+  p.name = "sge";
+  p.dispatch = DispatchStyle::Sequential;
+  p.dispatch_slots = 8;
+  p.ping = PingStyle::Poll;
+  p.ping_interval = minutes(2);
+  p.persistent_node_connections = true;  // qmaster <-> execd links stay up
+  // Heaviest CPU of the pack (Fig. 7a/b).
+  p.accounting.cpu_us_per_message = 2000.0;
+  p.accounting.cpu_us_sched_per_job = 60.0;
+  p.accounting.cpu_us_sched_per_node = 6.0;
+  p.accounting.rss_base_mb = 100.0;
+  p.accounting.rss_kb_per_node = 60.0;
+  p.accounting.rss_kb_per_job = 60.0;
+  p.accounting.vmem_base_gb = 0.6;
+  p.accounting.vmem_per_rss = 5.0;
+  p.socket_crash_threshold = 6000;
+  p.crash_base_rate_per_hour = 0.05;
+  return p;
+}
+
+RmCostProfile torque_profile() {
+  RmCostProfile p;
+  p.name = "torque";
+  p.dispatch = DispatchStyle::Sequential;
+  p.dispatch_slots = 1;  // pbs_server contacts MOMs one by one
+  p.ping = PingStyle::Poll;
+  p.ping_interval = minutes(3);
+  p.accounting.cpu_us_per_message = 1600.0;
+  p.accounting.cpu_us_sched_per_job = 50.0;
+  p.accounting.cpu_us_sched_per_node = 4.0;
+  p.accounting.rss_base_mb = 90.0;
+  p.accounting.rss_kb_per_node = 50.0;
+  p.accounting.rss_kb_per_job = 70.0;
+  p.accounting.vmem_base_gb = 0.5;
+  p.accounting.vmem_per_rss = 5.0;
+  p.socket_crash_threshold = 3000;
+  p.crash_base_rate_per_hour = 0.06;
+  return p;
+}
+
+RmCostProfile openpbs_profile() {
+  RmCostProfile p;
+  p.name = "openpbs";
+  p.dispatch = DispatchStyle::Sequential;
+  p.dispatch_slots = 4;  // slightly wider server window than Torque
+  p.ping = PingStyle::Poll;
+  p.ping_interval = minutes(1);  // frequent polling -> many sockets (Fig. 7e)
+  p.accounting.cpu_us_per_message = 1400.0;
+  p.accounting.cpu_us_sched_per_job = 45.0;
+  p.accounting.cpu_us_sched_per_node = 3.5;
+  p.accounting.rss_base_mb = 85.0;
+  p.accounting.rss_kb_per_node = 45.0;
+  p.accounting.rss_kb_per_job = 65.0;
+  p.accounting.vmem_base_gb = 0.5;
+  p.accounting.vmem_per_rss = 5.0;
+  p.socket_crash_threshold = 4000;
+  p.crash_base_rate_per_hour = 0.05;
+  return p;
+}
+
+RmCostProfile eslurm_profile() {
+  RmCostProfile p;
+  p.name = "eslurm";
+  p.dispatch = DispatchStyle::Tree;  // via satellites + FP-Tree
+  p.ping = PingStyle::Tree;
+  p.tree_width = 50;
+  p.ping_interval = minutes(5);
+  // The master only talks to satellites: lean state, tiny footprint
+  // (Fig. 7d: ~60 MB RSS at 4K nodes; Table V: ~360-460 MB at 20K+).
+  p.accounting.cpu_us_per_message = 1200.0;
+  p.accounting.cpu_us_sched_per_job = 25.0;
+  p.accounting.cpu_us_sched_per_node = 40.0;
+  p.accounting.rss_base_mb = 20.0;
+  p.accounting.rss_kb_per_node = 12.0;
+  p.accounting.rss_kb_per_job = 40.0;
+  p.accounting.vmem_base_gb = 0.3;
+  p.accounting.vmem_per_rss = 3.0;
+  p.accounting.vmem_mb_per_node = 0.5;  // <2 GB at 4K, ~10.7 GB at 20K+
+  p.socket_crash_threshold = 0;  // never overloads: fan-out is delegated
+  p.node_report_interval = 0;    // status flows back through satellite trees
+  return p;
+}
+
+RmCostProfile profile_by_name(const std::string& name) {
+  if (name == "slurm") return slurm_profile();
+  if (name == "lsf") return lsf_profile();
+  if (name == "sge") return sge_profile();
+  if (name == "torque") return torque_profile();
+  if (name == "openpbs") return openpbs_profile();
+  if (name == "eslurm") return eslurm_profile();
+  throw std::invalid_argument("profile_by_name: unknown RM '" + name + "'");
+}
+
+}  // namespace eslurm::rm

@@ -1,0 +1,354 @@
+#include "rm/resource_manager.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace eslurm::rm {
+
+ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
+                                 cluster::ClusterModel& cluster, RmCostProfile profile,
+                                 RmDeployment deployment, RmRuntimeConfig config)
+    : engine_(engine),
+      net_(network),
+      cluster_(cluster),
+      profile_(std::move(profile)),
+      deployment_(std::move(deployment)),
+      config_(config),
+      rng_(config.seed),
+      free_(deployment_.compute) {
+  master_stats_ = std::make_unique<DaemonStats>(engine_, net_, deployment_.master,
+                                                profile_.accounting);
+  if (config_.use_runtime_estimation) {
+    estimator_ = std::make_unique<predict::RuntimeEstimator>(config_.estimator,
+                                                             Rng(config_.seed ^ 0xE5));
+  }
+  if (profile_.persistent_node_connections) {
+    master_stats_->set_persistent_sockets(
+        static_cast<int>(deployment_.compute.size()));
+  }
+  // Every inbound message at the master is a full RPC: protocol parsing,
+  // global state locks, response marshalling.  This serialization is the
+  // centralized bottleneck of Section II.
+  net_.set_recv_processing(
+      deployment_.master,
+      from_seconds(profile_.accounting.cpu_us_per_message * 1e-6));
+  // Node status reports arrive at the master; nothing to do beyond the
+  // accounting the network performs.
+  net_.register_handler(deployment_.master, kMsgNodeReport,
+                        [](const net::Message&) {});
+  net_.register_handler(deployment_.master, kMsgNodeReport + 1,
+                        [](const net::Message&) {});  // user RPCs
+}
+
+ResourceManager::~ResourceManager() = default;
+
+void ResourceManager::start(SimTime horizon) {
+  horizon_ = horizon;
+  master_stats_->start_sampling(config_.sample_interval, horizon);
+
+  sched_task_ = std::make_unique<sim::PeriodicTask>(engine_, config_.sched_interval,
+                                                    [this] { run_sched_cycle(); });
+  sched_task_->start(config_.sched_interval);
+
+  if (config_.enable_pings) {
+    ping_task_ = std::make_unique<sim::PeriodicTask>(engine_, profile_.ping_interval,
+                                                     [this] {
+                                                       if (master_up_) ping_all();
+                                                     });
+    ping_task_->start(profile_.ping_interval);
+
+    if (profile_.node_report_interval > 0) {
+      // Status-report waves: every node phones home within a few seconds
+      // of the tick.  At large node counts the wave outruns the master's
+      // RPC service rate and connections pile up -- the Fig. 7e bursts
+      // and the Section II-B overload.
+      report_task_ = std::make_unique<sim::PeriodicTask>(
+          engine_, profile_.node_report_interval, [this] {
+            // A crashed master refuses connections; slurmd-style agents
+            // fail fast and try again next interval, so no backlog bomb
+            // builds up during an outage.
+            if (!master_up_) return;
+            for (const NodeId node : deployment_.compute) {
+              if (!cluster_.alive(node)) continue;
+              const SimTime jitter = static_cast<SimTime>(
+                  rng_.next_double() *
+                  static_cast<double>(profile_.node_report_jitter));
+              engine_.schedule_after(jitter, [this, node] {
+                if (!cluster_.alive(node) || !master_up_) return;
+                net::Message report;
+                report.type = kMsgNodeReport;
+                report.bytes = 512;
+                net_.send(node, deployment_.master, std::move(report),
+                          seconds(30));
+              });
+            }
+          });
+      report_task_->start(profile_.node_report_interval);
+    }
+  }
+
+  if (profile_.socket_crash_threshold > 0 && profile_.crash_base_rate_per_hour > 0) {
+    // Overload-driven crash hazard, evaluated every 10 simulated minutes:
+    // the crash probability grows quadratically once the master's
+    // connection count passes its threshold.
+    hazard_task_ = std::make_unique<sim::PeriodicTask>(engine_, minutes(10), [this] {
+      if (!master_up_) return;
+      // Socket pressure is bursty; judge the *peak* over the last window,
+      // which is what actually kills a real master daemon.
+      const double peak = std::max<double>(
+          net_.socket_series(deployment_.master).max_since(engine_.now() - minutes(10)),
+          master_stats_->sockets_now());
+      const double overload = peak / profile_.socket_crash_threshold;
+      const double p =
+          profile_.crash_base_rate_per_hour * overload * overload * (10.0 / 60.0);
+      if (rng_.chance(std::min(p, 0.9))) crash_master();
+    });
+    hazard_task_->start(minutes(10));
+  }
+
+  if (config_.user_requests_per_hour > 0) arm_next_user_request();
+
+  // All periodic daemon activity stops at the horizon so a drained event
+  // queue means the experiment is over (benches may engine().run()).
+  engine_.schedule_at(horizon, [this] {
+    if (sched_task_) sched_task_->stop();
+    if (ping_task_) ping_task_->stop();
+    if (hazard_task_) hazard_task_->stop();
+    if (report_task_) report_task_->stop();
+  });
+}
+
+void ResourceManager::submit(sched::Job job) {
+  // Request handling cost on the master.
+  master_stats_->charge_cpu_us(200.0);
+  if (estimator_) {
+    const predict::Estimate est = estimator_->estimate(job);
+    job.estimate_used = est.value;
+    job.model_estimate = est.model_raw;
+  } else {
+    job.estimate_used = job.user_estimate > 0 ? job.user_estimate : hours(1);
+  }
+  pool_.submit(std::move(job));
+  master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
+}
+
+void ResourceManager::run_sched_cycle() {
+  if (!master_up_) return;
+  if (estimator_) estimator_->maybe_retrain(engine_.now());
+  // Scheduler pass cost scales with queue depth and cluster size.
+  const auto& acc = profile_.accounting;
+  master_stats_->charge_cpu_us(
+      acc.cpu_us_sched_base +
+      acc.cpu_us_sched_per_job *
+          static_cast<double>(pool_.pending().size() + pool_.active().size()) +
+      acc.cpu_us_sched_per_node * static_cast<double>(deployment_.compute.size()));
+  master_stats_->set_tracked_nodes(deployment_.compute.size());
+  master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
+  // afterok dependencies that terminally failed cancel their dependents.
+  std::vector<sched::JobId> doomed;
+  for (const sched::JobId id : pool_.pending()) {
+    bool failed = false;
+    sched::dependency_ready(pool_, pool_.get(id), &failed);
+    if (failed) doomed.push_back(id);
+  }
+  for (const sched::JobId id : doomed) {
+    pool_.cancel_pending(id, engine_.now());
+    accounting_db_.record(pool_.get(id));
+  }
+  try_start_jobs();
+}
+
+void ResourceManager::try_start_jobs() {
+  // Compact the free list: drop nodes that died while idle (they return
+  // via the cluster observer path when allocatable again).
+  const auto decisions =
+      scheduler_.schedule(pool_, static_cast<int>(free_.size()), engine_.now());
+  for (const sched::JobId id : decisions) start_job(id);
+}
+
+void ResourceManager::start_job(sched::JobId id) {
+  sched::Job& job = pool_.get(id);
+  if (static_cast<int>(free_.size()) < job.nodes) return;  // race with failures
+
+  // Allocate nodes the RM *believes* are healthy; a node that died since
+  // the last ping round can still be picked here and is only discovered
+  // when the launch broadcast times out on it.
+  std::vector<NodeId> allocated;
+  allocated.reserve(job.nodes);
+  while (static_cast<int>(allocated.size()) < job.nodes && !free_.empty()) {
+    const NodeId node = free_.back();
+    free_.pop_back();
+    if (believed_alive(node) && !drained_.count(node)) {
+      allocated.push_back(node);
+    } else {
+      quarantined_.push_back(node);  // sidelined until the next refresh
+    }
+  }
+  if (static_cast<int>(allocated.size()) < job.nodes) {
+    // Not enough healthy nodes after all; put everything back.
+    for (const NodeId node : allocated) free_.push_back(node);
+    return;
+  }
+
+  pool_.mark_starting(id);
+  allocations_[id] = allocated;
+
+  // Launch broadcast ("job loading message").
+  dispatch(allocated, 2048, [this, id](const comm::BroadcastResult& result) {
+    launch_bcast_.add(to_seconds(result.elapsed()));
+    if (result.unreachable > 0) {
+      // One or more allocated nodes were dead: the launch fails, the dead
+      // nodes are now known, and the job returns to the queue head.
+      ++requeues_;
+      for (const NodeId node : allocations_[id]) {
+        if (!cluster_.alive(node)) {
+          believed_down_.insert(node);
+          quarantined_.push_back(node);
+        } else {
+          free_.push_back(node);
+        }
+      }
+      allocations_.erase(id);
+      pool_.requeue_starting(id);
+      try_start_jobs();
+      return;
+    }
+    sched::Job& j = pool_.get(id);
+    pool_.mark_running(id, engine_.now());
+    // The job runs for its actual runtime, clipped at the enforced wall
+    // limit.  The kill limit is never below what the user requested: a
+    // model estimate replaces the user's number for *scheduling*, but no
+    // production RM terminates a job inside its requested allocation.
+    SimTime run_for = j.actual_runtime;
+    sched::JobState end_state = sched::JobState::Completed;
+    const SimTime limit =
+        j.user_estimate > 0 ? std::max(j.user_estimate, j.estimate_used)
+                            : j.estimate_used;
+    if (config_.enforce_limits && limit > 0 && j.actual_runtime > limit) {
+      run_for = limit;
+      end_state = sched::JobState::TimedOut;
+    }
+    engine_.schedule_after(run_for, [this, id, end_state] { job_ended(id, end_state); });
+  });
+}
+
+void ResourceManager::job_ended(sched::JobId id, sched::JobState end_state) {
+  if (!master_up_) {
+    // Completion RPCs cannot reach a crashed master; the nodes stay
+    // occupied until it returns (a large part of the production pain).
+    deferred_completions_.emplace_back(id, end_state);
+    return;
+  }
+  pool_.mark_finished(id, engine_.now(), end_state);
+
+  // Termination broadcast ("job termination message") reclaims resources.
+  const std::vector<NodeId> allocated = allocations_[id];
+  dispatch(allocated, 512, [this, id](const comm::BroadcastResult& result) {
+    term_bcast_.add(to_seconds(result.elapsed()));
+    pool_.mark_released(id, engine_.now());
+    const sched::Job& job = pool_.get(id);
+    occupation_.add(to_seconds(job.release_time - job.submit_time));
+    for (const NodeId node : allocations_[id]) free_.push_back(node);
+    allocations_.erase(id);
+    on_job_finished(job);
+    master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
+    // Freed resources: give the scheduler an immediate chance.
+    try_start_jobs();
+  });
+}
+
+void ResourceManager::on_job_finished(const sched::Job& job) {
+  accounting_db_.record(job);
+  if (estimator_) {
+    // Feed the record module with the *observed* runtime; a timed-out
+    // job reports its (censored) limit, exactly what production sees.
+    sched::Job observed = job;
+    observed.actual_runtime = job.observed_runtime();
+    estimator_->record_completion(observed);
+  }
+}
+
+void ResourceManager::drain_node(NodeId node) {
+  master_stats_->charge_cpu_us(100.0);
+  drained_.insert(node);
+}
+
+void ResourceManager::resume_node(NodeId node) {
+  master_stats_->charge_cpu_us(100.0);
+  drained_.erase(node);
+  // The node may be sidelined in quarantine; give the whole quarantine a
+  // fresh pass so the resumed capacity is immediately allocatable.
+  free_.insert(free_.end(), quarantined_.begin(), quarantined_.end());
+  quarantined_.clear();
+  try_start_jobs();  // capacity may have returned
+}
+
+void ResourceManager::refresh_health_view() {
+  // A completed health round reconciles the RM's view with reality, and
+  // quarantined nodes get another chance (re-quarantined on allocation if
+  // they are still believed unhealthy or drained).
+  believed_down_.clear();
+  for (const NodeId node : deployment_.compute)
+    if (!cluster_.alive(node)) believed_down_.insert(node);
+  free_.insert(free_.end(), quarantined_.begin(), quarantined_.end());
+  quarantined_.clear();
+}
+
+void ResourceManager::ping_all() {
+  dispatch(deployment_.compute, 128, [this](const comm::BroadcastResult&) {
+    refresh_health_view();
+  });
+}
+
+void ResourceManager::arm_next_user_request() {
+  const SimTime gap =
+      from_seconds(rng_.exponential(3600.0 / config_.user_requests_per_hour));
+  const SimTime at = engine_.now() + gap;
+  if (at >= horizon_) return;
+  engine_.schedule_at(at, [this] {
+    // A user command (squeue/sbatch/scontrol) from a random login path:
+    // one RPC to the master; the response latency is dominated by the
+    // master's request queue.
+    const NodeId source = deployment_.compute[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(deployment_.compute.size()) - 1))];
+    const SimTime issued = engine_.now();
+    ++requests_issued_;
+    net::Message request;
+    request.type = kMsgNodeReport + 1;  // user RPC; master just serves it
+    request.bytes = 256;
+    net_.send(source, deployment_.master, std::move(request), minutes(10),
+              [this, issued](bool ok) {
+                const SimTime latency = engine_.now() - issued;
+                request_times_.add(to_seconds(latency));
+                if (!ok || latency > config_.user_request_give_up ||
+                    !master_up_) {
+                  ++requests_failed_;
+                }
+              });
+    arm_next_user_request();
+  });
+}
+
+void ResourceManager::crash_master() {
+  master_up_ = false;
+  ++crashes_;
+  crashed_at_ = engine_.now();
+  ESLURM_INFO(profile_.name, ": master crashed at t=", to_seconds(engine_.now()), "s");
+  engine_.schedule_after(profile_.reboot_time, [this] { recover_master(); });
+}
+
+void ResourceManager::recover_master() {
+  master_up_ = true;
+  downtime_ += engine_.now() - crashed_at_;
+  // Process completions that piled up during the outage.
+  auto deferred = std::move(deferred_completions_);
+  deferred_completions_.clear();
+  for (const auto& [id, end_state] : deferred) job_ended(id, end_state);
+}
+
+sched::SchedulingReport ResourceManager::report(SimTime t0, SimTime t1) const {
+  return sched::compute_report(pool_, total_compute_nodes(), t0, t1);
+}
+
+}  // namespace eslurm::rm

@@ -1,0 +1,26 @@
+#include "sched/job.hpp"
+
+#include <algorithm>
+
+namespace eslurm::sched {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::Pending: return "PENDING";
+    case JobState::Starting: return "STARTING";
+    case JobState::Running: return "RUNNING";
+    case JobState::Completing: return "COMPLETING";
+    case JobState::Completed: return "COMPLETED";
+    case JobState::TimedOut: return "TIMEOUT";
+    case JobState::Cancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+double bounded_slowdown(SimTime wait, SimTime runtime, SimTime tau) {
+  const double denom = static_cast<double>(std::max(runtime, tau));
+  const double value = static_cast<double>(wait + runtime) / denom;
+  return std::max(value, 1.0);
+}
+
+}  // namespace eslurm::sched

@@ -1,0 +1,100 @@
+#include "sched/job_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eslurm::sched {
+
+JobId JobPool::submit(Job job) {
+  if (job.id == kNoJob) throw std::invalid_argument("JobPool::submit: job needs an id");
+  if (job.state != JobState::Pending)
+    throw std::invalid_argument("JobPool::submit: job must be Pending");
+  const JobId id = job.id;
+  if (!jobs_.emplace(id, std::move(job)).second)
+    throw std::invalid_argument("JobPool::submit: duplicate job id");
+  pending_.push_back(id);
+  return id;
+}
+
+Job& JobPool::get(JobId id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("JobPool::get: unknown job");
+  return it->second;
+}
+
+const Job& JobPool::get(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("JobPool::get: unknown job");
+  return it->second;
+}
+
+void JobPool::mark_starting(JobId id) {
+  Job& job = get(id);
+  if (job.state != JobState::Pending)
+    throw std::logic_error("JobPool::mark_starting: job not pending");
+  const auto it = std::find(pending_.begin(), pending_.end(), id);
+  if (it == pending_.end()) throw std::logic_error("JobPool: pending queue corrupt");
+  pending_.erase(it);
+  job.state = JobState::Starting;
+  active_.push_back(id);
+  nodes_in_use_ += job.nodes;
+}
+
+void JobPool::requeue_starting(JobId id) {
+  Job& job = get(id);
+  if (job.state != JobState::Starting)
+    throw std::logic_error("JobPool::requeue_starting: job not starting");
+  const auto it = std::find(active_.begin(), active_.end(), id);
+  if (it == active_.end()) throw std::logic_error("JobPool: active list corrupt");
+  active_.erase(it);
+  nodes_in_use_ -= job.nodes;
+  job.state = JobState::Pending;
+  job.start_time = -1;
+  pending_.push_front(id);  // it keeps its place at the head of the queue
+}
+
+void JobPool::mark_running(JobId id, SimTime start) {
+  Job& job = get(id);
+  if (job.state != JobState::Starting)
+    throw std::logic_error("JobPool::mark_running: job not starting");
+  job.state = JobState::Running;
+  job.start_time = start;
+}
+
+void JobPool::mark_finished(JobId id, SimTime end, JobState end_state) {
+  Job& job = get(id);
+  if (end_state != JobState::Completed && end_state != JobState::TimedOut &&
+      end_state != JobState::Cancelled)
+    throw std::invalid_argument("JobPool::mark_finished: bad end state");
+  job.state = end_state;
+  job.end_time = end;
+}
+
+void JobPool::cancel_pending(JobId id, SimTime now) {
+  Job& job = get(id);
+  if (job.state != JobState::Pending)
+    throw std::logic_error("JobPool::cancel_pending: job not pending");
+  const auto it = std::find(pending_.begin(), pending_.end(), id);
+  if (it == pending_.end()) throw std::logic_error("JobPool: pending queue corrupt");
+  pending_.erase(it);
+  job.state = JobState::Cancelled;
+  job.end_time = now;
+  job.release_time = now;
+  finished_.push_back(id);
+}
+
+void JobPool::mark_released(JobId id, SimTime released) {
+  Job& job = get(id);
+  if (!job.finished())
+    throw std::logic_error("JobPool::mark_released: job not finished");
+  if (job.release_time >= 0) return;  // already released
+  job.release_time = released;
+  const auto it = std::find(active_.begin(), active_.end(), id);
+  if (it != active_.end()) {
+    active_.erase(it);
+    nodes_in_use_ -= job.nodes;
+  }
+  finished_.push_back(id);
+}
+
+}  // namespace eslurm::sched

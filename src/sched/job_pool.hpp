@@ -1,0 +1,54 @@
+// Job bookkeeping: pending queue (submit order), running set, and the
+// finished history.  The RM owns one pool; schedulers read it.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace eslurm::sched {
+
+class JobPool {
+ public:
+  /// Adds a submitted job (state must be Pending).  Returns its id.
+  JobId submit(Job job);
+
+  Job& get(JobId id);
+  const Job& get(JobId id) const;
+  bool contains(JobId id) const { return jobs_.count(id) > 0; }
+
+  /// Pending job ids in submission order.
+  const std::deque<JobId>& pending() const { return pending_; }
+  /// Running (or starting/completing) job ids, unordered.
+  const std::vector<JobId>& active() const { return active_; }
+  const std::vector<JobId>& finished() const { return finished_; }
+
+  std::size_t total_jobs() const { return jobs_.size(); }
+
+  /// Moves a pending job to Starting and removes it from the queue.
+  void mark_starting(JobId id);
+  /// Returns a Starting job to the head of the pending queue (launch
+  /// failed, e.g. an allocated node turned out to be dead).
+  void requeue_starting(JobId id);
+  void mark_running(JobId id, SimTime start);
+  /// end_state must be Completed, TimedOut or Cancelled.
+  void mark_finished(JobId id, SimTime end, JobState end_state);
+  /// Cancels a job still in the pending queue (e.g. failed dependency).
+  void cancel_pending(JobId id, SimTime now);
+  /// Resources fully reclaimed (job occupation ends).
+  void mark_released(JobId id, SimTime released);
+
+  /// Nodes currently held by active jobs.
+  int nodes_in_use() const { return nodes_in_use_; }
+
+ private:
+  std::unordered_map<JobId, Job> jobs_;
+  std::deque<JobId> pending_;
+  std::vector<JobId> active_;
+  std::vector<JobId> finished_;
+  int nodes_in_use_ = 0;
+};
+
+}  // namespace eslurm::sched

@@ -1,0 +1,52 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace eslurm::sched {
+
+SchedulingReport compute_report(const JobPool& pool, int total_nodes, SimTime t0,
+                                SimTime t1, SimTime tau) {
+  SchedulingReport report;
+  if (t1 <= t0 || total_nodes <= 0) return report;
+
+  double busy_node_ns = 0.0;
+  RunningStats waits, slowdowns;
+  std::vector<double> wait_samples;
+
+  auto account = [&](const Job& job) {
+    if (job.start_time < 0) return;
+    const SimTime release = job.release_time >= 0 ? job.release_time : t1;
+    const SimTime lo = std::max(job.start_time, t0);
+    const SimTime hi = std::min(release, t1);
+    if (hi > lo) busy_node_ns += static_cast<double>(hi - lo) * job.nodes;
+  };
+
+  for (const JobId id : pool.finished()) {
+    const Job& job = pool.get(id);
+    account(job);
+    if (job.state == JobState::Cancelled) continue;
+    ++report.jobs_finished;
+    if (job.state == JobState::TimedOut) ++report.jobs_timed_out;
+    const SimTime wait = job.wait_time();
+    const SimTime runtime = job.observed_runtime();
+    if (wait >= 0) {
+      waits.add(to_seconds(wait));
+      wait_samples.push_back(to_seconds(wait));
+    }
+    if (wait >= 0 && runtime >= 0)
+      slowdowns.add(bounded_slowdown(wait, runtime, tau));
+  }
+  for (const JobId id : pool.active()) account(pool.get(id));
+
+  const double capacity = static_cast<double>(t1 - t0) * total_nodes;
+  report.system_utilization = busy_node_ns / capacity;
+  report.avg_wait_seconds = waits.mean();
+  report.avg_bounded_slowdown = slowdowns.mean();
+  report.p95_wait_seconds = percentile(wait_samples, 0.95);
+  report.makespan_hours = to_hours(t1 - t0);
+  return report;
+}
+
+}  // namespace eslurm::sched

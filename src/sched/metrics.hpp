@@ -1,0 +1,28 @@
+// Scheduling-efficiency metrics of Section VII-D: system utilization,
+// average waiting time, and average bounded slowdown (Eq. 6).
+#pragma once
+
+#include <vector>
+
+#include "sched/job_pool.hpp"
+
+namespace eslurm::sched {
+
+struct SchedulingReport {
+  std::size_t jobs_finished = 0;
+  double system_utilization = 0.0;     ///< busy node-hours / capacity node-hours
+  double avg_wait_seconds = 0.0;
+  double avg_bounded_slowdown = 0.0;
+  double p95_wait_seconds = 0.0;
+  double makespan_hours = 0.0;
+  std::size_t jobs_timed_out = 0;      ///< killed at their wall limit
+};
+
+/// Computes the report over the pool's finished jobs, against a machine
+/// of `total_nodes` observed during [t0, t1].  Utilization counts
+/// node-time from job start to resource release (occupation, as the
+/// paper measures it).
+SchedulingReport compute_report(const JobPool& pool, int total_nodes, SimTime t0,
+                                SimTime t1, SimTime tau = seconds(10));
+
+}  // namespace eslurm::sched

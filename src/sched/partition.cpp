@@ -1,0 +1,50 @@
+#include "sched/partition.hpp"
+
+#include <stdexcept>
+
+namespace eslurm::sched {
+
+void PartitionSet::add(Partition partition) {
+  if (find(partition.name))
+    throw std::invalid_argument("PartitionSet: duplicate partition '" +
+                                partition.name + "'");
+  partitions_.push_back(std::move(partition));
+}
+
+const Partition* PartitionSet::find(const std::string& name) const {
+  for (const auto& partition : partitions_)
+    if (partition.name == name) return &partition;
+  return nullptr;
+}
+
+std::optional<std::string> PartitionSet::validate(const Job& job) const {
+  if (partitions_.empty()) return std::nullopt;
+  const Partition* partition = find(job.partition);
+  if (!partition)
+    return "unknown partition '" + job.partition + "'";
+  if (job.nodes > partition->max_nodes_per_job)
+    return "job width " + std::to_string(job.nodes) + " exceeds partition limit " +
+           std::to_string(partition->max_nodes_per_job);
+  if (partition->max_time != kTimeNever && job.user_estimate > partition->max_time)
+    return "requested time exceeds the partition wall-limit cap";
+  return std::nullopt;
+}
+
+PartitionSet PartitionSet::tianhe_default() {
+  PartitionSet set;
+  set.add(Partition{.name = "debug",
+                    .max_nodes_per_job = 64,
+                    .max_time = minutes(30),
+                    .priority_factor = 1.0});
+  set.add(Partition{.name = "batch",
+                    .max_nodes_per_job = 4096,
+                    .max_time = days(2),
+                    .priority_factor = 0.2});
+  set.add(Partition{.name = "large",
+                    .max_nodes_per_job = std::numeric_limits<int>::max(),
+                    .max_time = days(7),
+                    .priority_factor = 0.5});
+  return set;
+}
+
+}  // namespace eslurm::sched

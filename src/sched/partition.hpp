@@ -1,0 +1,44 @@
+// Partitions (queues): named subsets of scheduling policy -- per-job node
+// and wall-time caps plus a priority boost, as production RMs configure
+// ("batch", "large", "debug"...).  Jobs name their partition; submission
+// validates against it.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace eslurm::sched {
+
+struct Partition {
+  std::string name = "batch";
+  int max_nodes_per_job = std::numeric_limits<int>::max();
+  SimTime max_time = kTimeNever;     ///< wall-limit cap for the partition
+  double priority_factor = 0.0;      ///< multifactor-priority boost
+};
+
+class PartitionSet {
+ public:
+  /// Adds a partition; duplicate names throw.
+  void add(Partition partition);
+
+  bool empty() const { return partitions_.empty(); }
+  std::size_t size() const { return partitions_.size(); }
+  const Partition* find(const std::string& name) const;
+  const std::vector<Partition>& all() const { return partitions_; }
+
+  /// Validates a job against its partition.  Returns an error message,
+  /// or nullopt when the job is acceptable.  An empty set accepts all.
+  std::optional<std::string> validate(const Job& job) const;
+
+  /// Default Tianhe-style layout: debug (small/short), batch, large.
+  static PartitionSet tianhe_default();
+
+ private:
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace eslurm::sched

@@ -1,0 +1,70 @@
+// Multifactor job priority and fair-share accounting.
+//
+// The paper lists fairness among the optimization metrics an RM owns
+// (Section I); production Slurm/ESLURM deployments order the backfill
+// queue by a multifactor priority.  This module implements the standard
+// factors: queue age, job size, fair-share (exponentially decayed usage
+// per user) and a per-partition boost.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "sched/job.hpp"
+
+namespace eslurm::sched {
+
+/// Exponentially decayed per-user usage, as in Slurm's fair-share: a
+/// user's share factor falls toward 0 as their recent consumption grows
+/// relative to the cluster.
+class FairshareTracker {
+ public:
+  /// `half_life`: how fast past usage is forgiven.
+  explicit FairshareTracker(SimTime half_life = days(7));
+
+  /// Records consumed node-seconds for a user at time `now`.
+  void record_usage(const std::string& user, double node_seconds, SimTime now);
+
+  /// Share factor in (0, 1]: 1 = no recent usage, ~0 = heavy user.
+  /// `cluster_node_seconds_per_halflife` normalizes (capacity x half-life).
+  double share_factor(const std::string& user, SimTime now,
+                      double cluster_node_seconds_per_halflife) const;
+
+  double raw_usage(const std::string& user, SimTime now) const;
+
+ private:
+  double decayed(double value, SimTime from, SimTime to) const;
+
+  SimTime half_life_;
+  struct Entry {
+    double usage = 0.0;
+    SimTime as_of = 0;
+  };
+  std::unordered_map<std::string, Entry> usage_;
+};
+
+struct PriorityWeights {
+  double age_per_day = 1000.0;   ///< priority per day of waiting
+  double age_cap_days = 7.0;     ///< age factor saturates
+  double job_size = 500.0;       ///< x (nodes / cluster nodes)
+  double fairshare = 2000.0;     ///< x share factor
+  double partition = 0.0;        ///< x partition priority factor
+};
+
+class PriorityCalculator {
+ public:
+  PriorityCalculator(PriorityWeights weights, int cluster_nodes,
+                     double cluster_node_seconds_per_halflife);
+
+  double priority(const Job& job, SimTime now, const FairshareTracker& fairshare,
+                  double partition_factor = 0.0) const;
+
+  const PriorityWeights& weights() const { return weights_; }
+
+ private:
+  PriorityWeights weights_;
+  int cluster_nodes_;
+  double norm_;
+};
+
+}  // namespace eslurm::sched

@@ -1,0 +1,50 @@
+#include "sched/priority_scheduler.hpp"
+
+#include <algorithm>
+
+namespace eslurm::sched {
+
+PriorityBackfillScheduler::PriorityBackfillScheduler(PriorityWeights weights,
+                                                     int cluster_nodes,
+                                                     SimTime fairshare_half_life,
+                                                     const PartitionSet* partitions)
+    : calculator_(weights, cluster_nodes,
+                  static_cast<double>(cluster_nodes) *
+                      to_seconds(fairshare_half_life)),
+      fairshare_(fairshare_half_life),
+      partitions_(partitions) {}
+
+double PriorityBackfillScheduler::priority_of(const Job& job, SimTime now) const {
+  double partition_factor = 0.0;
+  if (partitions_) {
+    if (const Partition* partition = partitions_->find(job.partition))
+      partition_factor = partition->priority_factor;
+  }
+  return calculator_.priority(job, now, fairshare_, partition_factor);
+}
+
+std::vector<JobId> PriorityBackfillScheduler::schedule(const JobPool& pool,
+                                                       int free_nodes, SimTime now) {
+  std::vector<std::pair<double, JobId>> ranked;
+  ranked.reserve(pool.pending().size());
+  for (const JobId id : pool.pending()) {
+    const Job& job = pool.get(id);
+    if (!dependency_ready(pool, job)) continue;  // held
+    ranked.emplace_back(-priority_of(job, now), id);
+  }
+  // Stable: equal priorities keep submission order (ids ascend with time).
+  std::stable_sort(ranked.begin(), ranked.end());
+  std::vector<JobId> ordered;
+  ordered.reserve(ranked.size());
+  for (const auto& [neg_priority, id] : ranked) ordered.push_back(id);
+  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_);
+}
+
+void PriorityBackfillScheduler::on_job_released(const Job& job, SimTime now) {
+  const SimTime runtime = job.observed_runtime();
+  if (runtime <= 0) return;
+  fairshare_.record_usage(job.user, static_cast<double>(job.nodes) * to_seconds(runtime),
+                          now);
+}
+
+}  // namespace eslurm::sched

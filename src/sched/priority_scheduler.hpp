@@ -1,0 +1,40 @@
+// Priority-ordered EASY backfill: the pending queue is ordered by the
+// multifactor priority (age + size + fair-share + partition boost), the
+// top job gets the reservation and the rest may backfill -- production
+// Slurm's sched/backfill + priority/multifactor combination.
+#pragma once
+
+#include "sched/partition.hpp"
+#include "sched/priority.hpp"
+#include "sched/scheduler.hpp"
+
+namespace eslurm::sched {
+
+class PriorityBackfillScheduler final : public Scheduler {
+ public:
+  /// `partitions` (optional) contributes the per-partition boost; it must
+  /// outlive the scheduler.
+  PriorityBackfillScheduler(PriorityWeights weights, int cluster_nodes,
+                            SimTime fairshare_half_life = days(7),
+                            const PartitionSet* partitions = nullptr);
+
+  std::vector<JobId> schedule(const JobPool& pool, int free_nodes, SimTime now) override;
+  const char* name() const override { return "priority-backfill"; }
+
+  /// Feed completed usage into the fair-share ledger (call on release).
+  void on_job_released(const Job& job, SimTime now);
+
+  FairshareTracker& fairshare() { return fairshare_; }
+  std::uint64_t backfilled_jobs() const { return backfilled_; }
+
+  /// Priority of one job right now (for squeue-style introspection).
+  double priority_of(const Job& job, SimTime now) const;
+
+ private:
+  PriorityCalculator calculator_;
+  FairshareTracker fairshare_;
+  const PartitionSet* partitions_;
+  std::uint64_t backfilled_ = 0;
+};
+
+}  // namespace eslurm::sched

@@ -1,0 +1,193 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace eslurm::sched {
+
+SimTime expected_end(const Job& job, SimTime now) {
+  const SimTime est = job.estimate_used > 0 ? job.estimate_used : job.user_estimate;
+  const SimTime base = job.start_time >= 0 ? job.start_time : now;
+  const SimTime nominal = base + est;
+  if (nominal > now) return nominal;
+  // The job overran its estimate.  Do not assume it ends "right now" --
+  // that keeps reservations perpetually optimistic and lets backfill
+  // starve the queue head (the classic underestimation pathology;
+  // Tsafrir et al. correct violated predictions by enlarging them).
+  const SimTime bump = std::max<SimTime>(minutes(10), est / 5);
+  return now + bump;
+}
+
+bool dependency_ready(const JobPool& pool, const Job& job, bool* failed) {
+  if (failed) *failed = false;
+  if (job.depends_on == kNoJob || !pool.contains(job.depends_on)) return true;
+  const Job& dependency = pool.get(job.depends_on);
+  if (dependency.state == JobState::Completed) return true;
+  if (dependency.state == JobState::TimedOut ||
+      dependency.state == JobState::Cancelled) {
+    if (failed) *failed = true;
+  }
+  return false;
+}
+
+std::vector<JobId> FcfsScheduler::schedule(const JobPool& pool, int free_nodes,
+                                           SimTime /*now*/) {
+  std::vector<JobId> out;
+  for (const JobId id : pool.pending()) {
+    const Job& job = pool.get(id);
+    if (!dependency_ready(pool, job)) continue;  // held, does not block
+    if (job.nodes > free_nodes) break;
+    free_nodes -= job.nodes;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<JobId> easy_backfill_pass(const JobPool& pool,
+                                      const std::vector<JobId>& ordered_pending,
+                                      int free_nodes, SimTime now,
+                                      std::uint64_t* backfilled_counter) {
+  std::vector<JobId> out;
+  std::size_t cursor = 0;
+
+  // Start the head of the (ordered) queue while it fits.
+  while (cursor < ordered_pending.size()) {
+    const Job& head = pool.get(ordered_pending[cursor]);
+    if (head.nodes > free_nodes) break;
+    free_nodes -= head.nodes;
+    out.push_back(head.id);
+    ++cursor;
+  }
+  if (cursor >= ordered_pending.size() || free_nodes <= 0) return out;
+
+  // Reservation for the blocked head: walk active jobs in expected-end
+  // order, accumulating released nodes until the head fits.  `shadow` is
+  // the head's reserved start time; `spare` is what is left over at that
+  // moment after the head takes its share.
+  const Job& head = pool.get(ordered_pending[cursor]);
+  std::vector<std::pair<SimTime, int>> releases;  // (expected end, nodes)
+  releases.reserve(pool.active().size());
+  for (const JobId id : pool.active()) {
+    const Job& job = pool.get(id);
+    releases.emplace_back(expected_end(job, now), job.nodes);
+  }
+  std::sort(releases.begin(), releases.end());
+
+  SimTime shadow = kTimeNever;
+  int avail = free_nodes;
+  int spare = 0;
+  for (const auto& [end, nodes] : releases) {
+    avail += nodes;
+    if (avail >= head.nodes) {
+      shadow = end;
+      spare = avail - head.nodes;
+      break;
+    }
+  }
+  // If running jobs can never free enough nodes the head is unsatisfiable
+  // right now (machine too small / draining); no reservation constrains
+  // the backfill in that case.
+  ++cursor;
+
+  // Backfill pass: a candidate may start if it fits now AND either ends
+  // before the shadow time or only uses nodes spare at the shadow time.
+  for (; cursor < ordered_pending.size(); ++cursor) {
+    if (free_nodes <= 0) break;
+    const Job& job = pool.get(ordered_pending[cursor]);
+    if (job.nodes > free_nodes) continue;
+    const SimTime est = job.estimate_used > 0 ? job.estimate_used : job.user_estimate;
+    const bool ends_before_shadow = shadow == kTimeNever || now + est <= shadow;
+    const bool fits_spare = shadow == kTimeNever || job.nodes <= spare;
+    if (ends_before_shadow || fits_spare) {
+      free_nodes -= job.nodes;
+      if (fits_spare && !ends_before_shadow) spare -= job.nodes;
+      out.push_back(job.id);
+      if (backfilled_counter) ++(*backfilled_counter);
+    }
+  }
+  return out;
+}
+
+std::vector<JobId> EasyBackfillScheduler::schedule(const JobPool& pool, int free_nodes,
+                                                   SimTime now) {
+  std::vector<JobId> ordered;
+  ordered.reserve(pool.pending().size());
+  for (const JobId id : pool.pending())
+    if (dependency_ready(pool, pool.get(id))) ordered.push_back(id);
+  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_);
+}
+
+ConservativeBackfillScheduler::ConservativeBackfillScheduler(std::size_t planning_depth)
+    : planning_depth_(planning_depth) {}
+
+std::vector<JobId> ConservativeBackfillScheduler::schedule(const JobPool& pool,
+                                                           int free_nodes,
+                                                           SimTime now) {
+  // Free-node timeline as a step function: time -> available nodes from
+  // that instant on, seeded by the expected ends of active jobs.
+  std::map<SimTime, int> avail;  // time -> free nodes from this time
+  avail[now] = free_nodes;
+  {
+    std::vector<std::pair<SimTime, int>> releases;
+    for (const JobId id : pool.active()) {
+      const Job& job = pool.get(id);
+      releases.emplace_back(expected_end(job, now), job.nodes);
+    }
+    std::sort(releases.begin(), releases.end());
+    int level = free_nodes;
+    for (const auto& [end, nodes] : releases) {
+      level += nodes;
+      avail[end] = level;
+    }
+  }
+
+  std::vector<JobId> out;
+  std::size_t planned = 0;
+  for (const JobId id : pool.pending()) {
+    if (++planned > planning_depth_) break;
+    const Job& job = pool.get(id);
+    if (!dependency_ready(pool, job)) continue;  // held jobs reserve nothing
+    const SimTime est = std::max<SimTime>(
+        job.estimate_used > 0 ? job.estimate_used : job.user_estimate, seconds(1));
+
+    // Earliest t where `nodes` are free across [t, t + est).
+    SimTime start = now;
+    bool placed = false;
+    for (auto scan = avail.begin(); scan != avail.end(); ++scan) {
+      start = scan->first;
+      bool fits = true;
+      for (auto window = scan; window != avail.end() && window->first < start + est;
+           ++window) {
+        if (window->second < job.nodes) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        placed = true;
+        break;
+      }
+    }
+    // Unsatisfiable with the current machine state (too wide, or the
+    // timeline is exhausted): no reservation, it cannot constrain others.
+    if (!placed) continue;
+
+    // Reserve [start, start + est): split steps at the boundaries, then
+    // subtract the job's width inside the window.
+    const SimTime end = start + est;
+    auto at_or_before = [&](SimTime t) {
+      auto pos = avail.upper_bound(t);
+      --pos;
+      return pos->second;
+    };
+    avail.emplace(start, at_or_before(start));
+    avail.emplace(end, at_or_before(end));
+    for (auto window = avail.find(start); window->first < end; ++window)
+      window->second -= job.nodes;
+
+    if (start == now) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace eslurm::sched

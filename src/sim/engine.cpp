@@ -1,0 +1,92 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace eslurm::sim {
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Engine::schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const QueueEntry top = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(top.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    // Move the handler out before invoking: the callback may schedule or
+    // cancel events, invalidating iterators.
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime horizon) {
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    const auto it = handlers_.find(queue_.top().id);
+    if (it == handlers_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > horizon) break;
+    step();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, SimTime period, std::function<void()> fn)
+    : engine_(engine), period_(period), fn_(std::move(fn)) {
+  assert(period_ > 0);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(SimTime first_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(first_delay);
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != kInvalidEvent) {
+    engine_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTask::arm(SimTime delay) {
+  pending_ = engine_.schedule_after(delay, [this] {
+    pending_ = kInvalidEvent;
+    if (!running_) return;
+    fn_();
+    if (running_) arm(period_);
+  });
+}
+
+}  // namespace eslurm::sim

@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every other ESLURM subsystem runs on: the
+// simulated network, node failure injection, RM daemons and schedulers all
+// schedule callbacks here.  Events with equal timestamps execute in
+// scheduling order (FIFO tie-break), which makes whole-cluster runs
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace eslurm::sim {
+
+/// Handle for a scheduled event; can be used to cancel it.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= now).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventId schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event.  Returns false if it already ran, was
+  /// already cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  bool has_pending() const { return !handlers_.empty(); }
+  std::size_t pending_count() const { return handlers_.size(); }
+
+  /// Executes the next event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue drains or the horizon passes.  The clock
+  /// is left at min(horizon, last event time).  Events scheduled exactly
+  /// at the horizon still execute.
+  void run_until(SimTime horizon);
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Total number of executed events (for sanity checks / reports).
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    EventId id;
+    bool operator>(const QueueEntry& o) const {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+/// Repeating callback helper (heartbeats, samplers, retrain timers...).
+/// The callback may stop the task from inside itself.
+class PeriodicTask {
+ public:
+  PeriodicTask(Engine& engine, SimTime period, std::function<void()> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start(SimTime first_delay = 0);
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm(SimTime delay);
+
+  Engine& engine_;
+  SimTime period_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEvent;
+  bool running_ = false;
+};
+
+}  // namespace eslurm::sim

@@ -1,0 +1,82 @@
+// Synthetic workload trace generator.
+//
+// Mechanics (see workload.hpp for the statistics being matched):
+//   * each user owns a rotating set of job configurations (app name,
+//     node count, characteristic runtime);
+//   * arrivals are a non-homogeneous Poisson process with a diurnal rate
+//     profile; a user is picked per arrival by a Zipf draw;
+//   * with `resubmit_prob` the arrival repeats one of the user's recent
+//     configurations with a jittered runtime; otherwise a (possibly
+//     churned) configuration is used fresh;
+//   * long-running apps are preferentially submitted in the evening;
+//   * the user estimate is the true runtime scaled by a P drawn from the
+//     mixture of Fig. 5a (mostly overestimates), rounded up to the next
+//     15-minute wall-clock value, as users actually do.
+#pragma once
+
+#include <vector>
+
+#include "sched/job.hpp"
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+
+namespace eslurm::trace {
+
+/// One submitted job of a trace: exactly a sched::Job in Pending state.
+using TraceJob = sched::Job;
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(WorkloadProfile profile);
+
+  /// Generates all jobs submitted in [0, duration), submit-time ordered,
+  /// with ids 1..n in submission order.
+  std::vector<TraceJob> generate(SimTime duration);
+
+  /// Generates approximately `target_jobs` jobs by scaling the arrival
+  /// rate over the given duration.
+  std::vector<TraceJob> generate_jobs(std::size_t target_jobs, SimTime duration);
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+ private:
+  struct JobConfig {
+    std::size_t app_index = 0;
+    std::string app_name;
+    int nodes = 1;
+    double runtime_median_min = 30.0;
+    double runtime_sigma = 0.35;  ///< within-config jitter (repeats correlate)
+    double scaling_exponent = 0.0;  ///< runtime response to node changes
+    bool long_job = false;
+  };
+  struct UserState {
+    std::string name;
+    std::vector<JobConfig> configs;       ///< rotating working set
+    std::vector<std::size_t> recent;      ///< indexes into configs
+  };
+
+  struct AppInfo {
+    std::string name;
+    double median_minutes = 30.0;  ///< characteristic runtime at 8 nodes
+    double scaling_exponent = 0.0; ///< runtime ~ (nodes/8)^exponent
+    bool long_job = false;
+  };
+
+  JobConfig fresh_config();
+  TraceJob materialize(UserState& user, const JobConfig& config, SimTime submit,
+                       sched::JobId id);
+  double draw_estimate_ratio();
+  double diurnal_rate_multiplier(SimTime t, bool long_job) const;
+
+  /// Multiplicative runtime drift of an app at a simulated day (random
+  /// walk, lazily extended).
+  double app_drift(std::size_t app_index, SimTime at);
+
+  WorkloadProfile profile_;
+  Rng rng_;
+  std::vector<AppInfo> apps_;  ///< global application catalog
+  std::vector<std::vector<double>> drift_;  ///< per app, per day
+  Rng drift_rng_{0xD21F7};
+};
+
+}  // namespace eslurm::trace

@@ -1,0 +1,130 @@
+#include "trace/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace eslurm::trace {
+
+std::vector<double> estimate_accuracy_samples(const std::vector<sched::Job>& jobs) {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    if (job.user_estimate <= 0 || job.actual_runtime <= 0) continue;
+    out.push_back(static_cast<double>(job.user_estimate) /
+                  static_cast<double>(job.actual_runtime));
+  }
+  return out;
+}
+
+bool jobs_correlated(const sched::Job& a, const sched::Job& b) {
+  if (a.name != b.name || a.nodes != b.nodes || a.cores != b.cores) return false;
+  const double ra = to_seconds(a.actual_runtime);
+  const double rb = to_seconds(b.actual_runtime);
+  if (ra <= 0 || rb <= 0) return false;
+  const double ratio = ra / rb;
+  return ratio >= 0.5 && ratio <= 2.0;
+}
+
+CorrelationCurve correlation_vs_interval(const std::vector<sched::Job>& jobs,
+                                         const std::vector<double>& edges_hours) {
+  CorrelationCurve curve;
+  curve.bucket_upper = edges_hours;
+  curve.ratio.assign(edges_hours.size(), 0.0);
+  curve.pairs.assign(edges_hours.size(), 0);
+  if (jobs.empty() || edges_hours.empty()) return curve;
+
+  std::vector<std::size_t> correlated(edges_hours.size(), 0);
+  const double max_hours = edges_hours.back();
+
+  // Jobs are submit-ordered; walk forward windows.  Dense windows are
+  // stride-sampled so the scan stays near-linear.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Find the window extent first to pick a stride.
+    std::size_t window_end = i + 1;
+    while (window_end < jobs.size() &&
+           to_hours(jobs[window_end].submit_time - jobs[i].submit_time) <= max_hours)
+      ++window_end;
+    const std::size_t window = window_end - (i + 1);
+    const std::size_t stride = std::max<std::size_t>(1, window / 512);
+    for (std::size_t j = i + 1; j < window_end; j += stride) {
+      if (jobs[i].user != jobs[j].user) continue;
+      const double gap_h = to_hours(jobs[j].submit_time - jobs[i].submit_time);
+      const auto bucket = static_cast<std::size_t>(
+          std::lower_bound(edges_hours.begin(), edges_hours.end(), gap_h) -
+          edges_hours.begin());
+      if (bucket >= edges_hours.size()) continue;
+      ++curve.pairs[bucket];
+      if (jobs_correlated(jobs[i], jobs[j])) ++correlated[bucket];
+    }
+  }
+  for (std::size_t b = 0; b < edges_hours.size(); ++b)
+    curve.ratio[b] = curve.pairs[b]
+                         ? static_cast<double>(correlated[b]) /
+                               static_cast<double>(curve.pairs[b])
+                         : 0.0;
+  return curve;
+}
+
+CorrelationCurve correlation_vs_id_gap(const std::vector<sched::Job>& jobs,
+                                       const std::vector<std::size_t>& edges) {
+  CorrelationCurve curve;
+  curve.bucket_upper.reserve(edges.size());
+  for (const std::size_t e : edges) curve.bucket_upper.push_back(static_cast<double>(e));
+  curve.ratio.assign(edges.size(), 0.0);
+  curve.pairs.assign(edges.size(), 0);
+  if (jobs.empty() || edges.empty()) return curve;
+
+  std::vector<std::size_t> correlated(edges.size(), 0);
+  const std::size_t max_gap = edges.back();
+  const std::size_t stride_base = std::max<std::size_t>(1, max_gap / 512);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t gap = 1; gap <= max_gap && i + gap < jobs.size();
+         gap += stride_base) {
+      const std::size_t j = i + gap;
+      const auto bucket = static_cast<std::size_t>(
+          std::lower_bound(edges.begin(), edges.end(), gap) - edges.begin());
+      if (bucket >= edges.size()) continue;
+      ++curve.pairs[bucket];
+      if (jobs_correlated(jobs[i], jobs[j])) ++correlated[bucket];
+    }
+  }
+  for (std::size_t b = 0; b < edges.size(); ++b)
+    curve.ratio[b] = curve.pairs[b]
+                         ? static_cast<double>(correlated[b]) /
+                               static_cast<double>(curve.pairs[b])
+                         : 0.0;
+  return curve;
+}
+
+double long_job_evening_fraction(const std::vector<sched::Job>& jobs) {
+  std::size_t long_jobs = 0, evening = 0;
+  for (const auto& job : jobs) {
+    if (job.actual_runtime <= hours(6)) continue;
+    ++long_jobs;
+    const int hour = hour_of_day(job.submit_time);
+    if (hour >= 18) ++evening;
+  }
+  return long_jobs ? static_cast<double>(evening) / static_cast<double>(long_jobs) : 0.0;
+}
+
+double resubmit_within_24h_fraction(const std::vector<sched::Job>& jobs) {
+  // For each job after the first day, check whether the same (user, name)
+  // appeared within the preceding 24 h.
+  std::unordered_map<std::string, SimTime> last_seen;
+  std::size_t considered = 0, repeats = 0;
+  for (const auto& job : jobs) {
+    const std::string key = job.user + "/" + job.name;
+    const auto it = last_seen.find(key);
+    if (job.submit_time >= hours(24)) {
+      ++considered;
+      if (it != last_seen.end() && job.submit_time - it->second <= hours(24)) ++repeats;
+    }
+    last_seen[key] = job.submit_time;
+  }
+  return considered ? static_cast<double>(repeats) / static_cast<double>(considered)
+                    : 0.0;
+}
+
+}  // namespace eslurm::trace

@@ -1,0 +1,45 @@
+// Trace statistics reproducing the analyses of Fig. 5 and Section V-A.
+#pragma once
+
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace eslurm::trace {
+
+/// P = t_s / t_r per job (the Fig. 5a estimate-accuracy samples).
+/// Jobs without a user estimate are skipped.
+std::vector<double> estimate_accuracy_samples(const std::vector<sched::Job>& jobs);
+
+/// Two jobs are correlated when they have the same job name, the same
+/// required resources and a similar runtime (ratio within [1/2, 2]) --
+/// the paper's "similar job names, required resources, and job runtime".
+bool jobs_correlated(const sched::Job& a, const sched::Job& b);
+
+struct CorrelationCurve {
+  std::vector<double> bucket_upper;  ///< upper edge per bucket (hours or ids)
+  std::vector<double> ratio;         ///< correlated / total pairs per bucket
+  std::vector<std::size_t> pairs;    ///< pairs sampled per bucket
+};
+
+/// Correlation ratio vs submit interval (Fig. 5b).  Buckets are
+/// [0,e0), [e0,e1), ... in hours.  Only same-user pairs are counted (the
+/// locality the estimation framework exploits is per-user resubmission).
+/// Dense windows are stride-subsampled to bound cost.
+CorrelationCurve correlation_vs_interval(const std::vector<sched::Job>& jobs,
+                                         const std::vector<double>& edges_hours);
+
+/// Correlation ratio vs job-ID gap (Fig. 5c).  All pairs are counted --
+/// at large ID gaps the ratio floors at the cross-user base rate.
+CorrelationCurve correlation_vs_id_gap(const std::vector<sched::Job>& jobs,
+                                       const std::vector<std::size_t>& edges);
+
+/// Fraction of jobs with runtime > 6 h whose submit hour is in
+/// [18, 24) -- the Section V-A observation (paper: 71.4%).
+double long_job_evening_fraction(const std::vector<sched::Job>& jobs);
+
+/// Probability that a job's (user, name) pair was also submitted by the
+/// same user within the preceding 24 h (paper: 89.2%).
+double resubmit_within_24h_fraction(const std::vector<sched::Job>& jobs);
+
+}  // namespace eslurm::trace

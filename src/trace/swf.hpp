@@ -1,0 +1,34 @@
+// Standard Workload Format (SWF) interoperability.
+//
+// SWF is the de-facto exchange format of the Parallel Workloads Archive:
+// one job per line, 18 whitespace-separated fields, ';' header comments.
+// Reading SWF lets the simulator replay published traces; writing lets
+// generated workloads feed other simulators.
+//
+// Field mapping (1-based SWF field -> Job):
+//    2 submit time (s)        -> submit_time
+//    4 run time (s)           -> actual_runtime
+//    8 requested processors   -> cores (fallback: field 5, allocated)
+//    9 requested time (s)     -> user_estimate
+//   12 user id                -> user ("user<id>")
+//   14 executable number      -> name ("app<id>")
+//   15 queue number           -> partition ("q<id>", 0/-1 -> "batch")
+// nodes = ceil(cores / cores_per_node).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace eslurm::trace {
+
+/// Parses SWF text; jobs with non-positive runtime or processor counts
+/// (cancelled entries) are skipped.  Throws on structurally bad lines.
+std::vector<sched::Job> read_swf(std::istream& is, int cores_per_node = 12);
+
+/// Writes jobs as SWF (fields we do not model are -1).
+void write_swf(std::ostream& os, const std::vector<sched::Job>& jobs,
+               int cores_per_node = 12);
+
+}  // namespace eslurm::trace

@@ -1,0 +1,49 @@
+#include "trace/workload.hpp"
+
+namespace eslurm::trace {
+
+WorkloadProfile tianhe2a_profile() {
+  WorkloadProfile p;
+  p.name = "tianhe-2a";
+  p.n_users = 350;
+  p.n_apps = 120;
+  p.jobs_per_hour = 85.0;       // ~154K jobs over ~11 weeks (Table III)
+  p.resubmit_prob = 0.88;
+  p.config_churn = 0.05;        // stable veteran users -> plateau ~0.3
+  p.configs_per_user_min = 1;
+  p.configs_per_user_max = 2;
+  p.app_zipf = 1.5;
+  p.scaling_study_prob = 0.05;  // production codes run at their scale
+  p.app_runtime_drift_per_day = 0.015;  // mature, slow-moving codes
+  p.runtime_median_minutes = 30.0;
+  p.long_job_fraction = 0.10;
+  p.accurate_estimate_frac = 0.16;
+  p.under_estimate_frac = 0.09;
+  p.max_nodes_per_job = 2048;
+  p.seed = 0x2A2A2A;
+  return p;
+}
+
+WorkloadProfile ng_tianhe_profile() {
+  WorkloadProfile p;
+  p.name = "ng-tianhe";
+  p.n_users = 200;
+  p.n_apps = 160;
+  p.jobs_per_hour = 12.0;       // ~52K jobs over ~6 months (Table III)
+  p.resubmit_prob = 0.82;
+  p.config_churn = 0.85;        // young machine, churning apps -> plateau ~0
+  p.configs_per_user_min = 2;
+  p.configs_per_user_max = 4;
+  p.app_zipf = 0.9;             // no dominant codes yet
+  p.scaling_study_prob = 0.15;  // users still sizing their runs
+  p.app_runtime_drift_per_day = 0.06;  // young codes change fast
+  p.runtime_median_minutes = 45.0;
+  p.long_job_fraction = 0.14;
+  p.accurate_estimate_frac = 0.15;
+  p.under_estimate_frac = 0.08;
+  p.max_nodes_per_job = 4096;
+  p.seed = 0x17A9;
+  return p;
+}
+
+}  // namespace eslurm::trace

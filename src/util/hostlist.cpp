@@ -1,0 +1,81 @@
+#include "util/hostlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace eslurm {
+namespace {
+
+std::uint32_t parse_u32(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("hostlist: empty number");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw std::invalid_argument("hostlist: bad digit in '" + std::string(s) + "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > UINT32_MAX) throw std::invalid_argument("hostlist: index overflow");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> expand_hostlist(const std::string& expr, std::string* prefix_out) {
+  const std::size_t lb = expr.find('[');
+  std::vector<std::uint32_t> out;
+  if (lb == std::string::npos) {
+    // Bare "cn17" form: prefix is the non-digit head.
+    std::size_t i = expr.size();
+    while (i > 0 && std::isdigit(static_cast<unsigned char>(expr[i - 1]))) --i;
+    if (i == expr.size()) throw std::invalid_argument("hostlist: no index in '" + expr + "'");
+    if (prefix_out) *prefix_out = expr.substr(0, i);
+    out.push_back(parse_u32(std::string_view(expr).substr(i)));
+    return out;
+  }
+  if (expr.back() != ']') throw std::invalid_argument("hostlist: missing ']' in '" + expr + "'");
+  if (prefix_out) *prefix_out = expr.substr(0, lb);
+  const std::string body = expr.substr(lb + 1, expr.size() - lb - 2);
+  if (body.empty()) return out;
+  for (const auto& part : split(body, ',')) {
+    const auto p = trim(part);
+    const std::size_t dash = p.find('-');
+    if (dash == std::string_view::npos) {
+      out.push_back(parse_u32(p));
+    } else {
+      const std::uint32_t a = parse_u32(p.substr(0, dash));
+      const std::uint32_t b = parse_u32(p.substr(dash + 1));
+      if (b < a) throw std::invalid_argument("hostlist: descending range in '" + expr + "'");
+      for (std::uint32_t i = a; i <= b; ++i) out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string compress_hostlist(const std::string& prefix, std::vector<std::uint32_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  std::ostringstream os;
+  os << prefix << '[';
+  std::size_t i = 0;
+  bool first = true;
+  while (i < indices.size()) {
+    std::size_t j = i;
+    while (j + 1 < indices.size() && indices[j + 1] == indices[j] + 1) ++j;
+    if (!first) os << ',';
+    first = false;
+    if (j == i) {
+      os << indices[i];
+    } else {
+      os << indices[i] << '-' << indices[j];
+    }
+    i = j + 1;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace eslurm

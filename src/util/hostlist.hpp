@@ -1,0 +1,25 @@
+// Slurm-style compressed hostlist expressions, e.g. "cn[0-1023,2048]".
+//
+// RM configuration files and broadcast task descriptions name node sets
+// with these expressions, exactly as production Slurm/ESLURM do; the
+// compression keeps 20K-node participation lists compact on the wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eslurm {
+
+/// Expands "prefix[a-b,c,...]" (or a bare "prefixN") into node indices.
+/// Returns the indices in expression order; throws std::invalid_argument
+/// on malformed input.
+std::vector<std::uint32_t> expand_hostlist(const std::string& expr,
+                                           std::string* prefix_out = nullptr);
+
+/// Compresses sorted-or-not indices into the canonical bracket form.
+/// An empty set compresses to "prefix[]".
+std::string compress_hostlist(const std::string& prefix,
+                              std::vector<std::uint32_t> indices);
+
+}  // namespace eslurm

@@ -1,0 +1,39 @@
+// Minimal leveled logger.  The simulator is single-threaded, so no locking
+// is needed; benches usually run at Warn to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eslurm {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Global minimum level (default Warn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+#define ESLURM_LOG(level, ...)                                          \
+  do {                                                                  \
+    if (static_cast<int>(level) >= static_cast<int>(::eslurm::log_level())) \
+      ::eslurm::log_line(level, ::eslurm::detail::concat(__VA_ARGS__)); \
+  } while (0)
+
+#define ESLURM_DEBUG(...) ESLURM_LOG(::eslurm::LogLevel::Debug, __VA_ARGS__)
+#define ESLURM_INFO(...) ESLURM_LOG(::eslurm::LogLevel::Info, __VA_ARGS__)
+#define ESLURM_WARN(...) ESLURM_LOG(::eslurm::LogLevel::Warn, __VA_ARGS__)
+#define ESLURM_ERROR(...) ESLURM_LOG(::eslurm::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace eslurm

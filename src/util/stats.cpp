@@ -1,0 +1,163 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eslurm {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double nt = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / nt;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<double> empirical_cdf(const std::vector<double>& samples,
+                                  const std::vector<double>& thresholds) {
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bucket_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bucket_high(std::size_t i) const { return bucket_low(i) + width_; }
+
+void TimeSeries::record(SimTime t, double value) { points_.emplace_back(t, value); }
+
+double TimeSeries::max_value() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& [t, v] : points_) {
+    (void)t;
+    if (first || v > m) m = v;
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::mean_value() const {
+  if (points_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& [t, v] : points_) {
+    (void)t;
+    s += v;
+  }
+  return s / static_cast<double>(points_.size());
+}
+
+double TimeSeries::time_weighted_mean(SimTime t0, SimTime t1) const {
+  if (points_.empty() || t1 <= t0) return 0.0;
+  double acc = 0.0;
+  double current = 0.0;
+  SimTime prev = t0;
+  for (const auto& [t, v] : points_) {
+    if (t <= t0) {
+      current = v;
+      continue;
+    }
+    if (t >= t1) break;
+    acc += current * static_cast<double>(t - prev);
+    current = v;
+    prev = t;
+  }
+  acc += current * static_cast<double>(t1 - prev);
+  return acc / static_cast<double>(t1 - t0);
+}
+
+double TimeSeries::max_since(SimTime t0) const {
+  double best = 0.0;
+  for (auto it = points_.rbegin(); it != points_.rend() && it->first >= t0; ++it)
+    best = std::max(best, it->second);
+  return best;
+}
+
+std::vector<std::pair<SimTime, double>> TimeSeries::downsample_max(std::size_t n) const {
+  if (points_.size() <= n || n == 0) return points_;
+  std::vector<std::pair<SimTime, double>> out;
+  out.reserve(n);
+  const std::size_t stride = (points_.size() + n - 1) / n;
+  for (std::size_t i = 0; i < points_.size(); i += stride) {
+    const std::size_t end = std::min(i + stride, points_.size());
+    auto best = points_[i];
+    for (std::size_t j = i + 1; j < end; ++j) {
+      if (points_[j].second > best.second) best = points_[j];
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace eslurm

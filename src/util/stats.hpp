@@ -1,0 +1,99 @@
+// Streaming and batch statistics used throughout the benches and the
+// resource-accounting layer (CDFs like Fig. 5a, time series like Fig. 7/9).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace eslurm {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;     ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation between order stats).
+/// q in [0, 1].  Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double q);
+
+/// Empirical CDF evaluated at the given thresholds: fraction of samples
+/// <= threshold.  Used to reproduce the Fig. 5a accuracy CDF.
+std::vector<double> empirical_cdf(const std::vector<double>& samples,
+                                  const std::vector<double>& thresholds);
+
+/// Fixed-width histogram with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+  double bucket_low(std::size_t i) const;
+  double bucket_high(std::size_t i) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Time series of (sim time, value) samples with down-sampled summaries.
+/// The resource accountant records one of these per metric per daemon
+/// (CPU time, memory, concurrent sockets ...).
+class TimeSeries {
+ public:
+  void record(SimTime t, double value);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<std::pair<SimTime, double>>& points() const { return points_; }
+
+  double last() const { return points_.empty() ? 0.0 : points_.back().second; }
+  double max_value() const;
+  double mean_value() const;
+
+  /// Mean of the series interpreted as a step function over [t0, t1]
+  /// (each sample holds until the next).  More faithful than the sample
+  /// mean when sampling is irregular.
+  double time_weighted_mean(SimTime t0, SimTime t1) const;
+
+  /// Max of values recorded at t >= t0 (scans from the end; intended for
+  /// recent windows).  Returns 0 for an empty window.
+  double max_since(SimTime t0) const;
+
+  /// Down-samples to at most n points (bucket max), for compact reports.
+  std::vector<std::pair<SimTime, double>> downsample_max(std::size_t n) const;
+
+ private:
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+/// Mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& v);
+
+}  // namespace eslurm

@@ -1,0 +1,43 @@
+// Simulated-time type and conversions.
+//
+// All of ESLURM's discrete-event simulation uses a single integral time
+// axis expressed in nanoseconds.  An integral representation keeps event
+// ordering exact and the simulation bit-reproducible across platforms
+// (no floating-point drift when accumulating millions of events).
+#pragma once
+
+#include <cstdint>
+
+namespace eslurm {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Sentinel for "no deadline / never".
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+inline constexpr SimTime nanoseconds(std::int64_t n) { return n; }
+inline constexpr SimTime microseconds(std::int64_t u) { return u * 1'000; }
+inline constexpr SimTime milliseconds(std::int64_t m) { return m * 1'000'000; }
+inline constexpr SimTime seconds(std::int64_t s) { return s * 1'000'000'000; }
+inline constexpr SimTime minutes(std::int64_t m) { return seconds(m * 60); }
+inline constexpr SimTime hours(std::int64_t h) { return seconds(h * 3600); }
+inline constexpr SimTime days(std::int64_t d) { return hours(d * 24); }
+
+/// Converts a (possibly fractional) number of seconds to SimTime.
+inline constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+inline constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+inline constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e6; }
+inline constexpr double to_hours(SimTime t) { return to_seconds(t) / 3600.0; }
+
+/// Hour-of-day (0..23) for a simulated timestamp, assuming the simulation
+/// starts at midnight.  Used by the workload model's diurnal pattern and
+/// by the job-feature extractor (Table IV: submission time, hours only).
+inline constexpr int hour_of_day(SimTime t) {
+  return static_cast<int>((t / seconds(3600)) % 24);
+}
+
+}  // namespace eslurm

@@ -1,0 +1,91 @@
+#include "cluster/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eslurm::cluster {
+namespace {
+
+TEST(FailureModelTest, InjectsFailuresAtRoughlyTheConfiguredRate) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 1000);
+  FailureModelParams params;
+  params.node_mtbf_hours = 1000.0;  // ~1 failure/hour across the cluster
+  params.repair_mean_hours = 0.5;
+  FailureModel failures(cluster, Rng(5), params);
+  failures.start(hours(100));
+  engine.run_until(hours(100));
+  // Expect about 100 failures; allow generous slack.
+  EXPECT_GT(failures.injected_failures(), 50u);
+  EXPECT_LT(failures.injected_failures(), 200u);
+}
+
+TEST(FailureModelTest, NodesRepairEventually) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 100);
+  FailureModelParams params;
+  params.node_mtbf_hours = 100.0;
+  params.repair_mean_hours = 0.1;
+  params.repair_sigma = 0.1;
+  FailureModel failures(cluster, Rng(7), params);
+  failures.start(hours(10));
+  engine.run();  // drains all failure + repair events
+  EXPECT_GT(failures.injected_failures(), 0u);
+  EXPECT_EQ(cluster.alive_count(), 100u);
+}
+
+TEST(FailureModelTest, ImmuneNodesNeverFail) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 4);
+  FailureModelParams params;
+  params.node_mtbf_hours = 0.05;  // extremely failure-prone
+  FailureModel failures(cluster, Rng(9), params);
+  failures.set_immune({0});
+  failures.start(hours(20));
+  bool node0_failed = false;
+  cluster.add_observer([&](NodeId id, NodeState, NodeState st) {
+    if (id == 0 && st == NodeState::Down) node0_failed = true;
+  });
+  engine.run_until(hours(20));
+  EXPECT_FALSE(node0_failed);
+  EXPECT_GT(failures.injected_failures(), 10u);
+}
+
+TEST(FailureModelTest, PreFailureHookLeadsTheFailure) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 50);
+  FailureModelParams params;
+  params.node_mtbf_hours = 10.0;
+  FailureModel failures(cluster, Rng(11), params);
+  std::vector<std::pair<NodeId, SimTime>> announced;
+  failures.add_pre_failure_hook([&](NodeId id, SimTime fail_at) {
+    announced.emplace_back(id, fail_at);
+    EXPECT_GE(fail_at, engine.now());
+  });
+  failures.start(hours(50));
+  engine.run();
+  EXPECT_FALSE(announced.empty());
+}
+
+TEST(FailureModelTest, BurstTakesDownRequestedCount) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 1000);
+  FailureModel failures(cluster, Rng(13));
+  failures.schedule_burst(BurstEvent{.at = hours(1), .node_count = 600, .duration_hours = 2.0});
+  engine.run_until(hours(1) + seconds(60));
+  EXPECT_EQ(cluster.failed_count(), 600u);
+  engine.run();
+  EXPECT_EQ(cluster.alive_count(), 1000u);  // all restored after the window
+}
+
+TEST(FailureModelTest, FailNowIsImmediate) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 2);
+  FailureModel failures(cluster, Rng(17));
+  failures.fail_now(1, seconds(30));
+  EXPECT_FALSE(cluster.alive(1));
+  engine.run();
+  EXPECT_TRUE(cluster.alive(1));
+}
+
+}  // namespace
+}  // namespace eslurm::cluster

@@ -1,0 +1,62 @@
+#include "cluster/history_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eslurm::cluster {
+namespace {
+
+TEST(HistoryPredictorTest, RecentFailureRaisesSuspicion) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 8);
+  HistoryFailurePredictor predictor(cluster, hours(24), 3);
+  EXPECT_FALSE(predictor.predicted_failed(2));
+  cluster.fail(2);
+  cluster.restore(2);
+  EXPECT_TRUE(predictor.predicted_failed(2));
+  EXPECT_EQ(predictor.failure_count(2), 1u);
+  EXPECT_EQ(predictor.predicted_count(), 1u);
+}
+
+TEST(HistoryPredictorTest, SuspicionExpires) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 4);
+  HistoryFailurePredictor predictor(cluster, hours(2), 99);
+  cluster.fail(1);
+  cluster.restore(1);
+  EXPECT_TRUE(predictor.predicted_failed(1));
+  engine.schedule_at(hours(3), [] {});
+  engine.run();
+  EXPECT_FALSE(predictor.predicted_failed(1));
+}
+
+TEST(HistoryPredictorTest, ChronicNodesStayPredicted) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 4);
+  HistoryFailurePredictor predictor(cluster, hours(1), 3);
+  for (int i = 0; i < 3; ++i) {
+    cluster.fail(0);
+    cluster.restore(0);
+  }
+  engine.schedule_at(days(30), [] {});
+  engine.run();
+  EXPECT_TRUE(predictor.predicted_failed(0));  // chronic, never expires
+}
+
+TEST(CompositePredictorTest, UnionOfPlugins) {
+  StaticFailurePredictor a({1});
+  StaticFailurePredictor b({2, 3});
+  CompositePredictor composite({&a, &b});
+  EXPECT_TRUE(composite.predicted_failed(1));
+  EXPECT_TRUE(composite.predicted_failed(3));
+  EXPECT_FALSE(composite.predicted_failed(4));
+  EXPECT_EQ(composite.predicted_count(), 3u);
+}
+
+TEST(CompositePredictorTest, EmptyCompositePredictsNothing) {
+  CompositePredictor composite({});
+  EXPECT_FALSE(composite.predicted_failed(0));
+  EXPECT_EQ(composite.predicted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace eslurm::cluster

@@ -1,0 +1,236 @@
+// Behavioural tests for all five broadcast structures over the simulated
+// network, with and without node failures.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+
+#include "cluster/cluster.hpp"
+#include "comm/fp_tree.hpp"
+#include "comm/ring.hpp"
+#include "comm/shared_memory.hpp"
+#include "comm/star.hpp"
+#include "comm/tree.hpp"
+
+namespace eslurm::comm {
+namespace {
+
+struct CommFixture : ::testing::Test {
+  static constexpr std::size_t kNodes = 200;
+  sim::Engine engine;
+  net::LinkModel model;
+  std::optional<net::Network> net;
+  std::optional<cluster::ClusterModel> cluster_model;
+
+  void SetUp() override {
+    model.jitter_frac = 0.0;
+    net.emplace(engine, kNodes, model, Rng(1));
+    cluster_model.emplace(engine, kNodes);
+    net->set_liveness(cluster_model->liveness());
+  }
+
+  std::vector<NodeId> targets(std::size_t n, NodeId first = 1) {
+    std::vector<NodeId> out(n);
+    std::iota(out.begin(), out.end(), first);
+    return out;
+  }
+
+  BroadcastResult run(Broadcaster& b, std::vector<NodeId> t, BroadcastOptions opts = {}) {
+    std::optional<BroadcastResult> result;
+    b.broadcast(0, std::move(t), opts, [&](const BroadcastResult& r) { result = r; });
+    engine.run();
+    EXPECT_TRUE(result.has_value()) << b.name() << " never completed";
+    return result.value_or(BroadcastResult{});
+  }
+};
+
+TEST_F(CommFixture, TreeDeliversToAllHealthyTargets) {
+  TreeBroadcaster tree(*net);
+  std::vector<NodeId> seen;
+  tree.set_delivery_hook([&](NodeId n, std::uint64_t) { seen.push_back(n); });
+  const auto result = run(tree, targets(150));
+  EXPECT_EQ(result.delivered, 150u);
+  EXPECT_EQ(result.unreachable, 0u);
+  EXPECT_EQ(result.repairs, 0);
+  EXPECT_EQ(seen.size(), 150u);
+  EXPECT_GT(result.finished, result.started);
+}
+
+TEST_F(CommFixture, TreeHandlesEmptyTargetList) {
+  TreeBroadcaster tree(*net);
+  const auto result = run(tree, {});
+  EXPECT_EQ(result.delivered, 0u);
+  EXPECT_EQ(result.targets, 0u);
+}
+
+TEST_F(CommFixture, TreeSurvivesFailedLeaf) {
+  TreeBroadcaster tree(*net);
+  cluster_model->fail(150);  // with width 50 and 150 targets this is deep
+  const auto result = run(tree, targets(150));
+  EXPECT_EQ(result.delivered, 149u);
+  EXPECT_EQ(result.unreachable, 1u);
+}
+
+TEST_F(CommFixture, TreeAdoptsSubtreeOfFailedInternalNode) {
+  TreeBroadcaster tree(*net);
+  BroadcastOptions opts;
+  opts.tree_width = 4;  // deep tree: node at position 0 owns a big subtree
+  cluster_model->fail(1);  // first target = first child of the root
+  const auto result = run(tree, targets(150), opts);
+  EXPECT_EQ(result.delivered, 149u);
+  EXPECT_EQ(result.unreachable, 1u);
+  EXPECT_GE(result.repairs, 1);
+  EXPECT_GE(tree.total_repairs(), 1u);
+}
+
+TEST_F(CommFixture, TreeFailuresCostTimeouts) {
+  TreeBroadcaster tree(*net);
+  BroadcastOptions opts;
+  opts.tree_width = 4;
+  const auto clean = run(tree, targets(100), opts);
+  for (NodeId n = 1; n <= 20; ++n) cluster_model->fail(n);
+  const auto faulty = run(tree, targets(100), opts);
+  EXPECT_EQ(faulty.delivered, 80u);
+  EXPECT_EQ(faulty.unreachable, 20u);
+  EXPECT_GT(faulty.elapsed(), clean.elapsed() + opts.timeout);
+}
+
+TEST_F(CommFixture, TreeAllTargetsDeadStillCompletes) {
+  TreeBroadcaster tree(*net);
+  for (NodeId n = 1; n <= 50; ++n) cluster_model->fail(n);
+  const auto result = run(tree, targets(50));
+  EXPECT_EQ(result.delivered, 0u);
+  EXPECT_EQ(result.unreachable, 50u);
+}
+
+TEST_F(CommFixture, ConcurrentTreeBroadcastsDoNotInterfere) {
+  TreeBroadcaster tree(*net);
+  int completions = 0;
+  std::size_t delivered = 0;
+  BroadcastOptions opts;
+  for (int i = 0; i < 3; ++i) {
+    tree.broadcast(0, targets(100), opts, [&](const BroadcastResult& r) {
+      ++completions;
+      delivered += r.delivered;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(delivered, 300u);
+}
+
+TEST_F(CommFixture, FpTreePlacesPredictedFailuresOnLeaves) {
+  cluster::StaticFailurePredictor predictor({1, 2, 3});
+  FpTreeBroadcaster fp(*net, predictor);
+  BroadcastOptions opts;
+  opts.tree_width = 4;
+  const auto result = run(fp, targets(150), opts);
+  EXPECT_EQ(result.delivered, 150u);
+  EXPECT_EQ(fp.trees_constructed(), 1u);
+  EXPECT_EQ(fp.cumulative_stats().predicted, 3u);
+  EXPECT_EQ(fp.cumulative_stats().predicted_on_leaf, 3u);
+}
+
+TEST_F(CommFixture, FpTreeBeatsPlainTreeWhenPredictedInternalNodesFail) {
+  // Fail the nodes that the plain tree would use as first-level children.
+  BroadcastOptions opts;
+  opts.tree_width = 4;
+  const auto t = targets(150);
+  std::vector<NodeId> doomed;
+  for (const auto& g : partition_range(0, t.size(), opts.tree_width))
+    doomed.push_back(t[g.begin]);
+  for (NodeId n : doomed) cluster_model->fail(n);
+
+  TreeBroadcaster plain(*net);
+  const auto plain_result = run(plain, t, opts);
+
+  cluster::StaticFailurePredictor predictor(doomed);
+  FpTreeBroadcaster fp(*net, predictor);
+  const auto fp_result = run(fp, t, opts);
+
+  EXPECT_EQ(plain_result.delivered, fp_result.delivered);
+  EXPECT_LT(fp_result.elapsed(), plain_result.elapsed());
+  EXPECT_EQ(fp_result.repairs, 0);       // failures are all on leaves
+  EXPECT_GE(plain_result.repairs, 4);    // plain tree must adopt subtrees
+}
+
+TEST_F(CommFixture, StarDeliversAndReportsFailures) {
+  StarBroadcaster star(*net);
+  for (NodeId n = 10; n < 20; ++n) cluster_model->fail(n);
+  const auto result = run(star, targets(100));
+  EXPECT_EQ(result.delivered, 90u);
+  EXPECT_EQ(result.unreachable, 10u);
+}
+
+TEST_F(CommFixture, StarSlotLimitSerializesFailures) {
+  StarBroadcaster star(*net);
+  BroadcastOptions opts;
+  opts.star_slots = 2;
+  opts.retries = 2;
+  for (NodeId n = 1; n <= 8; ++n) cluster_model->fail(n);
+  const auto result = run(star, targets(8), opts);
+  // 8 dead targets * 2 retries * 1s over 2 slots >= 8 seconds.
+  EXPECT_GE(result.elapsed(), seconds(8));
+  EXPECT_EQ(result.unreachable, 8u);
+}
+
+TEST_F(CommFixture, RingDeliversInListOrder) {
+  RingBroadcaster ring(*net);
+  std::vector<NodeId> order;
+  ring.set_delivery_hook([&](NodeId n, std::uint64_t) { order.push_back(n); });
+  const auto result = run(ring, {5, 9, 2, 7});
+  EXPECT_EQ(result.delivered, 4u);
+  EXPECT_EQ(order, (std::vector<NodeId>{5, 9, 2, 7}));
+}
+
+TEST_F(CommFixture, RingSkipsDeadNodesAtTimeoutCost) {
+  RingBroadcaster ring(*net);
+  cluster_model->fail(2);
+  cluster_model->fail(3);
+  const auto result = run(ring, targets(10));
+  EXPECT_EQ(result.delivered, 8u);
+  EXPECT_EQ(result.unreachable, 2u);
+  EXPECT_GE(result.elapsed(), 2 * BroadcastOptions{}.timeout);
+}
+
+TEST_F(CommFixture, RingTimeLinearInNodeCount) {
+  RingBroadcaster ring(*net);
+  const auto small = run(ring, targets(20));
+  const auto large = run(ring, targets(180));
+  EXPECT_GT(large.elapsed(), 5 * small.elapsed());
+}
+
+TEST_F(CommFixture, SharedMemoryFlatUnderFailures) {
+  SharedMemoryBroadcaster shm(*net);
+  const auto clean = run(shm, targets(150));
+  for (NodeId n = 1; n <= 45; ++n) cluster_model->fail(n);  // 30% failure
+  const auto faulty = run(shm, targets(150));
+  EXPECT_EQ(faulty.delivered, 105u);
+  EXPECT_EQ(faulty.unreachable, 45u);
+  // Failure should cost at most ~one timeout over the clean run.
+  EXPECT_LE(faulty.elapsed(), clean.elapsed() + 2 * BroadcastOptions{}.timeout);
+}
+
+TEST_F(CommFixture, SharedMemoryBoundedByPollInterval) {
+  SharedMemoryBroadcaster shm(*net);
+  BroadcastOptions opts;
+  opts.shm_poll_interval = seconds(4);
+  const auto result = run(shm, targets(100), opts);
+  EXPECT_LE(result.elapsed(), seconds(5));
+  EXPECT_GE(result.elapsed(), milliseconds(100));
+}
+
+TEST_F(CommFixture, DeliveryHookFiresOncePerTarget) {
+  TreeBroadcaster tree(*net);
+  std::vector<int> hits(kNodes, 0);
+  tree.set_delivery_hook([&](NodeId n, std::uint64_t) { ++hits[n]; });
+  BroadcastOptions opts;
+  opts.tree_width = 3;
+  cluster_model->fail(1);  // force adoption / duplicate relays
+  run(tree, targets(100), opts);
+  for (NodeId n = 2; n <= 100; ++n) EXPECT_EQ(hits[n], 1) << "node " << n;
+  EXPECT_EQ(hits[1], 0);
+}
+
+}  // namespace
+}  // namespace eslurm::comm

@@ -1,0 +1,112 @@
+#include "comm/topology_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+
+namespace eslurm::comm {
+namespace {
+
+std::vector<NodeId> shuffled_targets(std::size_t n, std::uint64_t seed) {
+  std::vector<NodeId> out(n);
+  std::iota(out.begin(), out.end(), 1u);  // node 0 is the root
+  Rng rng(seed);
+  rng.shuffle(out);
+  return out;
+}
+
+TEST(CrossRackFraction, OrderedListMostlyRackLocal) {
+  net::Topology topo(1025, net::TopologyConfig{.nodes_per_rack = 32});
+  const auto shuffled = shuffled_targets(1024, 3);
+  const auto ordered = topo.topology_order(shuffled);
+  const double shuffled_cross = cross_rack_fraction(topo, shuffled, 8);
+  const double ordered_cross = cross_rack_fraction(topo, ordered, 8);
+  EXPECT_GT(shuffled_cross, 0.8);  // random order: almost every hop crosses
+  EXPECT_LT(ordered_cross, 0.35);  // aligned subtrees stay in-rack
+}
+
+TEST(CrossRackFraction, EmptyListIsZero) {
+  net::Topology topo(64);
+  EXPECT_DOUBLE_EQ(cross_rack_fraction(topo, {}, 4), 0.0);
+}
+
+struct TopoCommFixture : ::testing::Test {
+  sim::Engine engine;
+  net::LinkModel model;
+  std::optional<net::Network> net_;
+  std::optional<net::Topology> topo;
+  std::optional<cluster::ClusterModel> cluster_model;
+
+  void SetUp() override {
+    model.jitter_frac = 0.0;
+    net_.emplace(engine, 513, model, Rng(1));
+    net::TopologyConfig config;
+    config.nodes_per_rack = 16;
+    config.inter_group_latency = microseconds(400);  // pronounced hierarchy
+    config.inter_rack_latency = microseconds(100);
+    config.intra_rack_latency = microseconds(2);
+    topo.emplace(513, config);
+    net_->set_topology(&*topo);
+    cluster_model.emplace(engine, 513);
+    net_->set_liveness(cluster_model->liveness());
+  }
+
+  BroadcastResult run(Broadcaster& b, std::vector<NodeId> targets) {
+    std::optional<BroadcastResult> result;
+    BroadcastOptions opts;
+    opts.tree_width = 8;
+    b.broadcast(0, std::move(targets), opts,
+                [&](const BroadcastResult& r) { result = r; });
+    engine.run();
+    return result.value();
+  }
+};
+
+TEST_F(TopoCommFixture, TopologyOrderingSpeedsUpBroadcast) {
+  const auto targets = shuffled_targets(512, 7);
+  TreeBroadcaster plain(*net_);
+  TopologyTreeBroadcaster topo_tree(*net_, *topo);
+  const auto plain_result = run(plain, targets);
+  const auto topo_result = run(topo_tree, targets);
+  EXPECT_EQ(plain_result.delivered, topo_result.delivered);
+  EXPECT_LT(topo_result.elapsed(), plain_result.elapsed());
+}
+
+TEST_F(TopoCommFixture, CompositionKeepsLocalityAndDemotesPredicted) {
+  const auto targets = shuffled_targets(512, 9);
+  // Predict a handful of nodes as failing.
+  cluster::StaticFailurePredictor predictor({17, 200, 301});
+  TopologyFpTreeBroadcaster composed(*net_, *topo, predictor);
+  const auto result = run(composed, targets);
+  EXPECT_EQ(result.delivered, 512u);
+  // All predicted nodes were demoted to leaves...
+  EXPECT_EQ(composed.cumulative_stats().predicted, 3u);
+  EXPECT_EQ(composed.cumulative_stats().predicted_on_leaf, 3u);
+  // ...and the tuned order is still mostly rack-local (Section IV-E).
+  const auto tuned = rearrange_nodelist(topo->topology_order(targets), 8, predictor);
+  EXPECT_LT(cross_rack_fraction(*topo, tuned, 8), 0.4);
+}
+
+TEST_F(TopoCommFixture, CompositionBeatsPlainTopoUnderPredictedFailures) {
+  auto targets = shuffled_targets(512, 11);
+  // Fail nodes that the topology-ordered tree would use as internals.
+  const auto ordered = topo->topology_order(targets);
+  std::vector<NodeId> doomed;
+  for (const auto& g : partition_range(0, ordered.size(), 8))
+    doomed.push_back(ordered[g.begin]);
+  for (const NodeId n : doomed) cluster_model->fail(n);
+  cluster::StaticFailurePredictor predictor(doomed);
+
+  TopologyTreeBroadcaster topo_tree(*net_, *topo);
+  TopologyFpTreeBroadcaster composed(*net_, *topo, predictor);
+  const auto topo_result = run(topo_tree, targets);
+  const auto composed_result = run(composed, targets);
+  EXPECT_EQ(topo_result.delivered, composed_result.delivered);
+  EXPECT_LT(composed_result.elapsed(), topo_result.elapsed());
+  EXPECT_EQ(composed_result.repairs, 0);
+  EXPECT_GE(topo_result.repairs, 1);
+}
+
+}  // namespace
+}  // namespace eslurm::comm

@@ -1,0 +1,62 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace eslurm::ml {
+namespace {
+
+TEST(ScalerTest, TransformedDataHasZeroMeanUnitVariance) {
+  Rng rng(1);
+  Dataset data;
+  for (int i = 0; i < 500; ++i)
+    data.add({rng.normal(100, 5), rng.uniform(-2, 0)}, 0.0);
+  StandardScaler scaler;
+  scaler.fit(data);
+  const Dataset scaled = scaler.transform(data);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0, var = 0;
+    for (const auto& row : scaled.x) mean += row[j];
+    mean /= static_cast<double>(scaled.rows());
+    for (const auto& row : scaled.x) var += (row[j] - mean) * (row[j] - mean);
+    var /= static_cast<double>(scaled.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantFeaturePassesThroughCentered) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.add({7.0}, 0.0);
+  StandardScaler scaler;
+  scaler.fit(data);
+  EXPECT_DOUBLE_EQ(scaler.transform({7.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaler.transform({8.0})[0], 1.0);  // stddev forced to 1
+}
+
+TEST(ScalerTest, WidthMismatchThrows) {
+  Dataset data;
+  data.add({1.0, 2.0}, 0.0);
+  StandardScaler scaler;
+  scaler.fit(data);
+  EXPECT_THROW(scaler.transform({1.0}), std::invalid_argument);
+}
+
+TEST(ScalerTest, EmptyFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit(Dataset{}), std::invalid_argument);
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(DatasetTest, RaggedMatrixRejected) {
+  Dataset data;
+  data.add({1.0, 2.0}, 0.0);
+  EXPECT_THROW(data.add({1.0}, 0.0), std::invalid_argument);
+  data.x.push_back({3.0});  // bypass add() to corrupt
+  data.y.push_back(0.0);
+  EXPECT_THROW(data.check(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eslurm::ml

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/forest.hpp"
+#include "ml/metrics.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace eslurm::ml {
+namespace {
+
+Dataset step_data(int n, Rng& rng) {
+  // Piecewise-constant target, the natural habitat of trees.
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(0, 10);
+    const double y = x < 3 ? 1.0 : (x < 7 ? 5.0 : -2.0);
+    data.add({x, rng.uniform(0, 1)}, y);  // second feature is noise
+  }
+  return data;
+}
+
+TEST(DecisionTreeTest, LearnsStepFunction) {
+  Rng rng(1);
+  const Dataset data = step_data(300, rng);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_NEAR(tree.predict({1.0, 0.5}), 1.0, 0.1);
+  EXPECT_NEAR(tree.predict({5.0, 0.5}), 5.0, 0.1);
+  EXPECT_NEAR(tree.predict({9.0, 0.5}), -2.0, 0.1);
+}
+
+TEST(DecisionTreeTest, DepthLimitRespected) {
+  Rng rng(2);
+  const Dataset data = step_data(300, rng);
+  DecisionTree tree(TreeParams{.max_depth = 2});
+  tree.fit(data);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTreeTest, SingleRowGivesLeaf) {
+  Dataset data;
+  data.add({1.0}, 42.0);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_DOUBLE_EQ(tree.predict({99.0}), 42.0);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTreeTest, ConstantTargetStopsSplitting) {
+  Dataset data;
+  for (int i = 0; i < 50; ++i) data.add({static_cast<double>(i)}, 3.0);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesGiveLeaf) {
+  Dataset data;
+  for (int i = 0; i < 50; ++i) data.add({1.0, 2.0}, static_cast<double>(i));
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);  // no valid split point exists
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Rng rng(3);
+  const Dataset data = step_data(100, rng);
+  DecisionTree tree(TreeParams{.min_samples_leaf = 40});
+  tree.fit(data);
+  // With such a large leaf requirement, very few splits are possible.
+  EXPECT_LE(tree.node_count(), 5u);
+}
+
+TEST(DecisionTreeTest, ErrorsOnMisuse) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+  Dataset empty;
+  EXPECT_THROW(tree.fit(empty), std::invalid_argument);
+}
+
+TEST(RandomForestTest, BeatsSingleNoisyTreeOnGeneralization) {
+  Rng rng(4);
+  Dataset train;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-3, 3);
+    train.add({x}, std::sin(x) + rng.normal(0, 0.3));
+  }
+  RandomForest forest(ForestParams{.n_trees = 40}, Rng(5));
+  forest.fit(train);
+  std::vector<double> truth, pred;
+  for (double x = -2.5; x <= 2.5; x += 0.05) {
+    truth.push_back(std::sin(x));
+    pred.push_back(forest.predict({x}));
+  }
+  EXPECT_GT(r2_score(truth, pred), 0.85);
+}
+
+TEST(RandomForestTest, TreeCountMatchesParams) {
+  Rng rng(6);
+  const Dataset data = step_data(100, rng);
+  RandomForest forest(ForestParams{.n_trees = 7}, Rng(7));
+  forest.fit(data);
+  EXPECT_EQ(forest.tree_count(), 7u);
+}
+
+TEST(RandomForestTest, DeterministicForSameSeed) {
+  Rng rng(8);
+  const Dataset data = step_data(200, rng);
+  RandomForest a(ForestParams{.n_trees = 10}, Rng(9));
+  RandomForest b(ForestParams{.n_trees = 10}, Rng(9));
+  a.fit(data);
+  b.fit(data);
+  for (double x = 0; x < 10; x += 0.5)
+    EXPECT_DOUBLE_EQ(a.predict({x, 0.5}), b.predict({x, 0.5}));
+}
+
+TEST(RandomForestTest, InvalidParamsThrow) {
+  EXPECT_THROW(RandomForest(ForestParams{.n_trees = 0}), std::invalid_argument);
+  RandomForest forest;
+  EXPECT_THROW(forest.predict({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eslurm::ml

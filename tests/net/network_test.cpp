@@ -1,0 +1,140 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eslurm::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Engine engine;
+  LinkModel model;
+  NetFixture() { model.jitter_frac = 0.0; }  // exact timing in tests
+
+  Network make(std::size_t n) { return Network(engine, n, model, Rng(1)); }
+};
+
+TEST_F(NetFixture, DeliversToRegisteredHandler) {
+  Network net = make(2);
+  int got = 0;
+  net.register_handler(1, 7, [&](const Message& m) {
+    EXPECT_EQ(m.src, 0u);
+    EXPECT_EQ(m.body<int>(), 41);
+    ++got;
+  });
+  Message msg;
+  msg.type = 7;
+  msg.payload = 41;
+  bool completed = false;
+  net.send(0, 1, msg, 0, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    completed = true;
+  });
+  engine.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(net.total_messages(), 1u);
+  EXPECT_EQ(net.messages_received(1), 1u);
+  EXPECT_EQ(net.messages_sent(0), 1u);
+}
+
+TEST_F(NetFixture, UnregisteredTypeDroppedButAcked) {
+  Network net = make(2);
+  bool completed = false;
+  net.send(0, 1, Message{.type = 99}, 0, [&](bool ok) { completed = ok; });
+  engine.run();
+  EXPECT_TRUE(completed);  // transport succeeded even if nobody listened
+}
+
+TEST_F(NetFixture, SendToDeadNodeFailsAfterTimeout) {
+  Network net = make(2);
+  std::vector<bool> up{true, false};
+  net.set_liveness([&](NodeId id) { return up[id]; });
+  bool ok = true;
+  SimTime completed_at = 0;
+  net.send(0, 1, Message{.type = 1}, seconds(3), [&](bool result) {
+    ok = result;
+    completed_at = engine.now();
+  });
+  engine.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(completed_at, seconds(3));
+  EXPECT_EQ(net.failed_sends(), 1u);
+}
+
+TEST_F(NetFixture, DefaultTimeoutUsedWhenZero) {
+  Network net = make(2);
+  net.set_liveness([](NodeId id) { return id != 1; });
+  SimTime completed_at = 0;
+  net.send(0, 1, Message{.type = 1}, 0, [&](bool) { completed_at = engine.now(); });
+  engine.run();
+  EXPECT_EQ(completed_at, model.default_timeout);
+}
+
+TEST_F(NetFixture, SenderSerializesFanout) {
+  Network net = make(101);
+  int delivered = 0;
+  for (NodeId i = 1; i <= 100; ++i)
+    net.register_handler(i, 1, [&](const Message&) { ++delivered; });
+  SimTime last_done = 0;
+  for (NodeId i = 1; i <= 100; ++i)
+    net.send(0, i, Message{.type = 1}, 0, [&](bool) { last_done = engine.now(); });
+  engine.run();
+  EXPECT_EQ(delivered, 100);
+  // 100 serialized sends cost at least 100 * send_processing before the
+  // last wire hop even begins.
+  EXPECT_GE(last_done, 100 * model.send_processing);
+}
+
+TEST_F(NetFixture, ReceiverSerializesIncomingBurst) {
+  Network net = make(11);
+  SimTime last_delivery = 0;
+  net.register_handler(10, 1, [&](const Message&) { last_delivery = engine.now(); });
+  for (NodeId i = 0; i < 10; ++i) net.send(i, 10, Message{.type = 1});
+  engine.run();
+  // All ten arrive at about the same instant but are processed serially.
+  EXPECT_GE(last_delivery, 10 * model.recv_processing);
+}
+
+TEST_F(NetFixture, SocketAccountingOpensAndCloses) {
+  Network net = make(2);
+  net.watch_sockets(0);
+  EXPECT_EQ(net.open_sockets(0), 0);
+  net.send(0, 1, Message{.type = 1});
+  bool saw_open = false;
+  engine.run();
+  EXPECT_EQ(net.open_sockets(0), 0);
+  EXPECT_EQ(net.open_sockets(1), 0);
+  for (const auto& [t, v] : net.socket_series(0).points())
+    if (v > 0) saw_open = true;
+  EXPECT_TRUE(saw_open);
+}
+
+TEST_F(NetFixture, LargerMessagesTakeLonger) {
+  Network net = make(3);
+  SimTime small_done = 0, large_done = 0;
+  net.send(0, 1, Message{.type = 1, .bytes = 128}, 0,
+           [&](bool) { small_done = engine.now(); });
+  engine.run();
+  const SimTime t0 = engine.now();
+  net.send(0, 2, Message{.type = 1, .bytes = 100 * 1024 * 1024}, seconds(10),
+           [&](bool) { large_done = engine.now(); });
+  engine.run();
+  EXPECT_GT(large_done - t0, small_done);
+}
+
+TEST_F(NetFixture, BadNodeIdThrows) {
+  Network net = make(2);
+  EXPECT_THROW(net.send(0, 5, Message{}), std::out_of_range);
+  EXPECT_THROW(net.send(7, 0, Message{}), std::out_of_range);
+}
+
+TEST_F(NetFixture, FireAndForgetWithoutCallback) {
+  Network net = make(2);
+  net.send(0, 1, Message{.type = 1});
+  EXPECT_NO_THROW(engine.run());
+}
+
+}  // namespace
+}  // namespace eslurm::net

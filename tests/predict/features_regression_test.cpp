@@ -1,0 +1,78 @@
+// Regression tests for the feature-hash geometry.  FNV-1a without a
+// finalizer places strings that differ only in a trailing character
+// ("app1" vs "app3") ~1e-7 apart in [0,1), which silently destroyed the
+// clustering and kernel similarity structure.  These tests pin the fix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/kmeans.hpp"
+#include "predict/features.hpp"
+
+namespace eslurm::predict {
+namespace {
+
+sched::Job job_named(const std::string& user, const std::string& name) {
+  sched::Job job;
+  job.user = user;
+  job.name = name;
+  job.nodes = 1;
+  job.cores = 12;
+  return job;
+}
+
+double name_distance(const std::string& a, const std::string& b) {
+  const auto fa = encode_features(job_named("u", a));
+  const auto fb = encode_features(job_named("u", b));
+  // Name occupies the first two dimensions.
+  return std::hypot(fa[0] - fb[0], fa[1] - fb[1]);
+}
+
+TEST(FeatureHashRegression, TrailingDigitNamesAreFarApart) {
+  // The original FNV-1a weakness: these pairs collapsed to ~1e-7.
+  EXPECT_GT(name_distance("app1", "app3"), 0.01);
+  EXPECT_GT(name_distance("app10", "app11"), 0.01);
+  EXPECT_GT(name_distance("user1", "user2"), 0.0);  // sanity
+}
+
+TEST(FeatureHashRegression, ManyNumberedNamesPairwiseSeparated) {
+  // Property sweep over the name space the trace generator emits.
+  int too_close = 0;
+  for (int a = 0; a < 60; ++a) {
+    for (int b = a + 1; b < 60; ++b) {
+      if (name_distance("app" + std::to_string(a), "app" + std::to_string(b)) < 1e-3)
+        ++too_close;
+    }
+  }
+  EXPECT_EQ(too_close, 0);
+}
+
+TEST(FeatureHashRegression, UserDimensionsIndependentOfNameDimensions) {
+  const auto f1 = encode_features(job_named("alice", "solver"));
+  const auto f2 = encode_features(job_named("bob", "solver"));
+  EXPECT_DOUBLE_EQ(f1[0], f2[0]);  // same name -> same name dims
+  EXPECT_DOUBLE_EQ(f1[1], f2[1]);
+  EXPECT_NE(f1[2], f2[2]);  // different user -> different user dims
+}
+
+TEST(FeatureHashRegression, KMeansSeparatesNumberedApps) {
+  // End-to-end guard: numbered app names must form distinct clusters.
+  ml::Dataset data;
+  for (int rep = 0; rep < 20; ++rep)
+    for (int a = 0; a < 4; ++a)
+      data.add(encode_features(job_named("u", "app" + std::to_string(a))), 0.0);
+  ml::KMeans km(ml::KMeansParams{.k = 4}, Rng(3));
+  km.fit(data);
+  // All 20 copies of each app share one label, and labels differ by app.
+  std::set<std::size_t> labels;
+  for (int a = 0; a < 4; ++a) {
+    const std::size_t label = km.labels()[static_cast<std::size_t>(a)];
+    for (int rep = 0; rep < 20; ++rep)
+      EXPECT_EQ(km.labels()[static_cast<std::size_t>(rep * 4 + a)], label);
+    labels.insert(label);
+  }
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+}  // namespace
+}  // namespace eslurm::predict

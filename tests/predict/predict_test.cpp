@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predict/baselines.hpp"
+#include "trace/generator.hpp"
+
+namespace eslurm::predict {
+namespace {
+
+sched::Job make_job(const std::string& user, const std::string& name, int nodes,
+                    SimTime runtime, SimTime submit = 0, SimTime estimate = 0) {
+  sched::Job job;
+  job.id = 1;
+  job.user = user;
+  job.name = name;
+  job.nodes = nodes;
+  job.cores = nodes * 12;
+  job.submit_time = submit;
+  job.actual_runtime = runtime;
+  job.user_estimate = estimate;
+  return job;
+}
+
+TEST(FeaturesTest, EncodingShapeAndDeterminism) {
+  const auto job = make_job("alice", "cfd", 8, seconds(100), hours(3));
+  const auto f1 = encode_features(job);
+  const auto f2 = encode_features(job);
+  ASSERT_EQ(f1.size(), kFeatureCount);
+  EXPECT_EQ(f1, f2);
+  EXPECT_DOUBLE_EQ(f1[4], 3.0);  // log2(8 nodes)
+  // Hour embedding is on the unit circle.
+  EXPECT_NEAR(f1[6] * f1[6] + f1[7] * f1[7], 1.0, 1e-12);
+}
+
+TEST(FeaturesTest, SameNameCoincidesDifferentNameDiffers) {
+  const auto a = encode_features(make_job("u", "appA", 4, seconds(10)));
+  const auto b = encode_features(make_job("u", "appA", 4, seconds(999)));
+  const auto c = encode_features(make_job("u", "appB", 4, seconds(10)));
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(AccuracyTest, EstimationAccuracyFormula) {
+  // Eq. 4 is symmetric: min/max ratio.
+  EXPECT_DOUBLE_EQ(estimation_accuracy(seconds(50), seconds(100)), 0.5);
+  EXPECT_DOUBLE_EQ(estimation_accuracy(seconds(200), seconds(100)), 0.5);
+  EXPECT_DOUBLE_EQ(estimation_accuracy(seconds(100), seconds(100)), 1.0);
+  EXPECT_DOUBLE_EQ(estimation_accuracy(0, seconds(100)), 0.0);
+}
+
+TEST(AccuracyTest, TrackerAggregates) {
+  AccuracyTracker tracker;
+  tracker.add(seconds(100), seconds(100));  // exact
+  tracker.add(seconds(50), seconds(100));   // underestimate, EA 0.5
+  EXPECT_EQ(tracker.count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.aea(), 0.75);
+  EXPECT_DOUBLE_EQ(tracker.underestimate_rate(), 0.5);
+}
+
+// Feeds a synthetic trace with highly repetitive per-app runtimes and
+// checks the estimator learns them.
+struct EstimatorFixture : ::testing::Test {
+  EstimatorConfig config;
+  EstimatorFixture() {
+    config.min_history = 40;
+    config.interest_window = 300;
+    config.clusters = 6;
+  }
+
+  /// Three apps with distinct stable runtimes; user estimates are 10x off.
+  std::vector<sched::Job> repetitive_jobs(std::size_t n) {
+    std::vector<sched::Job> jobs;
+    Rng rng(9);
+    const char* apps[3] = {"cfd", "bio", "em"};
+    const double runtimes_s[3] = {600.0, 3600.0, 120.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t a = i % 3;
+      auto job = make_job("user" + std::to_string(a), apps[a], 1 << (a + 1),
+                          from_seconds(runtimes_s[a] * rng.uniform(0.95, 1.05)),
+                          minutes(static_cast<std::int64_t>(i) * 5));
+      job.user_estimate = job.actual_runtime * 10;  // badly overestimated
+      job.id = i + 1;
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  }
+};
+
+TEST_F(EstimatorFixture, NoModelBeforeMinHistory) {
+  RuntimeEstimator estimator(config);
+  EXPECT_FALSE(estimator.model_ready());
+  const auto job = make_job("u", "a", 1, seconds(100), 0, seconds(500));
+  const auto est = estimator.estimate(job);
+  EXPECT_FALSE(est.from_model);
+  EXPECT_EQ(est.value, seconds(500));  // falls back to the user estimate
+  // No user estimate -> conservative default.
+  EXPECT_EQ(estimator.estimate(make_job("u", "a", 1, seconds(100))).value, hours(1));
+}
+
+TEST_F(EstimatorFixture, LearnsRepetitiveRuntimes) {
+  RuntimeEstimator estimator(config);
+  for (const auto& job : repetitive_jobs(300)) estimator.record_completion(job);
+  estimator.retrain();
+  ASSERT_TRUE(estimator.model_ready());
+
+  auto probe = make_job("user0", "cfd", 2, seconds(600), hours(26));
+  const auto est = estimator.estimate(probe);  // no user estimate -> model
+  EXPECT_TRUE(est.from_model);
+  // alpha * ~600 s, within 25%.
+  EXPECT_NEAR(to_seconds(est.value), 600.0 * config.alpha, 150.0);
+
+  auto probe2 = make_job("user1", "bio", 4, seconds(3600), hours(26));
+  EXPECT_NEAR(to_seconds(estimator.estimate(probe2).value), 3600.0 * config.alpha,
+              900.0);
+}
+
+TEST_F(EstimatorFixture, AeaGateControlsModelAdoption) {
+  RuntimeEstimator estimator(config);
+  const auto jobs = repetitive_jobs(600);
+  // Record half, retrain, then record the rest so AEA fills in.
+  for (std::size_t i = 0; i < 300; ++i) estimator.record_completion(jobs[i]);
+  estimator.retrain();
+  for (std::size_t i = 300; i < 600; ++i) estimator.record_completion(jobs[i]);
+
+  // Model accuracy on this trivially predictable workload is high, so
+  // with a user estimate present the gate should admit the model.
+  auto probe = make_job("user0", "cfd", 2, seconds(600), hours(40), hours(10));
+  const auto est = estimator.estimate(probe);
+  EXPECT_TRUE(est.from_model);
+  EXPECT_LT(to_seconds(est.value), 3600.0);  // far below the 10 h user limit
+  EXPECT_GT(estimator.model_accuracy().aea(), 0.8);
+}
+
+TEST_F(EstimatorFixture, GateRejectsModelWithImpossibleThreshold) {
+  config.aea_gate = 1.01;  // can never be cleared
+  RuntimeEstimator estimator(config);
+  const auto jobs = repetitive_jobs(600);
+  for (std::size_t i = 0; i < 300; ++i) estimator.record_completion(jobs[i]);
+  estimator.retrain();
+  for (std::size_t i = 300; i < 600; ++i) estimator.record_completion(jobs[i]);
+  auto probe = make_job("user0", "cfd", 2, seconds(600), hours(40), hours(10));
+  const auto est = estimator.estimate(probe);
+  EXPECT_FALSE(est.from_model);
+  EXPECT_EQ(est.value, hours(10));
+}
+
+TEST_F(EstimatorFixture, SlackAlphaScalesPrediction) {
+  config.alpha = 1.0;
+  RuntimeEstimator plain(config);
+  config.alpha = 1.5;
+  RuntimeEstimator slacked(config);
+  for (const auto& job : repetitive_jobs(300)) {
+    plain.record_completion(job);
+    slacked.record_completion(job);
+  }
+  plain.retrain();
+  slacked.retrain();
+  const auto probe = make_job("user0", "cfd", 2, seconds(600), hours(30));
+  const double p = to_seconds(plain.estimate(probe).value);
+  const double s = to_seconds(slacked.estimate(probe).value);
+  EXPECT_NEAR(s / p, 1.5, 0.01);
+}
+
+TEST_F(EstimatorFixture, MaybeRetrainHonoursPeriod) {
+  RuntimeEstimator estimator(config);
+  for (const auto& job : repetitive_jobs(100)) estimator.record_completion(job);
+  estimator.maybe_retrain(hours(1));
+  EXPECT_EQ(estimator.retrain_count(), 1u);
+  estimator.maybe_retrain(hours(2));  // within the period -> no retrain
+  EXPECT_EQ(estimator.retrain_count(), 1u);
+  estimator.maybe_retrain(hours(17));
+  EXPECT_EQ(estimator.retrain_count(), 2u);
+}
+
+TEST(PredictorsTest, FactoryKnowsAllNames) {
+  for (const auto& name : predictor_names()) {
+    const auto predictor = make_predictor(name);
+    ASSERT_NE(predictor, nullptr);
+    EXPECT_EQ(predictor->name(), name);
+  }
+  EXPECT_THROW(make_predictor("nope"), std::invalid_argument);
+}
+
+TEST(PredictorsTest, Last2AveragesLastTwoRuns) {
+  Last2Predictor predictor;
+  auto job = make_job("bob", "app", 1, seconds(100));
+  EXPECT_EQ(predictor.predict(make_job("bob", "x", 1, 0, 0, seconds(77))), seconds(77));
+  predictor.observe(job);
+  EXPECT_EQ(predictor.predict(job), seconds(100));  // single observation
+  job.actual_runtime = seconds(300);
+  predictor.observe(job);
+  EXPECT_EQ(predictor.predict(job), seconds(200));
+  // Other users unaffected.
+  EXPECT_EQ(predictor.predict(make_job("eve", "x", 1, 0, 0, seconds(42))), seconds(42));
+}
+
+TEST(PredictorsTest, PrepGroupsByApplication) {
+  PrepPredictor predictor;
+  for (int i = 0; i < 10; ++i)
+    predictor.observe(make_job("u", "solver", 1, seconds(500 + i)));
+  for (int i = 0; i < 10; ++i)
+    predictor.observe(make_job("u", "postproc", 1, seconds(50)));
+  EXPECT_NEAR(to_seconds(predictor.predict(make_job("any", "solver", 1, 0))), 505, 10);
+  EXPECT_NEAR(to_seconds(predictor.predict(make_job("any", "postproc", 1, 0))), 50, 5);
+  // Unknown app falls back to the global pool, not the user estimate.
+  const auto fallback = predictor.predict(make_job("any", "unknown", 1, 0));
+  EXPECT_GT(fallback, seconds(10));
+}
+
+// The headline property behind Fig. 11b: on a realistic trace the ESLURM
+// estimator beats the user estimates by a wide margin in AEA.
+TEST(PredictorsTest, EslurmBeatsUserEstimatesOnSyntheticTrace) {
+  trace::WorkloadProfile profile = trace::tianhe2a_profile();
+  profile.jobs_per_hour = 30;
+  trace::TraceGenerator generator(profile);
+  const auto jobs = generator.generate(days(4));
+  ASSERT_GT(jobs.size(), 1000u);
+
+  EstimatorConfig cfg;
+  cfg.retrain_period = hours(4);  // match the model refresh to the job rate
+  EslurmPredictor eslurm(cfg, 7);
+  auto user = make_predictor("user");
+  auto prep = make_predictor("prep");
+  AccuracyTracker eslurm_acc, user_acc, prep_acc;
+  for (const auto& job : jobs) {
+    eslurm.maybe_retrain(job.submit_time);
+    eslurm_acc.add(eslurm.predict(job), job.actual_runtime);
+    user_acc.add(user->predict(job), job.actual_runtime);
+    prep_acc.add(prep->predict(job), job.actual_runtime);
+    eslurm.observe(job);  // completion feedback (offline replay)
+    user->observe(job);
+    prep->observe(job);
+  }
+  EXPECT_GT(eslurm_acc.aea(), user_acc.aea() + 0.2);
+  EXPECT_GT(eslurm_acc.aea(), 0.7);
+  EXPECT_LT(user_acc.aea(), 0.6);  // users overestimate heavily (Fig. 5a)
+  // Fig. 11b headline: the full framework beats the strongest baseline
+  // while underestimating less often.
+  EXPECT_GE(eslurm_acc.aea(), prep_acc.aea());
+  EXPECT_LT(eslurm_acc.underestimate_rate(), prep_acc.underestimate_rate());
+}
+
+TEST(PredictorsTest, WindowedModelsFallBackBeforeTraining) {
+  SvmPredictor svm;
+  const auto job = make_job("u", "a", 1, 0, 0, seconds(123));
+  EXPECT_EQ(svm.predict(job), seconds(123));
+}
+
+TEST(PredictorsTest, TripLearnsThroughCensoredObservations) {
+  // App truly runs ~1000 s but many observations are censored at 600 s.
+  TripPredictor trip;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    auto job = make_job("u", "app", 4, 0, minutes(i * 10));
+    const double true_runtime = 1000.0 * rng.uniform(0.9, 1.1);
+    if (true_runtime > 1050.0) {
+      job.actual_runtime = from_seconds(1050.0);
+      job.state = sched::JobState::TimedOut;
+    } else {
+      job.actual_runtime = from_seconds(true_runtime);
+      job.state = sched::JobState::Completed;
+    }
+    trip.observe(job);
+  }
+  trip.maybe_retrain(hours(100));
+  const auto probe = make_job("u", "app", 4, 0, hours(200));
+  EXPECT_NEAR(to_seconds(trip.predict(probe)), 1000.0, 300.0);
+}
+
+}  // namespace
+}  // namespace eslurm::predict

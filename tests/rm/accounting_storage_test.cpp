@@ -1,0 +1,103 @@
+#include "rm/accounting_storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eslurm::rm {
+namespace {
+
+sched::Job finished_job(sched::JobId id, const std::string& user,
+                        const std::string& name, int nodes, SimTime submit,
+                        SimTime start, SimTime end,
+                        sched::JobState state = sched::JobState::Completed) {
+  sched::Job job;
+  job.id = id;
+  job.user = user;
+  job.name = name;
+  job.nodes = nodes;
+  job.cores = nodes * 12;
+  job.submit_time = submit;
+  job.start_time = start;
+  job.end_time = end;
+  job.state = state;
+  return job;
+}
+
+AccountingStorage sample_db() {
+  AccountingStorage db;
+  db.record(finished_job(1, "alice", "cfd", 10, 0, seconds(60), seconds(3660)));
+  db.record(finished_job(2, "bob", "bio", 2, seconds(10), seconds(20), seconds(320)));
+  db.record(finished_job(3, "alice", "cfd", 10, hours(1), hours(1) + seconds(30),
+                         hours(2), sched::JobState::TimedOut));
+  return db;
+}
+
+TEST(AccountingStorageTest, RecordsAndAggregates) {
+  const AccountingStorage db = sample_db();
+  EXPECT_EQ(db.size(), 3u);
+  // alice: 10 nodes x 3600s + 10 x 3570s; bob: 2 x 300s.
+  EXPECT_NEAR(db.total_node_hours(), (36000.0 + 35700.0 + 600.0) / 3600.0, 1e-9);
+  const auto usage = db.usage_by_user();
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].user, "alice");  // heaviest first
+  EXPECT_EQ(usage[0].jobs, 2u);
+  EXPECT_EQ(usage[1].user, "bob");
+  EXPECT_NEAR(usage[1].avg_wait_seconds, 10.0, 1e-9);
+}
+
+TEST(AccountingStorageTest, QueryFilters) {
+  const AccountingStorage db = sample_db();
+  JobFilter by_user;
+  by_user.user = "alice";
+  EXPECT_EQ(db.query(by_user).size(), 2u);
+
+  JobFilter by_state;
+  by_state.state = sched::JobState::TimedOut;
+  const auto timed_out = db.query(by_state);
+  ASSERT_EQ(timed_out.size(), 1u);
+  EXPECT_EQ(timed_out[0].id, 3u);
+
+  JobFilter window;
+  window.submitted_after = seconds(5);
+  window.submitted_before = minutes(30);
+  const auto in_window = db.query(window);
+  ASSERT_EQ(in_window.size(), 1u);
+  EXPECT_EQ(in_window[0].id, 2u);
+
+  JobFilter by_name;
+  by_name.name = "cfd";
+  by_name.user = "bob";
+  EXPECT_TRUE(db.query(by_name).empty());
+}
+
+TEST(AccountingStorageTest, RejectsUnfinishedJobs) {
+  AccountingStorage db;
+  sched::Job running = finished_job(1, "u", "a", 1, 0, 0, seconds(10));
+  running.state = sched::JobState::Running;
+  EXPECT_THROW(db.record(running), std::invalid_argument);
+}
+
+TEST(AccountingStorageTest, SaveLoadRoundTrip) {
+  const AccountingStorage db = sample_db();
+  std::ostringstream os;
+  db.save(os);
+  std::istringstream is(os.str());
+  const AccountingStorage loaded = AccountingStorage::load(is);
+  ASSERT_EQ(loaded.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(loaded.all()[i].id, db.all()[i].id);
+    EXPECT_EQ(loaded.all()[i].user, db.all()[i].user);
+    EXPECT_EQ(loaded.all()[i].final_state, db.all()[i].final_state);
+    EXPECT_NEAR(to_seconds(loaded.all()[i].end), to_seconds(db.all()[i].end), 1e-3);
+  }
+  EXPECT_NEAR(loaded.total_node_hours(), db.total_node_hours(), 1e-6);
+}
+
+TEST(AccountingStorageTest, LoadRejectsGarbage) {
+  std::istringstream is("not a record\n");
+  EXPECT_THROW(AccountingStorage::load(is), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eslurm::rm

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "sched/partition.hpp"
+#include "sched/priority.hpp"
+#include "sched/priority_scheduler.hpp"
+
+namespace eslurm::sched {
+namespace {
+
+Job make_job(JobId id, const std::string& user, int nodes, SimTime estimate,
+             SimTime submit = 0) {
+  Job job;
+  job.id = id;
+  job.user = user;
+  job.name = "app";
+  job.nodes = nodes;
+  job.cores = nodes * 12;
+  job.submit_time = submit;
+  job.actual_runtime = estimate;
+  job.user_estimate = estimate;
+  return job;
+}
+
+TEST(FairshareTest, UsageDecaysWithHalfLife) {
+  FairshareTracker tracker(days(1));
+  tracker.record_usage("alice", 1000.0, 0);
+  EXPECT_DOUBLE_EQ(tracker.raw_usage("alice", 0), 1000.0);
+  EXPECT_NEAR(tracker.raw_usage("alice", days(1)), 500.0, 1e-6);
+  EXPECT_NEAR(tracker.raw_usage("alice", days(3)), 125.0, 1e-6);
+  EXPECT_DOUBLE_EQ(tracker.raw_usage("nobody", days(1)), 0.0);
+}
+
+TEST(FairshareTest, ShareFactorFallsWithUsage) {
+  FairshareTracker tracker(days(1));
+  const double norm = 1000.0;
+  EXPECT_DOUBLE_EQ(tracker.share_factor("fresh", 0, norm), 1.0);
+  tracker.record_usage("heavy", 1000.0, 0);
+  const double heavy = tracker.share_factor("heavy", 0, norm);
+  EXPECT_LT(heavy, 0.01);  // consumed a full machine-halflife
+  tracker.record_usage("light", 50.0, 0);
+  EXPECT_GT(tracker.share_factor("light", 0, norm), heavy);
+}
+
+TEST(FairshareTest, InvalidHalfLifeThrows) {
+  EXPECT_THROW(FairshareTracker(0), std::invalid_argument);
+}
+
+TEST(PriorityCalcTest, AgeRaisesPriorityUpToCap) {
+  PriorityWeights weights;
+  weights.age_per_day = 100.0;
+  weights.age_cap_days = 2.0;
+  weights.job_size = 0.0;
+  weights.fairshare = 0.0;
+  PriorityCalculator calc(weights, 100, 1e9);
+  FairshareTracker fairshare;
+  const Job job = make_job(1, "u", 1, seconds(10), 0);
+  EXPECT_DOUBLE_EQ(calc.priority(job, days(1), fairshare), 100.0);
+  EXPECT_DOUBLE_EQ(calc.priority(job, days(5), fairshare), 200.0);  // capped
+}
+
+TEST(PriorityCalcTest, SizeAndFairshareContribute) {
+  PriorityWeights weights;
+  weights.age_per_day = 0.0;
+  weights.job_size = 1000.0;
+  weights.fairshare = 500.0;
+  PriorityCalculator calc(weights, 100, 1000.0);
+  FairshareTracker fairshare;
+  const Job wide = make_job(1, "fresh", 50, seconds(10));
+  const Job narrow = make_job(2, "fresh", 1, seconds(10));
+  EXPECT_GT(calc.priority(wide, 0, fairshare), calc.priority(narrow, 0, fairshare));
+  fairshare.record_usage("hog", 10000.0, 0);
+  const Job hog_job = make_job(3, "hog", 50, seconds(10));
+  EXPECT_LT(calc.priority(hog_job, 0, fairshare), calc.priority(wide, 0, fairshare));
+}
+
+TEST(PartitionTest, ValidationEnforcesLimits) {
+  const PartitionSet set = PartitionSet::tianhe_default();
+  Job ok = make_job(1, "u", 32, minutes(10));
+  ok.partition = "debug";
+  EXPECT_FALSE(set.validate(ok).has_value());
+
+  Job too_wide = make_job(2, "u", 100, minutes(10));
+  too_wide.partition = "debug";
+  EXPECT_TRUE(set.validate(too_wide).has_value());
+
+  Job too_long = make_job(3, "u", 8, hours(2));
+  too_long.partition = "debug";
+  EXPECT_TRUE(set.validate(too_long).has_value());
+
+  Job unknown = make_job(4, "u", 8, minutes(5));
+  unknown.partition = "gpu";
+  EXPECT_TRUE(set.validate(unknown).has_value());
+}
+
+TEST(PartitionTest, EmptySetAcceptsEverything) {
+  PartitionSet set;
+  Job job = make_job(1, "u", 1 << 20, days(30));
+  job.partition = "whatever";
+  EXPECT_FALSE(set.validate(job).has_value());
+}
+
+TEST(PartitionTest, DuplicateNameThrows) {
+  PartitionSet set;
+  set.add(Partition{.name = "p"});
+  EXPECT_THROW(set.add(Partition{.name = "p"}), std::invalid_argument);
+}
+
+TEST(PrioritySchedulerTest, HighPriorityJumpsTheQueue) {
+  JobPool pool;
+  // Heavy user submits first; fresh user's identical job should rank
+  // higher via fair-share and start first when only one fits.
+  pool.submit(make_job(1, "hog", 8, minutes(10), 0));
+  pool.submit(make_job(2, "fresh", 8, minutes(10), seconds(1)));
+  PriorityWeights weights;
+  weights.age_per_day = 0.0;
+  weights.job_size = 0.0;
+  weights.fairshare = 1000.0;
+  PriorityBackfillScheduler sched(weights, 16, days(7));
+  sched.fairshare().record_usage("hog", 1e9, 0);
+  const auto decisions = sched.schedule(pool, 8, seconds(2));
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_EQ(decisions.front(), 2u);
+}
+
+TEST(PrioritySchedulerTest, PartitionBoostApplies) {
+  const PartitionSet partitions = PartitionSet::tianhe_default();
+  PriorityWeights weights;
+  weights.age_per_day = 0.0;
+  weights.job_size = 0.0;
+  weights.fairshare = 0.0;
+  weights.partition = 100.0;
+  PriorityBackfillScheduler sched(weights, 128, days(7), &partitions);
+  Job debug_job = make_job(1, "u", 4, minutes(5));
+  debug_job.partition = "debug";
+  Job batch_job = make_job(2, "u", 4, minutes(5));
+  batch_job.partition = "batch";
+  EXPECT_GT(sched.priority_of(debug_job, 0), sched.priority_of(batch_job, 0));
+}
+
+TEST(PrioritySchedulerTest, ReleasedUsageFeedsFairshare) {
+  PriorityBackfillScheduler sched(PriorityWeights{}, 64, days(7));
+  Job job = make_job(1, "u", 4, minutes(10));
+  job.start_time = 0;
+  job.end_time = minutes(10);
+  job.state = JobState::Completed;
+  sched.on_job_released(job, minutes(10));
+  EXPECT_NEAR(sched.fairshare().raw_usage("u", minutes(10)), 4.0 * 600.0, 1.0);
+}
+
+TEST(ConservativeTest, NeverDelaysEarlierJobs) {
+  // Machine: 10 nodes.  Running: 8 until t=100.  Queue: J1 needs 10
+  // (reserved at t=100), J2 needs 2 for 1000 s.  EASY would hold J2 only
+  // via the spare rule; conservative gives J2 a reservation *after* J1
+  // unless it fits without delaying J1.
+  JobPool pool;
+  Job running = make_job(1, "u", 8, seconds(100));
+  pool.submit(running);
+  pool.get(1).estimate_used = seconds(100);
+  pool.mark_starting(1);
+  pool.mark_running(1, 0);
+  pool.submit(make_job(2, "u", 10, seconds(50)));
+  pool.submit(make_job(3, "u", 2, seconds(1000)));
+  ConservativeBackfillScheduler sched;
+  const auto decisions = sched.schedule(pool, 2, 0);
+  EXPECT_TRUE(decisions.empty());  // J3 would collide with J2's reservation
+}
+
+TEST(ConservativeTest, BackfillsWhenSafe) {
+  JobPool pool;
+  Job running = make_job(1, "u", 8, seconds(100));
+  pool.submit(running);
+  pool.get(1).estimate_used = seconds(100);
+  pool.mark_starting(1);
+  pool.mark_running(1, 0);
+  pool.submit(make_job(2, "u", 10, seconds(50)));
+  pool.submit(make_job(3, "u", 2, seconds(60)));  // ends before J2's slot
+  ConservativeBackfillScheduler sched;
+  const auto decisions = sched.schedule(pool, 2, 0);
+  EXPECT_EQ(decisions, (std::vector<JobId>{3}));
+}
+
+TEST(ConservativeTest, StartsHeadWhenItFits) {
+  JobPool pool;
+  pool.submit(make_job(1, "u", 4, seconds(100)));
+  pool.submit(make_job(2, "u", 4, seconds(100)));
+  ConservativeBackfillScheduler sched;
+  const auto decisions = sched.schedule(pool, 8, 0);
+  EXPECT_EQ(decisions, (std::vector<JobId>{1, 2}));
+}
+
+TEST(ConservativeTest, PlanningDepthBoundsWork) {
+  JobPool pool;
+  pool.submit(make_job(1, "u", 100, seconds(100)));  // blocks everything
+  for (JobId id = 2; id <= 20; ++id) pool.submit(make_job(id, "u", 1, seconds(10)));
+  ConservativeBackfillScheduler sched(/*planning_depth=*/5);
+  const auto decisions = sched.schedule(pool, 10, 0);
+  // Only the first 5 queue entries were planned; 4 narrow ones fit now.
+  EXPECT_EQ(decisions.size(), 4u);
+}
+
+TEST(RequeueTest, StartingJobReturnsToQueueHead) {
+  JobPool pool;
+  pool.submit(make_job(1, "u", 4, seconds(10)));
+  pool.submit(make_job(2, "u", 4, seconds(10)));
+  pool.mark_starting(1);
+  EXPECT_EQ(pool.pending().front(), 2u);
+  pool.requeue_starting(1);
+  EXPECT_EQ(pool.pending().front(), 1u);
+  EXPECT_EQ(pool.get(1).state, JobState::Pending);
+  EXPECT_EQ(pool.get(1).start_time, -1);
+  EXPECT_EQ(pool.nodes_in_use(), 0);
+  EXPECT_THROW(pool.requeue_starting(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eslurm::sched

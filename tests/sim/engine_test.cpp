@@ -1,0 +1,134 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace eslurm::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(seconds(3), [&] { order.push_back(3); });
+  engine.schedule_at(seconds(1), [&] { order.push_back(1); });
+  engine.schedule_at(seconds(2), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), seconds(3));
+}
+
+TEST(Engine, FifoTieBreakAtEqualTime) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(seconds(1), [&] { order.push_back(1); });
+  engine.schedule_at(seconds(1), [&] { order.push_back(2); });
+  engine.schedule_at(seconds(1), [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine engine;
+  SimTime fired_at = -1;
+  engine.schedule_at(seconds(5), [&] {
+    engine.schedule_after(seconds(2), [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired_at, seconds(7));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  const EventId id = engine.schedule_at(seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // double cancel reports failure
+  engine.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine engine;
+  engine.schedule_at(seconds(2), [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(seconds(1), [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(seconds(1), [&] { ++count; });
+  engine.schedule_at(seconds(10), [&] { ++count; });
+  engine.run_until(seconds(5));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(engine.now(), seconds(5));
+  EXPECT_TRUE(engine.has_pending());
+  engine.run_until(seconds(10));  // event exactly at the horizon runs
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) engine.schedule_after(seconds(1), recurse);
+  };
+  engine.schedule_at(0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(engine.executed_events(), 5u);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.pending_count(), 0u);
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Engine engine;
+  int fired = 0;
+  PeriodicTask task(engine, seconds(10), [&] { ++fired; });
+  task.start();
+  engine.run_until(seconds(35));
+  // t = 0, 10, 20, 30.
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(PeriodicTaskTest, FirstDelayRespected) {
+  Engine engine;
+  std::vector<SimTime> at;
+  PeriodicTask task(engine, seconds(10), [&] { at.push_back(engine.now()); });
+  task.start(seconds(5));
+  engine.run_until(seconds(26));
+  EXPECT_EQ(at, (std::vector<SimTime>{seconds(5), seconds(15), seconds(25)}));
+}
+
+TEST(PeriodicTaskTest, StopFromInsideCallback) {
+  Engine engine;
+  int fired = 0;
+  PeriodicTask task(engine, seconds(1), [&] {
+    if (++fired == 3) task.stop();
+  });
+  task.start();
+  engine.run_until(seconds(100));
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsPending) {
+  Engine engine;
+  int fired = 0;
+  {
+    PeriodicTask task(engine, seconds(1), [&] { ++fired; });
+    task.start();
+  }
+  engine.run_until(seconds(10));
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace eslurm::sim

@@ -1,0 +1,70 @@
+#include "trace/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace eslurm::trace {
+namespace {
+
+constexpr const char* kSample =
+    "; header comment\n"
+    "1 10 5 3600 64 -1 -1 64 7200 -1 1 17 -1 4 2 -1 -1 -1\n"
+    "2 100 -1 0 8 -1 -1 8 600 -1 0 3 -1 9 0 -1 -1 -1\n"   // runtime 0: skipped
+    "3 200 2 120 -1 -1 -1 24 900 -1 1 5 -1 2 0 -1 -1 -1\n";
+
+TEST(SwfTest, ParsesFieldsAndSkipsCancelled) {
+  std::istringstream is(kSample);
+  const auto jobs = read_swf(is, 12);
+  ASSERT_EQ(jobs.size(), 2u);
+  const auto& first = jobs[0];
+  EXPECT_EQ(first.submit_time, seconds(10));
+  EXPECT_EQ(first.actual_runtime, seconds(3600));
+  EXPECT_EQ(first.cores, 64);
+  EXPECT_EQ(first.nodes, 6);  // ceil(64/12)
+  EXPECT_EQ(first.user_estimate, seconds(7200));
+  EXPECT_EQ(first.user, "user17");
+  EXPECT_EQ(first.name, "app4");
+  EXPECT_EQ(first.partition, "q2");
+  // Job 3 had -1 allocated procs but 24 requested.
+  EXPECT_EQ(jobs[1].cores, 24);
+  EXPECT_EQ(jobs[1].partition, "batch");
+}
+
+TEST(SwfTest, ShortLineThrows) {
+  std::istringstream is("1 2 3\n");
+  EXPECT_THROW(read_swf(is), std::invalid_argument);
+}
+
+TEST(SwfTest, BadCoresPerNodeThrows) {
+  std::istringstream is("");
+  EXPECT_THROW(read_swf(is, 0), std::invalid_argument);
+}
+
+TEST(SwfTest, GeneratedTraceRoundTrips) {
+  WorkloadProfile profile = tianhe2a_profile();
+  profile.jobs_per_hour = 10;
+  TraceGenerator generator(profile);
+  const auto jobs = generator.generate(hours(12));
+  ASSERT_FALSE(jobs.empty());
+
+  std::ostringstream os;
+  write_swf(os, jobs, 12);
+  std::istringstream is(os.str());
+  const auto parsed = read_swf(is, 12);
+  ASSERT_EQ(parsed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(parsed[i].nodes, jobs[i].nodes) << i;
+    EXPECT_EQ(parsed[i].user, jobs[i].user) << i;
+    EXPECT_EQ(parsed[i].name, jobs[i].name) << i;
+    EXPECT_NEAR(to_seconds(parsed[i].submit_time), to_seconds(jobs[i].submit_time),
+                1.0);
+    EXPECT_NEAR(to_seconds(parsed[i].actual_runtime),
+                to_seconds(jobs[i].actual_runtime), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace eslurm::trace

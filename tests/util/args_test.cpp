@@ -1,0 +1,66 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eslurm {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args;
+  args.add_option("nodes", "node count", "1024");
+  args.add_option("rm", "resource manager");
+  args.add_flag("failures", "enable failures");
+  return args;
+}
+
+bool parse(ArgParser& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, DefaultsAndOverrides) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--rm", "slurm"}));
+  EXPECT_EQ(args.get_int("nodes", 0), 1024);  // default
+  EXPECT_EQ(args.get_or("rm", ""), "slurm");
+  EXPECT_FALSE(args.has_flag("failures"));
+}
+
+TEST(ArgsTest, FlagsAndPositionals) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"generate", "--failures", "file.txt"}));
+  EXPECT_TRUE(args.has_flag("failures"));
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"generate", "file.txt"}));
+}
+
+TEST(ArgsTest, UnknownOptionFails) {
+  ArgParser args = make_parser();
+  EXPECT_FALSE(parse(args, {"--bogus", "1"}));
+  EXPECT_NE(args.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgsTest, MissingValueFails) {
+  ArgParser args = make_parser();
+  EXPECT_FALSE(parse(args, {"--rm"}));
+}
+
+TEST(ArgsTest, HelpRequested) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--help"}));
+  EXPECT_TRUE(args.help_requested());
+  const std::string usage = args.usage("prog", "summary");
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("default: 1024"), std::string::npos);
+}
+
+TEST(ArgsTest, NumericFallbacks) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--rm", "notanumber"}));
+  EXPECT_EQ(args.get_int("rm", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("rm", 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+}  // namespace
+}  // namespace eslurm

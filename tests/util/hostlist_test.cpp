@@ -1,0 +1,63 @@
+#include "util/hostlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace eslurm {
+namespace {
+
+TEST(Hostlist, ExpandSingleRange) {
+  std::string prefix;
+  const auto ids = expand_hostlist("cn[0-3]", &prefix);
+  EXPECT_EQ(prefix, "cn");
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Hostlist, ExpandMixedRangesAndSingles) {
+  const auto ids = expand_hostlist("node[1,5-7,9]");
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{1, 5, 6, 7, 9}));
+}
+
+TEST(Hostlist, ExpandBareHost) {
+  std::string prefix;
+  const auto ids = expand_hostlist("cn42", &prefix);
+  EXPECT_EQ(prefix, "cn");
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{42}));
+}
+
+TEST(Hostlist, ExpandEmptyBrackets) {
+  EXPECT_TRUE(expand_hostlist("cn[]").empty());
+}
+
+TEST(Hostlist, MalformedThrows) {
+  EXPECT_THROW(expand_hostlist("cn[3-1]"), std::invalid_argument);
+  EXPECT_THROW(expand_hostlist("cn[1"), std::invalid_argument);
+  EXPECT_THROW(expand_hostlist("cn[x]"), std::invalid_argument);
+  EXPECT_THROW(expand_hostlist("justaprefix"), std::invalid_argument);
+}
+
+TEST(Hostlist, CompressMergesAdjacentRuns) {
+  EXPECT_EQ(compress_hostlist("cn", {0, 1, 2, 5, 7, 8}), "cn[0-2,5,7-8]");
+}
+
+TEST(Hostlist, CompressSortsAndDeduplicates) {
+  EXPECT_EQ(compress_hostlist("cn", {3, 1, 2, 2, 1}), "cn[1-3]");
+}
+
+TEST(Hostlist, CompressEmpty) {
+  EXPECT_EQ(compress_hostlist("cn", {}), "cn[]");
+}
+
+TEST(Hostlist, RoundTripLargeSet) {
+  std::vector<std::uint32_t> ids(4096);
+  std::iota(ids.begin(), ids.end(), 0u);
+  ids.erase(ids.begin() + 100);  // punch a hole
+  const std::string expr = compress_hostlist("cn", ids);
+  EXPECT_EQ(expr, "cn[0-99,101-4095]");
+  EXPECT_EQ(expand_hostlist(expr), ids);
+}
+
+}  // namespace
+}  // namespace eslurm

@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eslurm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (double x : {4.0, 1.0, 7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, VarianceMatchesTwoPassFormula) {
+  RunningStats s;
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : v) s.add(x);
+  // Sample variance with n-1: mean=5, ssd=32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(EmpiricalCdf, FractionAtThresholds) {
+  const std::vector<double> samples{1, 2, 3, 4};
+  const auto cdf = empirical_cdf(samples, {0.5, 2.0, 10.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(3.9);
+  h.add(9.99);
+  h.add(10.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(TimeSeriesTest, LastMaxMean) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.record(seconds(1), 2.0);
+  ts.record(seconds(2), 6.0);
+  ts.record(seconds(3), 4.0);
+  EXPECT_DOUBLE_EQ(ts.last(), 4.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 6.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 4.0);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanStepFunction) {
+  TimeSeries ts;
+  ts.record(0, 1.0);            // value 1 on [0, 10)
+  ts.record(seconds(10), 3.0);  // value 3 on [10, 20)
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(0, seconds(20)), 2.0);
+  // Window entirely within the second step.
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(seconds(12), seconds(18)), 3.0);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsMaxima) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.record(seconds(i), i == 57 ? 99.0 : 1.0);
+  const auto pts = ts.downsample_max(10);
+  EXPECT_LE(pts.size(), 10u);
+  bool found_peak = false;
+  for (const auto& [t, v] : pts) found_peak |= v == 99.0;
+  EXPECT_TRUE(found_peak);
+}
+
+}  // namespace
+}  // namespace eslurm
