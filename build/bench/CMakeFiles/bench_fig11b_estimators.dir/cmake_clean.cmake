@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_estimators.dir/bench_fig11b_estimators.cpp.o"
+  "CMakeFiles/bench_fig11b_estimators.dir/bench_fig11b_estimators.cpp.o.d"
+  "bench_fig11b_estimators"
+  "bench_fig11b_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

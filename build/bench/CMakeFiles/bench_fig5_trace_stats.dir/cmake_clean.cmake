@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_trace_stats.dir/bench_fig5_trace_stats.cpp.o"
+  "CMakeFiles/bench_fig5_trace_stats.dir/bench_fig5_trace_stats.cpp.o.d"
+  "bench_fig5_trace_stats"
+  "bench_fig5_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_job_occupation.dir/bench_fig7_job_occupation.cpp.o"
+  "CMakeFiles/bench_fig7_job_occupation.dir/bench_fig7_job_occupation.cpp.o.d"
+  "bench_fig7_job_occupation"
+  "bench_fig7_job_occupation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_job_occupation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

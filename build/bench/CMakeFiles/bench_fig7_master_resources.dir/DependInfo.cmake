@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_master_resources.cpp" "bench/CMakeFiles/bench_fig7_master_resources.dir/bench_fig7_master_resources.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_master_resources.dir/bench_fig7_master_resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eslurm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/eslurm_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eslurm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/eslurm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eslurm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eslurm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/eslurm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eslurm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eslurm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eslurm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

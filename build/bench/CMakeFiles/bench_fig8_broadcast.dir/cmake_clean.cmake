@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_broadcast.dir/bench_fig8_broadcast.cpp.o"
+  "CMakeFiles/bench_fig8_broadcast.dir/bench_fig8_broadcast.cpp.o.d"
+  "bench_fig8_broadcast"
+  "bench_fig8_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fullscale.dir/bench_fig9_fullscale.cpp.o"
+  "CMakeFiles/bench_fig9_fullscale.dir/bench_fig9_fullscale.cpp.o.d"
+  "bench_fig9_fullscale"
+  "bench_fig9_fullscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fullscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

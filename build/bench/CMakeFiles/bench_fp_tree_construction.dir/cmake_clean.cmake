@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_tree_construction.dir/bench_fp_tree_construction.cpp.o"
+  "CMakeFiles/bench_fp_tree_construction.dir/bench_fp_tree_construction.cpp.o.d"
+  "bench_fp_tree_construction"
+  "bench_fp_tree_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_tree_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_tree_placement.dir/bench_fp_tree_placement.cpp.o"
+  "CMakeFiles/bench_fp_tree_placement.dir/bench_fp_tree_placement.cpp.o.d"
+  "bench_fp_tree_placement"
+  "bench_fp_tree_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_tree_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

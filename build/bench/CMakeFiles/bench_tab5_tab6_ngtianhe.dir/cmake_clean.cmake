@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_tab6_ngtianhe.dir/bench_tab5_tab6_ngtianhe.cpp.o"
+  "CMakeFiles/bench_tab5_tab6_ngtianhe.dir/bench_tab5_tab6_ngtianhe.cpp.o.d"
+  "bench_tab5_tab6_ngtianhe"
+  "bench_tab5_tab6_ngtianhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_tab6_ngtianhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab8_slack.dir/bench_tab8_slack.cpp.o"
+  "CMakeFiles/bench_tab8_slack.dir/bench_tab8_slack.cpp.o.d"
+  "bench_tab8_slack"
+  "bench_tab8_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab8_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

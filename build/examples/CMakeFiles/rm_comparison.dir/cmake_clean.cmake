@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_comparison.dir/rm_comparison.cpp.o"
+  "CMakeFiles/rm_comparison.dir/rm_comparison.cpp.o.d"
+  "rm_comparison"
+  "rm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

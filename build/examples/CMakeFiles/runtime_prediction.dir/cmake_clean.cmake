@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_prediction.dir/runtime_prediction.cpp.o"
+  "CMakeFiles/runtime_prediction.dir/runtime_prediction.cpp.o.d"
+  "runtime_prediction"
+  "runtime_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/eslurm_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/eslurm_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/failure_model.cpp" "src/cluster/CMakeFiles/eslurm_cluster.dir/failure_model.cpp.o" "gcc" "src/cluster/CMakeFiles/eslurm_cluster.dir/failure_model.cpp.o.d"
+  "/root/repo/src/cluster/history_predictor.cpp" "src/cluster/CMakeFiles/eslurm_cluster.dir/history_predictor.cpp.o" "gcc" "src/cluster/CMakeFiles/eslurm_cluster.dir/history_predictor.cpp.o.d"
+  "/root/repo/src/cluster/monitoring.cpp" "src/cluster/CMakeFiles/eslurm_cluster.dir/monitoring.cpp.o" "gcc" "src/cluster/CMakeFiles/eslurm_cluster.dir/monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eslurm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eslurm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/eslurm_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/eslurm_cluster.dir/failure_model.cpp.o"
+  "CMakeFiles/eslurm_cluster.dir/failure_model.cpp.o.d"
+  "CMakeFiles/eslurm_cluster.dir/history_predictor.cpp.o"
+  "CMakeFiles/eslurm_cluster.dir/history_predictor.cpp.o.d"
+  "CMakeFiles/eslurm_cluster.dir/monitoring.cpp.o"
+  "CMakeFiles/eslurm_cluster.dir/monitoring.cpp.o.d"
+  "libeslurm_cluster.a"
+  "libeslurm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/broadcaster.cpp" "src/comm/CMakeFiles/eslurm_comm.dir/broadcaster.cpp.o" "gcc" "src/comm/CMakeFiles/eslurm_comm.dir/broadcaster.cpp.o.d"
+  "/root/repo/src/comm/fp_tree.cpp" "src/comm/CMakeFiles/eslurm_comm.dir/fp_tree.cpp.o" "gcc" "src/comm/CMakeFiles/eslurm_comm.dir/fp_tree.cpp.o.d"
+  "/root/repo/src/comm/ring.cpp" "src/comm/CMakeFiles/eslurm_comm.dir/ring.cpp.o" "gcc" "src/comm/CMakeFiles/eslurm_comm.dir/ring.cpp.o.d"
+  "/root/repo/src/comm/shared_memory.cpp" "src/comm/CMakeFiles/eslurm_comm.dir/shared_memory.cpp.o" "gcc" "src/comm/CMakeFiles/eslurm_comm.dir/shared_memory.cpp.o.d"
+  "/root/repo/src/comm/star.cpp" "src/comm/CMakeFiles/eslurm_comm.dir/star.cpp.o" "gcc" "src/comm/CMakeFiles/eslurm_comm.dir/star.cpp.o.d"
+  "/root/repo/src/comm/topology_aware.cpp" "src/comm/CMakeFiles/eslurm_comm.dir/topology_aware.cpp.o" "gcc" "src/comm/CMakeFiles/eslurm_comm.dir/topology_aware.cpp.o.d"
+  "/root/repo/src/comm/tree.cpp" "src/comm/CMakeFiles/eslurm_comm.dir/tree.cpp.o" "gcc" "src/comm/CMakeFiles/eslurm_comm.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/eslurm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eslurm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eslurm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

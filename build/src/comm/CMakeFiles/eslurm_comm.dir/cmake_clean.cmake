@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_comm.dir/broadcaster.cpp.o"
+  "CMakeFiles/eslurm_comm.dir/broadcaster.cpp.o.d"
+  "CMakeFiles/eslurm_comm.dir/fp_tree.cpp.o"
+  "CMakeFiles/eslurm_comm.dir/fp_tree.cpp.o.d"
+  "CMakeFiles/eslurm_comm.dir/ring.cpp.o"
+  "CMakeFiles/eslurm_comm.dir/ring.cpp.o.d"
+  "CMakeFiles/eslurm_comm.dir/shared_memory.cpp.o"
+  "CMakeFiles/eslurm_comm.dir/shared_memory.cpp.o.d"
+  "CMakeFiles/eslurm_comm.dir/star.cpp.o"
+  "CMakeFiles/eslurm_comm.dir/star.cpp.o.d"
+  "CMakeFiles/eslurm_comm.dir/topology_aware.cpp.o"
+  "CMakeFiles/eslurm_comm.dir/topology_aware.cpp.o.d"
+  "CMakeFiles/eslurm_comm.dir/tree.cpp.o"
+  "CMakeFiles/eslurm_comm.dir/tree.cpp.o.d"
+  "libeslurm_comm.a"
+  "libeslurm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

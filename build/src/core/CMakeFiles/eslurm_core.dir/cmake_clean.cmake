@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_core.dir/experiment.cpp.o"
+  "CMakeFiles/eslurm_core.dir/experiment.cpp.o.d"
+  "libeslurm_core.a"
+  "libeslurm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_ml.dir/dataset.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/forest.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/linear.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/metrics.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/scaler.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/svr.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/svr.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/tobit.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/tobit.cpp.o.d"
+  "CMakeFiles/eslurm_ml.dir/tree.cpp.o"
+  "CMakeFiles/eslurm_ml.dir/tree.cpp.o.d"
+  "libeslurm_ml.a"
+  "libeslurm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

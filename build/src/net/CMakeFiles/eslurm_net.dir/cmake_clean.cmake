@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_net.dir/network.cpp.o"
+  "CMakeFiles/eslurm_net.dir/network.cpp.o.d"
+  "CMakeFiles/eslurm_net.dir/topology.cpp.o"
+  "CMakeFiles/eslurm_net.dir/topology.cpp.o.d"
+  "libeslurm_net.a"
+  "libeslurm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

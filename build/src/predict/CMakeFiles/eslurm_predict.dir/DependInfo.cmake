@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/accuracy.cpp" "src/predict/CMakeFiles/eslurm_predict.dir/accuracy.cpp.o" "gcc" "src/predict/CMakeFiles/eslurm_predict.dir/accuracy.cpp.o.d"
+  "/root/repo/src/predict/baselines.cpp" "src/predict/CMakeFiles/eslurm_predict.dir/baselines.cpp.o" "gcc" "src/predict/CMakeFiles/eslurm_predict.dir/baselines.cpp.o.d"
+  "/root/repo/src/predict/estimator.cpp" "src/predict/CMakeFiles/eslurm_predict.dir/estimator.cpp.o" "gcc" "src/predict/CMakeFiles/eslurm_predict.dir/estimator.cpp.o.d"
+  "/root/repo/src/predict/features.cpp" "src/predict/CMakeFiles/eslurm_predict.dir/features.cpp.o" "gcc" "src/predict/CMakeFiles/eslurm_predict.dir/features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/eslurm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eslurm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_predict.dir/accuracy.cpp.o"
+  "CMakeFiles/eslurm_predict.dir/accuracy.cpp.o.d"
+  "CMakeFiles/eslurm_predict.dir/baselines.cpp.o"
+  "CMakeFiles/eslurm_predict.dir/baselines.cpp.o.d"
+  "CMakeFiles/eslurm_predict.dir/estimator.cpp.o"
+  "CMakeFiles/eslurm_predict.dir/estimator.cpp.o.d"
+  "CMakeFiles/eslurm_predict.dir/features.cpp.o"
+  "CMakeFiles/eslurm_predict.dir/features.cpp.o.d"
+  "libeslurm_predict.a"
+  "libeslurm_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/accounting.cpp" "src/rm/CMakeFiles/eslurm_rm.dir/accounting.cpp.o" "gcc" "src/rm/CMakeFiles/eslurm_rm.dir/accounting.cpp.o.d"
+  "/root/repo/src/rm/accounting_storage.cpp" "src/rm/CMakeFiles/eslurm_rm.dir/accounting_storage.cpp.o" "gcc" "src/rm/CMakeFiles/eslurm_rm.dir/accounting_storage.cpp.o.d"
+  "/root/repo/src/rm/centralized_rm.cpp" "src/rm/CMakeFiles/eslurm_rm.dir/centralized_rm.cpp.o" "gcc" "src/rm/CMakeFiles/eslurm_rm.dir/centralized_rm.cpp.o.d"
+  "/root/repo/src/rm/eslurm_rm.cpp" "src/rm/CMakeFiles/eslurm_rm.dir/eslurm_rm.cpp.o" "gcc" "src/rm/CMakeFiles/eslurm_rm.dir/eslurm_rm.cpp.o.d"
+  "/root/repo/src/rm/profiles.cpp" "src/rm/CMakeFiles/eslurm_rm.dir/profiles.cpp.o" "gcc" "src/rm/CMakeFiles/eslurm_rm.dir/profiles.cpp.o.d"
+  "/root/repo/src/rm/resource_manager.cpp" "src/rm/CMakeFiles/eslurm_rm.dir/resource_manager.cpp.o" "gcc" "src/rm/CMakeFiles/eslurm_rm.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/rm/satellite.cpp" "src/rm/CMakeFiles/eslurm_rm.dir/satellite.cpp.o" "gcc" "src/rm/CMakeFiles/eslurm_rm.dir/satellite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/eslurm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eslurm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/eslurm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eslurm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eslurm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eslurm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eslurm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_rm.dir/accounting.cpp.o"
+  "CMakeFiles/eslurm_rm.dir/accounting.cpp.o.d"
+  "CMakeFiles/eslurm_rm.dir/accounting_storage.cpp.o"
+  "CMakeFiles/eslurm_rm.dir/accounting_storage.cpp.o.d"
+  "CMakeFiles/eslurm_rm.dir/centralized_rm.cpp.o"
+  "CMakeFiles/eslurm_rm.dir/centralized_rm.cpp.o.d"
+  "CMakeFiles/eslurm_rm.dir/eslurm_rm.cpp.o"
+  "CMakeFiles/eslurm_rm.dir/eslurm_rm.cpp.o.d"
+  "CMakeFiles/eslurm_rm.dir/profiles.cpp.o"
+  "CMakeFiles/eslurm_rm.dir/profiles.cpp.o.d"
+  "CMakeFiles/eslurm_rm.dir/resource_manager.cpp.o"
+  "CMakeFiles/eslurm_rm.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/eslurm_rm.dir/satellite.cpp.o"
+  "CMakeFiles/eslurm_rm.dir/satellite.cpp.o.d"
+  "libeslurm_rm.a"
+  "libeslurm_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

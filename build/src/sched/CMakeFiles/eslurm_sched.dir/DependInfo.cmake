@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/job.cpp" "src/sched/CMakeFiles/eslurm_sched.dir/job.cpp.o" "gcc" "src/sched/CMakeFiles/eslurm_sched.dir/job.cpp.o.d"
+  "/root/repo/src/sched/job_pool.cpp" "src/sched/CMakeFiles/eslurm_sched.dir/job_pool.cpp.o" "gcc" "src/sched/CMakeFiles/eslurm_sched.dir/job_pool.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/sched/CMakeFiles/eslurm_sched.dir/metrics.cpp.o" "gcc" "src/sched/CMakeFiles/eslurm_sched.dir/metrics.cpp.o.d"
+  "/root/repo/src/sched/partition.cpp" "src/sched/CMakeFiles/eslurm_sched.dir/partition.cpp.o" "gcc" "src/sched/CMakeFiles/eslurm_sched.dir/partition.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/sched/CMakeFiles/eslurm_sched.dir/priority.cpp.o" "gcc" "src/sched/CMakeFiles/eslurm_sched.dir/priority.cpp.o.d"
+  "/root/repo/src/sched/priority_scheduler.cpp" "src/sched/CMakeFiles/eslurm_sched.dir/priority_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eslurm_sched.dir/priority_scheduler.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/eslurm_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/eslurm_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_sched.dir/job.cpp.o"
+  "CMakeFiles/eslurm_sched.dir/job.cpp.o.d"
+  "CMakeFiles/eslurm_sched.dir/job_pool.cpp.o"
+  "CMakeFiles/eslurm_sched.dir/job_pool.cpp.o.d"
+  "CMakeFiles/eslurm_sched.dir/metrics.cpp.o"
+  "CMakeFiles/eslurm_sched.dir/metrics.cpp.o.d"
+  "CMakeFiles/eslurm_sched.dir/partition.cpp.o"
+  "CMakeFiles/eslurm_sched.dir/partition.cpp.o.d"
+  "CMakeFiles/eslurm_sched.dir/priority.cpp.o"
+  "CMakeFiles/eslurm_sched.dir/priority.cpp.o.d"
+  "CMakeFiles/eslurm_sched.dir/priority_scheduler.cpp.o"
+  "CMakeFiles/eslurm_sched.dir/priority_scheduler.cpp.o.d"
+  "CMakeFiles/eslurm_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/eslurm_sched.dir/scheduler.cpp.o.d"
+  "libeslurm_sched.a"
+  "libeslurm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_sim.dir/engine.cpp.o"
+  "CMakeFiles/eslurm_sim.dir/engine.cpp.o.d"
+  "libeslurm_sim.a"
+  "libeslurm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

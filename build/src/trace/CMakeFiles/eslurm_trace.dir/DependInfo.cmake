@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/eslurm_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/eslurm_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/statistics.cpp" "src/trace/CMakeFiles/eslurm_trace.dir/statistics.cpp.o" "gcc" "src/trace/CMakeFiles/eslurm_trace.dir/statistics.cpp.o.d"
+  "/root/repo/src/trace/swf.cpp" "src/trace/CMakeFiles/eslurm_trace.dir/swf.cpp.o" "gcc" "src/trace/CMakeFiles/eslurm_trace.dir/swf.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/eslurm_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/eslurm_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/eslurm_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/eslurm_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/eslurm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

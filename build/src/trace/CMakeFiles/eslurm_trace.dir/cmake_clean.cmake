@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_trace.dir/generator.cpp.o"
+  "CMakeFiles/eslurm_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/eslurm_trace.dir/statistics.cpp.o"
+  "CMakeFiles/eslurm_trace.dir/statistics.cpp.o.d"
+  "CMakeFiles/eslurm_trace.dir/swf.cpp.o"
+  "CMakeFiles/eslurm_trace.dir/swf.cpp.o.d"
+  "CMakeFiles/eslurm_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/eslurm_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/eslurm_trace.dir/workload.cpp.o"
+  "CMakeFiles/eslurm_trace.dir/workload.cpp.o.d"
+  "libeslurm_trace.a"
+  "libeslurm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

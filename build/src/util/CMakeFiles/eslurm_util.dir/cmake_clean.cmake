@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eslurm_util.dir/args.cpp.o"
+  "CMakeFiles/eslurm_util.dir/args.cpp.o.d"
+  "CMakeFiles/eslurm_util.dir/config.cpp.o"
+  "CMakeFiles/eslurm_util.dir/config.cpp.o.d"
+  "CMakeFiles/eslurm_util.dir/hostlist.cpp.o"
+  "CMakeFiles/eslurm_util.dir/hostlist.cpp.o.d"
+  "CMakeFiles/eslurm_util.dir/log.cpp.o"
+  "CMakeFiles/eslurm_util.dir/log.cpp.o.d"
+  "CMakeFiles/eslurm_util.dir/rng.cpp.o"
+  "CMakeFiles/eslurm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eslurm_util.dir/stats.cpp.o"
+  "CMakeFiles/eslurm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eslurm_util.dir/strings.cpp.o"
+  "CMakeFiles/eslurm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/eslurm_util.dir/table.cpp.o"
+  "CMakeFiles/eslurm_util.dir/table.cpp.o.d"
+  "libeslurm_util.a"
+  "libeslurm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eslurm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

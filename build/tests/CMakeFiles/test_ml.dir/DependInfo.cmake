@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/kmeans_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/kmeans_test.cpp.o.d"
+  "/root/repo/tests/ml/linear_tobit_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/linear_tobit_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/linear_tobit_test.cpp.o.d"
+  "/root/repo/tests/ml/scaler_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/scaler_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/scaler_test.cpp.o.d"
+  "/root/repo/tests/ml/svr_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/svr_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/svr_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_forest_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/tree_forest_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/tree_forest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/eslurm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/predict/features_regression_test.cpp" "tests/CMakeFiles/test_predict.dir/predict/features_regression_test.cpp.o" "gcc" "tests/CMakeFiles/test_predict.dir/predict/features_regression_test.cpp.o.d"
+  "/root/repo/tests/predict/predict_test.cpp" "tests/CMakeFiles/test_predict.dir/predict/predict_test.cpp.o" "gcc" "tests/CMakeFiles/test_predict.dir/predict/predict_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predict/CMakeFiles/eslurm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eslurm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eslurm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eslurm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

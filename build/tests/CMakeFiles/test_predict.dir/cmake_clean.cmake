@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict.dir/predict/features_regression_test.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/features_regression_test.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/predict_test.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/predict_test.cpp.o.d"
+  "test_predict"
+  "test_predict.pdb"
+  "test_predict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rm/accounting_storage_test.cpp" "tests/CMakeFiles/test_rm.dir/rm/accounting_storage_test.cpp.o" "gcc" "tests/CMakeFiles/test_rm.dir/rm/accounting_storage_test.cpp.o.d"
+  "/root/repo/tests/rm/accounting_test.cpp" "tests/CMakeFiles/test_rm.dir/rm/accounting_test.cpp.o" "gcc" "tests/CMakeFiles/test_rm.dir/rm/accounting_test.cpp.o.d"
+  "/root/repo/tests/rm/admin_features_test.cpp" "tests/CMakeFiles/test_rm.dir/rm/admin_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_rm.dir/rm/admin_features_test.cpp.o.d"
+  "/root/repo/tests/rm/rm_test.cpp" "tests/CMakeFiles/test_rm.dir/rm/rm_test.cpp.o" "gcc" "tests/CMakeFiles/test_rm.dir/rm/rm_test.cpp.o.d"
+  "/root/repo/tests/rm/satellite_test.cpp" "tests/CMakeFiles/test_rm.dir/rm/satellite_test.cpp.o" "gcc" "tests/CMakeFiles/test_rm.dir/rm/satellite_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rm/CMakeFiles/eslurm_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/eslurm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/eslurm_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/eslurm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eslurm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/eslurm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eslurm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eslurm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eslurm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rm.dir/rm/accounting_storage_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/accounting_storage_test.cpp.o.d"
+  "CMakeFiles/test_rm.dir/rm/accounting_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/accounting_test.cpp.o.d"
+  "CMakeFiles/test_rm.dir/rm/admin_features_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/admin_features_test.cpp.o.d"
+  "CMakeFiles/test_rm.dir/rm/rm_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/rm_test.cpp.o.d"
+  "CMakeFiles/test_rm.dir/rm/satellite_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/satellite_test.cpp.o.d"
+  "test_rm"
+  "test_rm.pdb"
+  "test_rm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esacct.dir/esacct.cpp.o"
+  "CMakeFiles/esacct.dir/esacct.cpp.o.d"
+  "esacct"
+  "esacct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esacct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esim.dir/esim.cpp.o"
+  "CMakeFiles/esim.dir/esim.cpp.o.d"
+  "esim"
+  "esim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

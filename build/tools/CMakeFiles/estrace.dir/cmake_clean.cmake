@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estrace.dir/estrace.cpp.o"
+  "CMakeFiles/estrace.dir/estrace.cpp.o.d"
+  "estrace"
+  "estrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
