@@ -28,7 +28,8 @@ std::pair<double, double> evaluate(const predict::EstimatorConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Ablation", "estimation-framework design knobs");
   trace::WorkloadProfile profile = trace::tianhe2a_profile();
   profile.jobs_per_hour = 25;

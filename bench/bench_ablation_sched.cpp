@@ -86,7 +86,8 @@ sched::SchedulingReport replay(const std::vector<sched::Job>& jobs, int nodes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Ablation", "scheduling policies and estimate quality (1024 nodes)");
   const SimTime horizon = hours(72);
   const auto jobs =

@@ -9,11 +9,43 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/generator.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace eslurm::bench {
+
+/// Opt-in telemetry for a bench run.  Construct at the top of main() with
+/// the raw argv; if `--telemetry-out FILE` is present, global telemetry is
+/// enabled before any engine or world is built and the combined
+/// trace+metrics artifact is written to FILE when the scope ends (load it
+/// in Perfetto, or summarize it with tools/esprof).  Without the flag the
+/// scope is inert and the run pays no telemetry cost.
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--telemetry-out") {
+        path_ = argv[i + 1];
+        telemetry::global().enable();
+        break;
+      }
+    }
+  }
+  ~TelemetryScope() {
+    if (path_.empty()) return;
+    if (telemetry::global().save(path_))
+      std::printf("telemetry: wrote %s\n", path_.c_str());
+    else
+      std::fprintf(stderr, "telemetry: could not write %s\n", path_.c_str());
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::string path_;
+};
 
 /// Banner printed by every harness.  Also switches stdout to line
 /// buffering so long runs show progress when redirected to a file.

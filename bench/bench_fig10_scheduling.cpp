@@ -75,7 +75,8 @@ void run_scale(std::size_t nodes, const std::vector<Variant>& variants,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 10", "scheduling efficiency across cluster scales (Table VII)");
 
   const Variant sge{"sge", false, true, "SGE"};

@@ -13,7 +13,8 @@ namespace {
 constexpr std::size_t kNodes = 20480;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 11a", "heartbeat broadcast time vs satellite count (20K+ nodes)");
 
   Table table({"satellites", "avg heartbeat broadcast (s)"});

@@ -11,7 +11,8 @@
 
 using namespace eslurm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 11b", "runtime-estimation models on NG-Tianhe history");
   trace::WorkloadProfile profile = trace::ng_tianhe_profile();
   profile.jobs_per_hour = 12;  // NG-Tianhe's observed rate (Table III)

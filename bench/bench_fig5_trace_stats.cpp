@@ -64,7 +64,8 @@ void analyze(const char* label, const trace::WorkloadProfile& profile) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 5", "workload-trace statistics of the two Tianhe systems");
   analyze("Tianhe-2A", trace::tianhe2a_profile());
   analyze("NG-Tianhe", trace::ng_tianhe_profile());

@@ -49,7 +49,8 @@ double occupation_for(const std::string& rm, int job_nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 7f", "job occupation time vs job size (10 s jobs, 4K nodes)");
   const std::vector<int> sizes{64, 256, 1024, 2048, 4096};
   Table table({"job nodes", "sge", "torque", "openpbs", "lsf", "slurm", "eslurm"});

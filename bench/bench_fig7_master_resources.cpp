@@ -68,7 +68,8 @@ Row run_rm(const std::string& rm, const std::vector<sched::Job>& jobs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 7a-e", "master-node resource usage, 4K nodes, 24 h");
   // The paper's 4K-node partition ran about 1K jobs per day (Section
   // VII-A's core-hour extrapolation).

@@ -165,7 +165,8 @@ void fig8b() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 8", "broadcast efficiency and failure tolerance (4K nodes)");
   fig8a();
   fig8b();

@@ -35,7 +35,8 @@ Row collect(const rm::DaemonStats& stats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Fig. 9", "full-scale Tianhe-2A (16K nodes): Slurm vs ESLURM, 24 h");
   const auto jobs =
       bench::workload_count_for(kNodes, kHorizon, 2500, trace::tianhe2a_profile(), 99);

@@ -7,7 +7,8 @@
 
 using namespace eslurm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Sec. VII-A", "FP-Tree leaf placement over a 10-day deployment");
   core::ExperimentConfig config;
   config.rm = "eslurm";

@@ -47,7 +47,8 @@ Row run(const std::string& rm, std::size_t nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Sec. II-B", "user-request response time and failure rate");
   Table table({"RM", "nodes", "avg response (s)", "worst (s)", "failed %", "requests"});
   for (const std::size_t nodes : {4096u, 20480u}) {

@@ -24,7 +24,8 @@ constexpr double kDays = 2.0;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Tables V & VI", "ESLURM on 20K+ nodes, SE1..SE5 (10..50 satellites)");
   const auto jobs = bench::workload_count_for(
       kNodes, kHorizon, 1200, trace::ng_tianhe_profile(), 3);

@@ -9,7 +9,8 @@
 
 using namespace eslurm;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
   bench::banner("Table VIII", "slack variable alpha vs AEA / underestimation rate");
   trace::WorkloadProfile profile = trace::ng_tianhe_profile();
   profile.jobs_per_hour = 12;

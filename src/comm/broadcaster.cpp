@@ -1,5 +1,7 @@
 #include "comm/broadcaster.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace eslurm::comm {
 namespace {
 // Process-wide allocator for per-instance message-type ranges.  Types are
@@ -20,6 +22,31 @@ void Broadcaster::broadcast(NodeId root, std::vector<NodeId> targets,
                             const BroadcastOptions& options, Callback done) {
   broadcast(root, std::make_shared<const std::vector<NodeId>>(std::move(targets)),
             options, std::move(done));
+}
+
+void Broadcaster::record_result(const BroadcastResult& result) {
+  auto* t = telemetry::maybe();
+  if (!t) return;
+  t->metrics.counter("comm.broadcasts", {{"structure", name_}}).inc();
+  t->metrics.histogram("comm.broadcast_seconds", {{"structure", name_}})
+      .observe(to_seconds(result.elapsed()));
+  if (result.unreachable > 0)
+    t->metrics.counter("comm.unreachable", {{"structure", name_}})
+        .inc(static_cast<double>(result.unreachable));
+  if (result.repairs > 0)
+    t->metrics.counter("comm.repairs", {{"structure", name_}})
+        .inc(static_cast<double>(result.repairs));
+  t->tracer.complete(
+      "broadcast:" + name_, "comm", result.started, result.elapsed(),
+      {{"targets", static_cast<double>(result.targets)},
+       {"delivered", static_cast<double>(result.delivered)},
+       {"unreachable", static_cast<double>(result.unreachable)},
+       {"repairs", static_cast<double>(result.repairs)}});
+}
+
+void Broadcaster::record_retry() {
+  if (auto* t = telemetry::maybe())
+    t->metrics.counter("comm.send_retries", {{"structure", name_}}).inc();
 }
 
 bool Broadcaster::mark_delivered(std::uint64_t broadcast_id, std::vector<bool>& bitmap,

@@ -82,6 +82,15 @@ class Broadcaster {
   /// Allocates this instance's private message-type range.
   net::MessageType alloc_type_range(int width);
 
+  /// Telemetry tap: every implementation calls this once per finished
+  /// broadcast (latency histogram + counters labeled by structure name,
+  /// and a trace span covering the broadcast).  No-op when telemetry is
+  /// disabled.
+  void record_result(const BroadcastResult& result);
+
+  /// Telemetry tap for a failed send attempt that will be retried.
+  void record_retry();
+
   /// Records a delivery in the per-broadcast bitmap (idempotent) and
   /// fires the delivery hook for first-time deliveries.  Returns true if
   /// this was the first delivery to that node.

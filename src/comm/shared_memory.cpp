@@ -74,6 +74,7 @@ void SharedMemoryBroadcaster::finish(State& state) {
   result.targets = state.list->size();
   result.delivered = state.delivered;
   result.unreachable = state.unreachable;
+  record_result(result);
   const std::uint64_t id = state.id;
   if (state.done) state.done(result);
   active_.erase(id);

@@ -58,6 +58,7 @@ void StarBroadcaster::attempt(State& state, std::size_t index, int attempts_left
               if (it == active_.end()) return;
               State& st = *it->second;
               if (!ok && attempts_left > 1) {
+                record_retry();
                 attempt(st, index, attempts_left - 1);  // slot stays occupied
                 return;
               }
@@ -84,6 +85,7 @@ void StarBroadcaster::finish(State& state) {
   result.targets = state.list->size();
   result.delivered = state.list->size() - state.unreachable;
   result.unreachable = state.unreachable;
+  record_result(result);
   const std::uint64_t id = state.id;
   if (state.done) state.done(result);
   active_.erase(id);

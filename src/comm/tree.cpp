@@ -135,6 +135,7 @@ void TreeBroadcaster::attempt_child(State& state, NodeCtx& ctx, std::size_t slot
                 return;
               }
               if (attempts_left > 1) {
+                record_retry();
                 attempt_child(st, c, slot_index, attempts_left - 1);
                 return;
               }
@@ -193,6 +194,7 @@ void TreeBroadcaster::finish_root(State& state, NodeCtx& ctx) {
       std::count(state.delivered.begin(), state.delivered.end(), true));
   result.unreachable = ctx.agg_unreachable;
   result.repairs = ctx.agg_repairs;
+  record_result(result);
   const std::uint64_t id = state.id;
   if (state.done) state.done(result);
   active_.erase(id);

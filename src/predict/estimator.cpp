@@ -1,8 +1,10 @@
 #include "predict/estimator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace eslurm::predict {
@@ -23,6 +25,12 @@ void RuntimeEstimator::record_completion(const sched::Job& job) {
       const auto [value, cluster] = *predicted;
       models_[cluster].accuracy.add(value, job.actual_runtime);
       model_accuracy_.add(value, job.actual_runtime);
+      if (auto* t = telemetry::maybe()) {
+        t->metrics
+            .gauge("predict.cluster_aea", {{"cluster", std::to_string(cluster)}})
+            .set(models_[cluster].accuracy.aea());
+        t->metrics.gauge("predict.model_aea").set(model_accuracy_.aea());
+      }
     }
   }
 
@@ -40,6 +48,9 @@ std::vector<double> RuntimeEstimator::scale_weighted(
 
 void RuntimeEstimator::retrain() {
   if (history_.size() < config_.min_history) return;
+  auto* telem = telemetry::maybe();
+  const auto wall_start = telem ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point();
   const std::size_t window = std::min(config_.interest_window, history_.size());
 
   ml::Dataset data;
@@ -80,6 +91,20 @@ void RuntimeEstimator::retrain() {
   train_points_ = scaled.x;
   train_labels_ = kmeans_->labels();
   ++retrains_;
+  if (telem) {
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+    telem->metrics.counter("predict.retrains").inc();
+    telem->metrics
+        .histogram("predict.retrain_ms",
+                   {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000})
+        .observe(wall_ms);
+    telem->tracer.instant("predict-retrain", "predict",
+                          {{"window", static_cast<double>(window)},
+                           {"k", static_cast<double>(kmeans_->k())},
+                           {"wall_ms", wall_ms}});
+  }
   ESLURM_DEBUG("estimator: retrained on ", window, " jobs, k=", kmeans_->k());
 }
 

@@ -1,7 +1,9 @@
 #include "rm/eslurm_rm.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace eslurm::rm {
@@ -94,11 +96,23 @@ void EslurmRm::apply_event(std::size_t sat_index, SatelliteEvent event) {
   sat.state = satellite_transition(sat.state, event);
   if (sat.state == SatelliteState::Fault && old_state != SatelliteState::Fault)
     sat.fault_since = engine_.now();
-  if (sat.state != old_state)
+  if (sat.state != old_state) {
     ESLURM_DEBUG("eslurm: satellite ", sat.node, " ",
                  satellite_state_name(old_state), " -> ",
                  satellite_state_name(sat.state), " on ",
                  satellite_event_name(event));
+    if (auto* t = telemetry::maybe()) {
+      // One counter per edge of the Table II FSM, so a run's churn is
+      // directly readable (e.g. rm.sat_transitions{from=RUNNING,to=FAULT}).
+      t->metrics
+          .counter("rm.sat_transitions", {{"from", satellite_state_name(old_state)},
+                                          {"to", satellite_state_name(sat.state)}})
+          .inc();
+      t->tracer.instant(std::string("sat:") + satellite_state_name(old_state) +
+                            "->" + satellite_state_name(sat.state),
+                        "rm", {{"node", static_cast<double>(sat.node)}});
+    }
+  }
 }
 
 std::size_t EslurmRm::pick_satellite() {
@@ -156,6 +170,13 @@ void EslurmRm::dispatch(std::vector<NodeId> targets, std::size_t bytes,
   }
   state->pending = state->subtasks.size();
   dispatches_.emplace(state->id, state);
+  if (auto* t = telemetry::maybe()) {
+    t->metrics.counter("rm.dispatches").inc();
+    t->metrics
+        .histogram("rm.subtasks_per_dispatch",
+                   {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128})
+        .observe(static_cast<double>(state->subtasks.size()));
+  }
 
   for (std::size_t i = 0; i < state->subtasks.size(); ++i)
     assign_subtask(state->id, i);
@@ -209,6 +230,8 @@ void EslurmRm::send_task(NodeId sat_node, net::Message msg, std::uint64_t dispat
                 apply_event(sat_index, SatelliteEvent::BtFailure);
                 ++st.reallocations;
                 ++reallocations_;
+                if (auto* t = telemetry::maybe())
+                  t->metrics.counter("rm.subtask_reallocations").inc();
                 assign_subtask(dispatch_id, subtask_index);
                 return;
               }
@@ -224,6 +247,8 @@ void EslurmRm::send_task(NodeId sat_node, net::Message msg, std::uint64_t dispat
                     apply_event(sat_index, SatelliteEvent::BtFailure);
                     ++st2.reallocations;
                     ++reallocations_;
+                    if (auto* t = telemetry::maybe())
+                      t->metrics.counter("rm.subtask_reallocations").inc();
                     assign_subtask(dispatch_id, subtask_index);
                   });
             });
@@ -309,6 +334,11 @@ void EslurmRm::master_takeover(std::uint64_t dispatch_id, std::size_t subtask_in
   if (it == dispatches_.end()) return;
   Subtask& subtask = it->second->subtasks[subtask_index];
   ++takeovers_;
+  if (auto* t = telemetry::maybe()) {
+    t->metrics.counter("rm.master_takeovers").inc();
+    t->tracer.instant("master-takeover", "rm",
+                      {{"nodes", static_cast<double>(subtask.list->size())}});
+  }
   comm::BroadcastOptions opts = config_.bcast;
   opts.payload_bytes = subtask.bytes;
   relay_->broadcast(deployment_.master, subtask.list, opts,
@@ -339,7 +369,19 @@ void EslurmRm::subtask_finished(std::uint64_t dispatch_id, std::size_t subtask_i
         std::min(state.aggregate.delivered, state.aggregate.targets);
     const auto done = std::move(state.done);
     const auto aggregate = state.aggregate;
+    const std::size_t subtasks = state.subtasks.size();
     dispatches_.erase(dispatch_id);
+    if (auto* t = telemetry::maybe()) {
+      // The whole fan-out/aggregate round as one span: master split ->
+      // satellite relays -> completion reports (Eq. 1 path).
+      t->tracer.complete(
+          "eslurm.dispatch", "rm", aggregate.started, aggregate.elapsed(),
+          {{"targets", static_cast<double>(aggregate.targets)},
+           {"delivered", static_cast<double>(aggregate.delivered)},
+           {"subtasks", static_cast<double>(subtasks)}});
+      t->metrics.histogram("rm.dispatch_seconds")
+          .observe(to_seconds(aggregate.elapsed()));
+    }
     if (done) done(aggregate);
   }
 }
@@ -357,8 +399,15 @@ void EslurmRm::heartbeat_satellites() {
     net::Message ping;
     ping.type = kMsgSatelliteHeartbeat;
     ping.bytes = 64;
+    if (auto* t = telemetry::maybe())
+      t->metrics.counter("rm.heartbeats_sent").inc();
     net_.send(deployment_.master, sat.node, std::move(ping), config_.bcast.timeout,
               [this, i](bool ok) {
+                if (auto* t = telemetry::maybe())
+                  t->metrics
+                      .counter("rm.heartbeat_results",
+                               {{"result", ok ? "ok" : "fail"}})
+                      .inc();
                 apply_event(i, ok ? SatelliteEvent::HbSuccess
                                   : SatelliteEvent::HbFailure);
               });

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace eslurm::rm {
@@ -131,11 +132,20 @@ void ResourceManager::submit(sched::Job job) {
   }
   pool_.submit(std::move(job));
   master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
+  if (auto* t = telemetry::maybe())
+    t->metrics.counter("rm.jobs_submitted", {{"rm", profile_.name}}).inc();
 }
 
 void ResourceManager::run_sched_cycle() {
   if (!master_up_) return;
   if (estimator_) estimator_->maybe_retrain(engine_.now());
+  if (auto* t = telemetry::maybe()) {
+    const auto depth = static_cast<double>(pool_.pending().size());
+    t->metrics.counter("sched.cycles").inc();
+    t->metrics.gauge("sched.queue_depth", {{"rm", profile_.name}}).set(depth);
+    // Counter-track sample: renders as a queue-depth-over-time chart.
+    t->tracer.counter_sample("sched.queue_depth:" + profile_.name, depth);
+  }
   // Scheduler pass cost scales with queue depth and cluster size.
   const auto& acc = profile_.accounting;
   master_stats_->charge_cpu_us(
@@ -197,10 +207,15 @@ void ResourceManager::start_job(sched::JobId id) {
   // Launch broadcast ("job loading message").
   dispatch(allocated, 2048, [this, id](const comm::BroadcastResult& result) {
     launch_bcast_.add(to_seconds(result.elapsed()));
+    if (auto* t = telemetry::maybe())
+      t->metrics.histogram("rm.launch_broadcast_seconds", {{"rm", profile_.name}})
+          .observe(to_seconds(result.elapsed()));
     if (result.unreachable > 0) {
       // One or more allocated nodes were dead: the launch fails, the dead
       // nodes are now known, and the job returns to the queue head.
       ++requeues_;
+      if (auto* t = telemetry::maybe())
+        t->metrics.counter("rm.launch_requeues", {{"rm", profile_.name}}).inc();
       for (const NodeId node : allocations_[id]) {
         if (!cluster_.alive(node)) {
           believed_down_.insert(node);
@@ -216,6 +231,11 @@ void ResourceManager::start_job(sched::JobId id) {
     }
     sched::Job& j = pool_.get(id);
     pool_.mark_running(id, engine_.now());
+    if (auto* t = telemetry::maybe()) {
+      t->metrics.counter("rm.jobs_started", {{"rm", profile_.name}}).inc();
+      t->metrics.histogram("sched.wait_seconds", {{"rm", profile_.name}})
+          .observe(to_seconds(engine_.now() - j.submit_time));
+    }
     // The job runs for its actual runtime, clipped at the enforced wall
     // limit.  The kill limit is never below what the user requested: a
     // model estimate replaces the user's number for *scheduling*, but no
@@ -246,6 +266,11 @@ void ResourceManager::job_ended(sched::JobId id, sched::JobState end_state) {
   const std::vector<NodeId> allocated = allocations_[id];
   dispatch(allocated, 512, [this, id](const comm::BroadcastResult& result) {
     term_bcast_.add(to_seconds(result.elapsed()));
+    if (auto* t = telemetry::maybe()) {
+      t->metrics.histogram("rm.term_broadcast_seconds", {{"rm", profile_.name}})
+          .observe(to_seconds(result.elapsed()));
+      t->metrics.counter("rm.jobs_finished", {{"rm", profile_.name}}).inc();
+    }
     pool_.mark_released(id, engine_.now());
     const sched::Job& job = pool_.get(id);
     occupation_.add(to_seconds(job.release_time - job.submit_time));
@@ -335,12 +360,18 @@ void ResourceManager::crash_master() {
   ++crashes_;
   crashed_at_ = engine_.now();
   ESLURM_INFO(profile_.name, ": master crashed at t=", to_seconds(engine_.now()), "s");
+  if (auto* t = telemetry::maybe()) {
+    t->metrics.counter("rm.master_crashes", {{"rm", profile_.name}}).inc();
+    t->tracer.instant("master-crash", "rm");
+  }
   engine_.schedule_after(profile_.reboot_time, [this] { recover_master(); });
 }
 
 void ResourceManager::recover_master() {
   master_up_ = true;
   downtime_ += engine_.now() - crashed_at_;
+  if (auto* t = telemetry::maybe())
+    t->tracer.complete("master-outage", "rm", crashed_at_, engine_.now() - crashed_at_);
   // Process completions that piled up during the outage.
   auto deferred = std::move(deferred_completions_);
   deferred_completions_.clear();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "telemetry/telemetry.hpp"
+
 namespace eslurm::sched {
 
 SimTime expected_end(const Job& job, SimTime now) {
@@ -103,6 +105,8 @@ std::vector<JobId> easy_backfill_pass(const JobPool& pool,
       if (fits_spare && !ends_before_shadow) spare -= job.nodes;
       out.push_back(job.id);
       if (backfilled_counter) ++(*backfilled_counter);
+      if (auto* t = telemetry::maybe())
+        t->metrics.counter("sched.backfill_decisions").inc();
     }
   }
   return out;

@@ -1,10 +1,37 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace eslurm::sim {
+namespace {
+
+/// Queues below this size are never compacted: the win is negligible and
+/// short benches would churn on tiny rebuilds.
+constexpr std::size_t kCompactionMinQueue = 64;
+
+}  // namespace
+
+Engine::Engine() {
+  if (auto* t = telemetry::maybe()) {
+    executed_counter_ = &t->metrics.counter("sim.events_executed");
+    depth_gauge_ = &t->metrics.gauge("sim.queue_depth");
+    stale_gauge_ = &t->metrics.gauge("sim.stale_ratio");
+    compaction_counter_ = &t->metrics.counter("sim.queue_compactions");
+    // The newest engine drives the trace clock (benches build one world
+    // at a time; the destructor retracts exactly this registration).
+    t->tracer.set_clock([this] { return now_; }, this);
+  }
+}
+
+Engine::~Engine() {
+  if (depth_gauge_) publish_telemetry();  // final sync for the artifact
+  telemetry::global().tracer.clear_clock(this);
+}
 
 EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
@@ -19,7 +46,35 @@ EventId Engine::schedule_after(SimTime delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  if (handlers_.erase(id) == 0) return false;
+  maybe_compact();
+  return true;
+}
+
+void Engine::maybe_compact() {
+  // Lazy-cancel hygiene: cancelled entries stay in the queue until their
+  // timestamp would have fired.  Workloads that arm-and-cancel watchdogs
+  // far in the future (tree broadcasts, subtask monitors) accumulate
+  // them; once more than half the queue is dead weight, rebuild it.
+  if (queue_.size() < kCompactionMinQueue) return;
+  if (stale_entries() * 2 <= queue_.size()) return;
+  auto& entries = queue_.container();
+  std::erase_if(entries,
+                [this](const QueueEntry& e) { return !handlers_.contains(e.id); });
+  std::make_heap(entries.begin(), entries.end(), std::greater<>{});
+  ++compactions_;
+  if (compaction_counter_) {
+    compaction_counter_->inc();
+    publish_telemetry();
+  }
+}
+
+void Engine::publish_telemetry() {
+  depth_gauge_->set(static_cast<double>(queue_.size()));
+  stale_gauge_->set(stale_ratio());
+  executed_counter_->inc(static_cast<double>(executed_) - executed_counter_->value());
+}
 
 bool Engine::step() {
   while (!queue_.empty()) {
@@ -33,6 +88,9 @@ bool Engine::step() {
     handlers_.erase(it);
     now_ = top.time;
     ++executed_;
+    // Periodic gauge refresh; the modulo keeps the disabled/enabled cost
+    // out of the per-event budget.
+    if (depth_gauge_ && (executed_ & 0xFFF) == 0) publish_telemetry();
     fn();
     return true;
   }
@@ -51,11 +109,13 @@ void Engine::run_until(SimTime horizon) {
     step();
   }
   if (now_ < horizon) now_ = horizon;
+  if (depth_gauge_) publish_telemetry();
 }
 
 void Engine::run() {
   while (step()) {
   }
+  if (depth_gauge_) publish_telemetry();
 }
 
 PeriodicTask::PeriodicTask(Engine& engine, SimTime period, std::function<void()> fn)

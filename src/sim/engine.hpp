@@ -15,6 +15,11 @@
 
 #include "util/time.hpp"
 
+namespace eslurm::telemetry {
+class Counter;
+class Gauge;
+}  // namespace eslurm::telemetry
+
 namespace eslurm::sim {
 
 /// Handle for a scheduled event; can be used to cancel it.
@@ -23,7 +28,8 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -56,6 +62,25 @@ class Engine {
   /// Total number of executed events (for sanity checks / reports).
   std::uint64_t executed_events() const { return executed_; }
 
+  // --- queue hygiene ---------------------------------------------------
+  /// Total priority-queue entries, live plus cancelled-but-unpopped.
+  std::size_t queue_size() const { return queue_.size(); }
+  /// Cancelled entries still occupying queue slots.  `cancel()` only
+  /// erases the handler; the entry stays queued until its timestamp is
+  /// reached or a compaction sweeps it.
+  std::size_t stale_entries() const { return queue_.size() - handlers_.size(); }
+  /// Stale fraction of the queue (0 when empty).
+  double stale_ratio() const {
+    return queue_.empty() ? 0.0
+                          : static_cast<double>(stale_entries()) /
+                                static_cast<double>(queue_.size());
+  }
+  /// Times the queue was compacted because stale entries exceeded half
+  /// of it.  Watchdog-heavy workloads (broadcast trees arm one watchdog
+  /// per child and cancel nearly all of them) previously grew the queue
+  /// until the cancelled timestamps were reached.
+  std::uint64_t compactions() const { return compactions_; }
+
  private:
   struct QueueEntry {
     SimTime time;
@@ -64,12 +89,29 @@ class Engine {
       return time != o.time ? time > o.time : id > o.id;
     }
   };
+  /// priority_queue with access to the underlying vector for compaction.
+  class Queue : public std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                           std::greater<>> {
+   public:
+    std::vector<QueueEntry>& container() { return c; }
+  };
+
+  void maybe_compact();
+  void publish_telemetry();
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::uint64_t compactions_ = 0;
+  Queue queue_;
   std::unordered_map<EventId, std::function<void()>> handlers_;
+
+  // Cached instruments (null when telemetry was disabled at construction
+  // time) keep the per-event overhead to a pointer check.
+  telemetry::Counter* executed_counter_ = nullptr;
+  telemetry::Gauge* depth_gauge_ = nullptr;
+  telemetry::Gauge* stale_gauge_ = nullptr;
+  telemetry::Counter* compaction_counter_ = nullptr;
 };
 
 /// Repeating callback helper (heartbeats, samplers, retrain timers...).

@@ -1,0 +1,336 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace eslurm::telemetry {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.type_ = Type::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double n) {
+  JsonValue v;
+  v.type_ = Type::Number;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.type_ = Type::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    skip_ws();
+    JsonValue value;
+    if (!parse_value(value)) {
+      fill_error(error);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      fill_error(error);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void fail(const char* message) {
+    if (!failed_) {
+      failed_ = true;
+      message_ = message;
+      fail_pos_ = pos_;
+    }
+  }
+
+  void fill_error(std::string* error) const {
+    if (!error) return;
+    *error = message_ ? message_ : "parse error";
+    *error += " at offset " + std::to_string(fail_pos_);
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (eof()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) break;
+        out = JsonValue::boolean(true);
+        return true;
+      case 'f':
+        if (!literal("false")) break;
+        out = JsonValue::boolean(false);
+        return true;
+      case 'n':
+        if (!literal("null")) break;
+        out = JsonValue::null();
+        return true;
+      default:
+        return parse_number(out);
+    }
+    fail("invalid literal");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc() || result.ptr != text_.data() + pos_ ||
+        pos_ == start) {
+      pos_ = start;
+      fail("invalid number");
+      return false;
+    }
+    out = JsonValue::number(value);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (eof() || peek() != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("invalid \\u escape");
+                return false;
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are kept as
+            // two separate 3-byte sequences; telemetry output is ASCII).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape");
+            return false;
+        }
+        continue;
+      }
+      out += c;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      out = JsonValue::array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated array");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+    out = JsonValue::array(std::move(items));
+    return true;
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      out = JsonValue::object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (eof() || text_[pos_++] != ':') {
+        fail("expected ':'");
+        return false;
+      }
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated object");
+        return false;
+      }
+      const char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+    out = JsonValue::object(std::move(members));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  const char* message_ = nullptr;
+  std::size_t fail_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace eslurm::telemetry

@@ -1,0 +1,71 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// The telemetry sinks emit JSON (Chrome trace events, metrics snapshots);
+// this parser closes the loop so esprof and the tests can read those
+// artifacts back without an external dependency.  It accepts strict JSON
+// (RFC 8259) with the one relaxation of tolerating any amount of ASCII
+// whitespace between tokens.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eslurm::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in document order (duplicate keys are preserved).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Looks up an object member; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // --- construction (used by the parser; handy for tests too) ----------
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double n);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a complete JSON document.  Trailing non-whitespace is an error.
+/// On failure returns nullopt and, when `error` is given, a message with
+/// the byte offset of the problem.
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error = nullptr);
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes).  Control characters become \uXXXX sequences.
+std::string json_escape(std::string_view s);
+
+}  // namespace eslurm::telemetry

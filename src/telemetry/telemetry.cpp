@@ -1,0 +1,32 @@
+#include "telemetry/telemetry.hpp"
+
+#include <fstream>
+
+namespace eslurm::telemetry {
+
+void Telemetry::enable(std::size_t max_trace_events) {
+  enabled_ = true;
+  tracer.enable(max_trace_events);
+}
+
+void Telemetry::reset() {
+  enabled_ = false;
+  tracer.disable();
+  tracer.clear();
+  metrics.clear();
+}
+
+bool Telemetry::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  tracer.write_chrome_trace(os, &metrics);
+  os << '\n';
+  return static_cast<bool>(os);
+}
+
+Telemetry& global() {
+  static Telemetry instance;
+  return instance;
+}
+
+}  // namespace eslurm::telemetry

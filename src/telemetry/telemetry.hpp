@@ -1,0 +1,57 @@
+// Process-wide telemetry context: one metrics Registry plus one Tracer
+// behind a single master switch.
+//
+// Usage pattern for instrumented code (the only cost when telemetry is
+// off is one inline pointer load + branch):
+//
+//   if (auto* t = telemetry::maybe()) {
+//     t->metrics.counter("rm.dispatches").inc();
+//     t->tracer.instant("master-crash", "rm");
+//   }
+//
+// Hot loops should cache instrument references at construction time
+// instead (see sim::Engine), turning the per-event cost into a plain
+// pointer check + double increment.
+//
+// Benches enable the context before building their world (see
+// bench_common.hpp's TelemetryScope and the --telemetry-out flag); tests
+// enable/disable it around the code under test.  The simulation is
+// single-threaded by design, so the context is too.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace eslurm::telemetry {
+
+struct Telemetry {
+  Registry metrics;
+  Tracer tracer;
+
+  bool enabled() const { return enabled_; }
+  /// Enables metrics + tracing; idempotent.
+  void enable(std::size_t max_trace_events = 1u << 20);
+  /// Disables and drops all recorded state (tests use this to isolate).
+  void reset();
+
+  /// Writes the combined artifact (Chrome trace with embedded metrics
+  /// snapshot) to `path`.  Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+};
+
+/// The process-wide context (always constructed; maybe disabled).
+Telemetry& global();
+
+/// Fast-path accessor: nullptr when telemetry is disabled.
+inline Telemetry* maybe() {
+  Telemetry& t = global();
+  return t.enabled() ? &t : nullptr;
+}
+
+}  // namespace eslurm::telemetry

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace eslurm::sim {
 namespace {
 
@@ -88,6 +90,69 @@ TEST(Engine, StepReturnsFalseWhenEmpty) {
   EXPECT_EQ(engine.pending_count(), 0u);
 }
 
+TEST(Engine, CompactionDropsStaleEntriesFromLazyCancels) {
+  Engine engine;
+  // Arm-and-cancel far-future watchdogs: without compaction, each
+  // cancelled entry lingers until its timestamp would have fired and the
+  // queue grows without bound.
+  std::vector<EventId> watchdogs;
+  for (int i = 0; i < 1000; ++i)
+    watchdogs.push_back(engine.schedule_at(hours(1000), [] {}));
+  engine.schedule_at(seconds(1), [] {});
+  for (const EventId id : watchdogs) EXPECT_TRUE(engine.cancel(id));
+  EXPECT_GT(engine.compactions(), 0u);
+  // Compaction keeps the queue near the live set; only sub-threshold
+  // queues (< 64 entries) may still carry stale entries.
+  EXPECT_LT(engine.queue_size(), 128u);
+  EXPECT_EQ(engine.pending_count(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.now(), seconds(1));  // live event still fires
+  EXPECT_EQ(engine.queue_size(), 0u);
+}
+
+TEST(Engine, SmallQueuesAreNeverCompacted) {
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 30; ++i) ids.push_back(engine.schedule_at(seconds(10), [] {}));
+  for (const EventId id : ids) engine.cancel(id);
+  EXPECT_EQ(engine.compactions(), 0u);
+  engine.run();  // stale entries drain normally
+  EXPECT_EQ(engine.queue_size(), 0u);
+}
+
+TEST(Engine, CompactionPreservesExecutionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(seconds(5), [&] { order.push_back(5); });
+  engine.schedule_at(seconds(2), [&] { order.push_back(2); });
+  std::vector<EventId> stale;
+  for (int i = 0; i < 200; ++i)
+    stale.push_back(engine.schedule_at(seconds(100), [] {}));
+  engine.schedule_at(seconds(2), [&] { order.push_back(3); });  // FIFO peer
+  engine.schedule_at(seconds(8), [&] { order.push_back(8); });
+  for (const EventId id : stale) engine.cancel(id);
+  EXPECT_GT(engine.compactions(), 0u);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 5, 8}));
+}
+
+TEST(Engine, PublishesTelemetryWhenEnabled) {
+  telemetry::global().reset();
+  telemetry::global().enable();
+  {
+    Engine engine;
+    for (int i = 0; i < 5000; ++i) engine.schedule_at(seconds(i), [] {});
+    engine.run();
+    auto& metrics = telemetry::global().metrics;
+    EXPECT_DOUBLE_EQ(metrics.counter("sim.events_executed").value(), 5000.0);
+    // The engine drives the trace clock while it lives.
+    EXPECT_EQ(telemetry::global().tracer.now(), engine.now());
+  }
+  // Destroyed engine retracts its clock registration.
+  EXPECT_EQ(telemetry::global().tracer.now(), 0);
+  telemetry::global().reset();
+}
+
 TEST(PeriodicTaskTest, FiresAtPeriod) {
   Engine engine;
   int fired = 0;
@@ -117,6 +182,45 @@ TEST(PeriodicTaskTest, StopFromInsideCallback) {
   engine.run_until(seconds(100));
   EXPECT_EQ(fired, 3);
   EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, RestartAfterStopResumesFromNow) {
+  Engine engine;
+  std::vector<SimTime> at;
+  PeriodicTask task(engine, seconds(10), [&] { at.push_back(engine.now()); });
+  task.start();
+  engine.run_until(seconds(15));  // fires at 0, 10
+  task.stop();
+  EXPECT_FALSE(task.running());
+  engine.run_until(seconds(40));  // nothing while stopped
+  task.start(seconds(5));
+  EXPECT_TRUE(task.running());
+  engine.run_until(seconds(60));  // resumes at 45, 55
+  EXPECT_EQ(at, (std::vector<SimTime>{0, seconds(10), seconds(45), seconds(55)}));
+}
+
+TEST(PeriodicTaskTest, StartWhileRunningIsANoOp) {
+  Engine engine;
+  int fired = 0;
+  PeriodicTask task(engine, seconds(10), [&] { ++fired; });
+  task.start();
+  task.start();  // must not double-arm
+  engine.run_until(seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PeriodicTaskTest, ZeroFirstDelayKeepsFifoOrderAtTimeZero) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(0, [&] { order.push_back(1); });
+  PeriodicTask task(engine, seconds(10), [&] { order.push_back(2); });
+  task.start(/*first_delay=*/0);
+  engine.schedule_at(0, [&] { order.push_back(3); });
+  engine.run_until(seconds(1));
+  // All three run at t = 0 in scheduling order: the task's first firing
+  // sits between the two plain events.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), seconds(1));
 }
 
 TEST(PeriodicTaskTest, DestructionCancelsPending) {

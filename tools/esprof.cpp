@@ -1,0 +1,220 @@
+// esprof -- summarize a telemetry artifact written with --telemetry-out
+// (a Chrome trace-event JSON with an embedded metrics snapshot) into
+// paper-style tables: span durations grouped by name, counter tracks,
+// instant-event counts, and the metrics registry with percentiles.
+//
+//   esprof trace.json                 # full summary
+//   esprof trace.json --spans         # span table only
+//   esprof trace.json --metrics       # registry only
+//   esprof trace.json --cat comm      # restrict events to one category
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace eslurm;
+using telemetry::JsonValue;
+
+namespace {
+
+struct SpanGroup {
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+double member_number(const JsonValue& object, const char* key, double fallback = 0.0) {
+  const JsonValue* v = object.find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string member_string(const JsonValue& object, const char* key) {
+  const JsonValue* v = object.find(key);
+  return v && v->is_string() ? v->as_string() : std::string();
+}
+
+void summarize_events(const JsonValue& events, const std::string& category_filter) {
+  std::map<std::string, SpanGroup> spans;
+  std::map<std::string, std::size_t> instants;
+  std::map<std::string, std::pair<std::size_t, double>> counters;  // samples, last
+  double t_min = 0.0, t_max = 0.0;
+  bool any = false;
+
+  for (const JsonValue& event : events.items()) {
+    if (!event.is_object()) continue;
+    const std::string cat = member_string(event, "cat");
+    if (!category_filter.empty() && cat != category_filter) continue;
+    const std::string name = member_string(event, "name");
+    const std::string ph = member_string(event, "ph");
+    const double ts = member_number(event, "ts");  // microseconds
+    const double end = ts + member_number(event, "dur");
+    if (!any || ts < t_min) t_min = ts;
+    if (!any || end > t_max) t_max = end;
+    any = true;
+    if (ph == "X") {
+      const double dur_ms = member_number(event, "dur") / 1e3;
+      SpanGroup& group = spans[name];
+      ++group.count;
+      group.total_ms += dur_ms;
+      group.max_ms = std::max(group.max_ms, dur_ms);
+    } else if (ph == "i" || ph == "I") {
+      ++instants[name];
+    } else if (ph == "C") {
+      auto& [samples, last] = counters[name];
+      ++samples;
+      if (const JsonValue* args = event.find("args"))
+        last = member_number(*args, "value", last);
+    }
+  }
+
+  if (any)
+    std::printf("trace window: %.3f s of simulated time\n\n", (t_max - t_min) / 1e6);
+
+  if (!spans.empty()) {
+    std::printf("spans (ph=X)\n");
+    Table table({"name", "count", "total (ms)", "mean (ms)", "max (ms)"});
+    for (const auto& [name, group] : spans)
+      table.add_row({name, std::to_string(group.count),
+                     format_double(group.total_ms, 4),
+                     format_double(group.total_ms / static_cast<double>(group.count), 4),
+                     format_double(group.max_ms, 4)});
+    table.print();
+    std::printf("\n");
+  }
+  if (!counters.empty()) {
+    std::printf("counter tracks (ph=C)\n");
+    Table table({"name", "samples", "last value"});
+    for (const auto& [name, entry] : counters)
+      table.add_row({name, std::to_string(entry.first),
+                     format_double(entry.second, 4)});
+    table.print();
+    std::printf("\n");
+  }
+  if (!instants.empty()) {
+    std::printf("instant events (ph=i)\n");
+    Table table({"name", "count"});
+    for (const auto& [name, count] : instants)
+      table.add_row({name, std::to_string(count)});
+    table.print();
+    std::printf("\n");
+  }
+}
+
+void summarize_metrics(const JsonValue& metrics) {
+  const JsonValue* counters = metrics.find("counters");
+  if (counters && counters->is_object() && !counters->members().empty()) {
+    std::printf("counters\n");
+    Table table({"name", "value"});
+    for (const auto& [name, value] : counters->members())
+      table.add_row({name, format_double(value.as_number(), 6)});
+    table.print();
+    std::printf("\n");
+  }
+  const JsonValue* gauges = metrics.find("gauges");
+  if (gauges && gauges->is_object() && !gauges->members().empty()) {
+    std::printf("gauges\n");
+    Table table({"name", "value"});
+    for (const auto& [name, value] : gauges->members())
+      table.add_row({name, format_double(value.as_number(), 6)});
+    table.print();
+    std::printf("\n");
+  }
+  const JsonValue* histograms = metrics.find("histograms");
+  if (histograms && histograms->is_object() && !histograms->members().empty()) {
+    std::printf("histograms\n");
+    Table table({"name", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : histograms->members()) {
+      const double count = member_number(h, "count");
+      const double sum = member_number(h, "sum");
+      table.add_row({name, format_double(count, 6),
+                     format_double(count > 0 ? sum / count : 0.0, 4),
+                     format_double(member_number(h, "p50"), 4),
+                     format_double(member_number(h, "p95"), 4),
+                     format_double(member_number(h, "p99"), 4),
+                     format_double(member_number(h, "max"), 4)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("spans", "print only the trace-event summary");
+  args.add_flag("metrics", "print only the metrics registry");
+  args.add_option("cat", "restrict events to one category (comm, rm, sched...)");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "esprof: %s\n", args.error().c_str());
+    return 2;
+  }
+  if (args.help_requested() || args.positional().empty()) {
+    std::fputs(args.usage("esprof <trace.json>",
+                          "Summarize a telemetry trace/metrics artifact.")
+                   .c_str(),
+               stdout);
+    return args.help_requested() ? 0 : 2;
+  }
+
+  const std::string path = args.positional()[0];
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "esprof: cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  std::string error;
+  const auto document = telemetry::parse_json(buffer.str(), &error);
+  if (!document) {
+    std::fprintf(stderr, "esprof: '%s' is not valid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  const bool only_spans = args.has_flag("spans");
+  const bool only_metrics = args.has_flag("metrics");
+  const std::string category = args.get_or("cat", "");
+
+  // Accept both the combined artifact ({"traceEvents": ..., "metrics": ...})
+  // and a bare metrics snapshot ({"counters": ...}).
+  const JsonValue* events = document->find("traceEvents");
+  const JsonValue* metrics = document->find("metrics");
+  if (!metrics && document->find("counters")) metrics = &*document;
+
+  if (!events && !metrics) {
+    std::fprintf(stderr,
+                 "esprof: '%s' has neither \"traceEvents\" nor a metrics snapshot\n",
+                 path.c_str());
+    return 1;
+  }
+  const auto section_empty = [](const JsonValue* snapshot, const char* key) {
+    const JsonValue* section = snapshot->find(key);
+    return !section || !section->is_object() || section->members().empty();
+  };
+  const bool no_events = !events || !events->is_array() || events->items().empty();
+  const bool no_metrics = !metrics || (section_empty(metrics, "counters") &&
+                                       section_empty(metrics, "gauges") &&
+                                       section_empty(metrics, "histograms"));
+  if (no_events && no_metrics) {
+    std::printf("empty artifact: no events or metrics were recorded\n");
+    return 0;
+  }
+  if (events && events->is_array() && !only_metrics)
+    summarize_events(*events, category);
+  if (metrics && !only_spans) summarize_metrics(*metrics);
+  if (const JsonValue* dropped = document->find("droppedEvents"))
+    std::printf("warning: %.0f events were dropped at the trace-buffer cap\n",
+                dropped->as_number());
+  return 0;
+}
