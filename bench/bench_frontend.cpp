@@ -1,0 +1,138 @@
+// Section II-B of the paper, reproduced through the RPC front-end: the
+// production observation that motivated ESLURM.  With Slurm managing
+// 20K+ nodes, the average response time for a user request exceeded 27
+// seconds and ~38% of requests failed to reach the master; ESLURM's
+// production deployment answers in under a second.
+//
+// Part 1 sweeps the client population (10^2 .. 10^6 users) against both
+// RMs at 20K+ nodes: the centralized master serializes every RPC behind
+// its per-message handling cost and its node-report waves, so response
+// times degrade super-linearly with population while ESLURM's satellite
+// read path stays flat.  Part 2 sweeps the snapshot-cache TTL at the
+// largest population to show the freshness/offload trade-off.
+//
+// Flags: --smoke (small sweep for CI), --telemetry-out FILE.
+#include "bench_common.hpp"
+
+using namespace eslurm;
+
+namespace {
+
+struct Row {
+  std::uint64_t requests = 0;
+  double mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double failed = 0.0;      ///< fraction of requests failed or given up
+  double shed = 0.0;        ///< reads shed with a retry hint
+  double offload = 0.0;     ///< served without costing the master an RPC
+  double hit_ratio = 0.0;   ///< snapshot-cache hit ratio (ESLURM)
+  std::uint64_t refreshes = 0;
+  std::uint64_t master_msgs = 0;
+};
+
+Row run(const std::string& rm, std::size_t nodes, std::uint64_t users,
+        SimTime horizon, SimTime cache_ttl) {
+  core::ExperimentConfig config;
+  config.rm = rm;
+  config.compute_nodes = nodes;
+  config.satellite_count = std::max<std::size_t>(2, nodes / 5000);
+  config.horizon = horizon;
+  config.seed = 31;
+  config.frontend.clients.users = users;
+  // Active users: a session every hour on average.  At 10^6 users the
+  // aggregate demand (~1400 req/s) exceeds the centralized master's
+  // per-message service capacity -- the paper's saturation regime.
+  config.frontend.clients.session_cycle_mean = hours(1);
+  config.frontend.gateway.cache_ttl = cache_ttl;
+  core::Experiment experiment(config);
+  // Background job load so the master is also scheduling and dispatching.
+  experiment.submit_trace(bench::workload_count_for(
+      nodes, config.horizon, 300, trace::tianhe2a_profile(), 5));
+  experiment.run();
+
+  Row row;
+  const auto* fe = experiment.frontend();
+  const auto& clients = fe->clients();
+  const auto& gateway = fe->gateway();
+  row.requests = clients.completed();
+  row.mean = clients.latency_seconds().mean();
+  row.p50 = clients.latency_histogram().p50();
+  row.p95 = clients.latency_histogram().p95();
+  row.p99 = clients.latency_histogram().p99();
+  row.failed = clients.failure_rate();
+  const std::uint64_t attempts = clients.completed() + clients.retries();
+  row.shed = attempts ? static_cast<double>(gateway.shed_reads()) /
+                            static_cast<double>(attempts)
+                      : 0.0;
+  row.offload = gateway.master_offload();
+  row.hit_ratio = gateway.cache_hit_ratio();
+  row.refreshes = gateway.cache_refreshes();
+  row.master_msgs = experiment.network().messages_received(0);
+  return row;
+}
+
+/// Fixed-point percentage (format_double's %g turns 100 into 1e+02).
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", 100.0 * fraction);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
+  bench::banner("Sec. II-B", "user-request response vs. client population");
+
+  const std::size_t nodes = smoke ? 4096 : 20480;
+  const SimTime horizon = smoke ? minutes(3) : minutes(15);
+  const SimTime default_ttl = seconds(2);
+  const std::vector<std::uint64_t> populations =
+      smoke ? std::vector<std::uint64_t>{100, 10'000}
+            : std::vector<std::uint64_t>{100, 1'000, 10'000, 100'000, 1'000'000};
+
+  Table sweep({"RM", "users", "requests", "mean (s)", "p50 (s)", "p95 (s)",
+               "p99 (s)", "failed %", "shed %", "offload %", "master msgs"});
+  for (const std::uint64_t users : populations) {
+    for (const std::string rm : {"slurm", "eslurm"}) {
+      const Row row = run(rm, nodes, users, horizon, default_ttl);
+      sweep.add_row({rm, std::to_string(users), std::to_string(row.requests),
+                     format_double(row.mean, 4), format_double(row.p50, 4),
+                     format_double(row.p95, 4), format_double(row.p99, 4),
+                     pct(row.failed), pct(row.shed), pct(row.offload),
+                     std::to_string(row.master_msgs)});
+      std::printf("[%s @ %llu users done]\n", rm.c_str(),
+                  static_cast<unsigned long long>(users));
+    }
+  }
+  std::printf("\n");
+  sweep.print();
+
+  // Part 2: snapshot-freshness trade-off at the largest population.
+  const std::uint64_t top_users = populations.back();
+  const std::vector<double> ttls =
+      smoke ? std::vector<double>{2.0} : std::vector<double>{0.5, 2.0, 10.0, 30.0};
+  Table ttl_table({"cache TTL (s)", "hit %", "offload %", "refreshes",
+                   "mean (s)", "p95 (s)"});
+  for (const double ttl : ttls) {
+    const Row row = run("eslurm", nodes, top_users, horizon, from_seconds(ttl));
+    char ttl_text[32];
+    std::snprintf(ttl_text, sizeof(ttl_text), "%.1f", ttl);
+    ttl_table.add_row({ttl_text, pct(row.hit_ratio), pct(row.offload),
+                       std::to_string(row.refreshes), format_double(row.mean, 4),
+                       format_double(row.p95, 4)});
+    std::printf("[eslurm ttl=%.1fs done]\n", ttl);
+  }
+  std::printf("\n");
+  ttl_table.print();
+
+  std::printf("\n[paper: Slurm at 20K+ nodes: >27 s average response with ~38%%\n"
+              " of requests failing as the population grows; ESLURM production:\n"
+              " sub-second.  Expect the centralized rows to degrade super-\n"
+              " linearly with users while eslurm stays flat with >50%% of\n"
+              " requests served off-master at the largest sweep point.]\n");
+  return 0;
+}

@@ -47,6 +47,13 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
         *engine_, *network_, *cluster_, rm::profile_by_name(config_.rm), deployment,
         rm_config);
   }
+
+  if (config_.frontend.clients.users > 0) {
+    frontend::FrontendConfig fe_config = config_.frontend;
+    fe_config.clients.seed = config_.seed ^ 0xF0E0;
+    frontend_ = std::make_unique<frontend::FrontEnd>(*engine_, *network_, *manager_,
+                                                     fe_config);
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -69,6 +76,7 @@ void Experiment::run() {
   if (!started_) {
     started_ = true;
     manager_->start(config_.horizon);
+    if (frontend_) frontend_->start(config_.horizon);
     if (config_.enable_failures) {
       failures_->start(config_.horizon);
       monitoring_->start(config_.horizon);
@@ -107,6 +115,10 @@ ExperimentConfig Experiment::config_from_text(const std::string& text) {
   config.enable_failures = parsed.get_bool("enablefailures", false);
   config.failure_params.node_mtbf_hours =
       parsed.get_double("nodemtbfhours", config.failure_params.node_mtbf_hours);
+  config.frontend.clients.users = static_cast<std::uint64_t>(parsed.get_int(
+      "frontendusers", static_cast<std::int64_t>(config.frontend.clients.users)));
+  config.frontend.gateway.cache_ttl = from_seconds(parsed.get_double(
+      "cachettlseconds", to_seconds(config.frontend.gateway.cache_ttl)));
   return config;
 }
 

@@ -20,6 +20,7 @@
 
 #include "cluster/failure_model.hpp"
 #include "cluster/monitoring.hpp"
+#include "frontend/frontend.hpp"
 #include "rm/centralized_rm.hpp"
 #include "rm/eslurm_rm.hpp"
 #include "trace/generator.hpp"
@@ -44,6 +45,10 @@ struct ExperimentConfig {
   cluster::FailureModelParams failure_params;
   std::vector<cluster::BurstEvent> bursts;
   cluster::MonitoringParams monitoring;
+
+  /// User-facing RPC front-end (Section II-B).  Disabled unless
+  /// frontend.clients.users > 0.
+  frontend::FrontendConfig frontend;
 };
 
 class Experiment {
@@ -56,7 +61,8 @@ class Experiment {
   /// Builds an ExperimentConfig from slurm.conf-style text.  Recognized
   /// keys: ResourceManager, Nodes, SatelliteNodes, TreeWidth,
   /// HorizonHours, Seed, SchedInterval, UseRuntimeEstimation, UseFpTree,
-  /// EstimatorWindow, EstimatorAlpha, EnableFailures, NodeMtbfHours.
+  /// EstimatorWindow, EstimatorAlpha, EnableFailures, NodeMtbfHours,
+  /// FrontendUsers, CacheTtlSeconds.
   static ExperimentConfig config_from_text(const std::string& text);
 
   // --- world access ----------------------------------------------------
@@ -68,6 +74,8 @@ class Experiment {
   rm::ResourceManager& manager() { return *manager_; }
   /// Non-null when the deployed RM is ESLURM.
   rm::EslurmRm* eslurm();
+  /// Non-null when the front-end is enabled (frontend.clients.users > 0).
+  frontend::FrontEnd* frontend() { return frontend_.get(); }
   const ExperimentConfig& config() const { return config_; }
 
   // --- driving ---------------------------------------------------------
@@ -88,6 +96,7 @@ class Experiment {
   std::unique_ptr<cluster::FailureModel> failures_;
   std::unique_ptr<cluster::MonitoringSystem> monitoring_;
   std::unique_ptr<rm::ResourceManager> manager_;
+  std::unique_ptr<frontend::FrontEnd> frontend_;
   bool started_ = false;
 };
 

@@ -1,0 +1,13 @@
+#include "frontend/frontend.hpp"
+
+namespace eslurm::frontend {
+
+FrontEnd::FrontEnd(sim::Engine& engine, net::Network& network,
+                   rm::ResourceManager& rm, FrontendConfig config)
+    : gateway_(std::make_unique<Gateway>(engine, network, rm, config.gateway)),
+      clients_(std::make_unique<ClientPopulation>(engine, *gateway_, rm,
+                                                  config.clients)) {}
+
+void FrontEnd::start(SimTime horizon) { clients_->start(horizon); }
+
+}  // namespace eslurm::frontend

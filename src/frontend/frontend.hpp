@@ -1,0 +1,36 @@
+// Front-end facade: one object bundling the gateway (server side) and
+// the client population (demand side), constructed per experiment next
+// to the RM it fronts.
+#pragma once
+
+#include <memory>
+
+#include "frontend/client_population.hpp"
+#include "frontend/gateway.hpp"
+
+namespace eslurm::frontend {
+
+struct FrontendConfig {
+  ClientPopulationConfig clients;
+  GatewayConfig gateway;
+};
+
+class FrontEnd {
+ public:
+  FrontEnd(sim::Engine& engine, net::Network& network, rm::ResourceManager& rm,
+           FrontendConfig config);
+
+  /// Starts the client population; call alongside the RM's start().
+  void start(SimTime horizon);
+
+  Gateway& gateway() { return *gateway_; }
+  const Gateway& gateway() const { return *gateway_; }
+  ClientPopulation& clients() { return *clients_; }
+  const ClientPopulation& clients() const { return *clients_; }
+
+ private:
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<ClientPopulation> clients_;
+};
+
+}  // namespace eslurm::frontend

@@ -1,0 +1,34 @@
+#include "frontend/rpc.hpp"
+
+namespace eslurm::frontend {
+
+const char* rpc_kind_name(RpcKind kind) {
+  switch (kind) {
+    case RpcKind::SubmitJob: return "SUBMIT_JOB";
+    case RpcKind::CancelJob: return "CANCEL_JOB";
+    case RpcKind::QueryQueue: return "QUERY_QUEUE";
+    case RpcKind::QueryNodes: return "QUERY_NODES";
+    case RpcKind::JobInfo: return "JOB_INFO";
+  }
+  return "UNKNOWN";
+}
+
+const RpcCost& rpc_cost(RpcKind kind) {
+  // Submissions carry a job script and trigger validation + an estimator
+  // pass; listings are cheap to compute but expensive to marshal.
+  static const RpcCost kSubmit{800.0, microseconds(300), 4096, 256, 0};
+  static const RpcCost kCancel{150.0, microseconds(50), 256, 128, 0};
+  static const RpcCost kQueue{300.0, microseconds(100), 256, 512, 96};
+  static const RpcCost kNodes{250.0, microseconds(100), 256, 512, 48};
+  static const RpcCost kInfo{100.0, microseconds(30), 256, 768, 0};
+  switch (kind) {
+    case RpcKind::SubmitJob: return kSubmit;
+    case RpcKind::CancelJob: return kCancel;
+    case RpcKind::QueryQueue: return kQueue;
+    case RpcKind::QueryNodes: return kNodes;
+    case RpcKind::JobInfo: return kInfo;
+  }
+  return kInfo;
+}
+
+}  // namespace eslurm::frontend

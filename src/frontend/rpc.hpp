@@ -1,0 +1,52 @@
+// Typed user-facing RPCs (Section II-B traffic): the five request kinds
+// a production RM front-end serves, with per-kind cost profiles.
+//
+// Mutating RPCs (sbatch/scancel equivalents) must reach the master --
+// they change global scheduler state.  Read-only queries (squeue/sinfo/
+// job-info equivalents) only need a *recent* view of that state, which
+// is what makes them cacheable and satellite-servable (gateway.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace eslurm::frontend {
+
+enum class RpcKind : std::uint8_t {
+  SubmitJob,   ///< sbatch: enqueue a job (mutating)
+  CancelJob,   ///< scancel: remove a job (mutating)
+  QueryQueue,  ///< squeue: list pending/active jobs (read-only)
+  QueryNodes,  ///< sinfo: list node states (read-only)
+  JobInfo,     ///< scontrol show job: one job's record (read-only)
+};
+
+inline constexpr std::size_t kRpcKindCount = 5;
+
+const char* rpc_kind_name(RpcKind kind);
+
+/// Mutating RPCs change scheduler state and can only be served by the
+/// master; read-only RPCs can be served from a snapshot.
+constexpr bool rpc_mutating(RpcKind kind) {
+  return kind == RpcKind::SubmitJob || kind == RpcKind::CancelJob;
+}
+
+/// Cost profile of serving one RPC of a kind.  Response payloads of the
+/// listing queries scale with what they list (pending jobs, nodes), so
+/// the response size is a base plus a per-entry term the gateway fills
+/// in from the live RM state.
+struct RpcCost {
+  double server_cpu_us = 200.0;         ///< handler CPU on the serving daemon
+  SimTime handler_service = 0;          ///< serial handler time before replying
+  std::size_t request_bytes = 256;      ///< serialized request
+  std::size_t response_bytes_base = 256;
+  std::size_t response_bytes_per_entry = 0;  ///< per listed job / node
+};
+
+/// The default per-kind cost table (sbatch submissions parse a job
+/// script; squeue/sinfo marshal large listings; scancel/job-info are
+/// cheap point lookups).
+const RpcCost& rpc_cost(RpcKind kind);
+
+}  // namespace eslurm::frontend

@@ -1,0 +1,81 @@
+// TTL'd snapshot cache for read-only queries (squeue/sinfo-style).
+//
+// A satellite (or any read replica) answers listing queries from a
+// snapshot it refreshed from the master at most `ttl` ago, so a storm of
+// a million squeue calls costs the master one snapshot build per replica
+// per TTL window instead of a million RPCs.  Freshness is strict: a
+// snapshot built at t is fresh for queries at t' with t' - t < ttl and
+// stale at exactly t' - t == ttl (the boundary query pays the refresh).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "frontend/rpc.hpp"
+#include "util/time.hpp"
+
+namespace eslurm::frontend {
+
+class SnapshotCache {
+ public:
+  explicit SnapshotCache(SimTime ttl) : ttl_(ttl) {}
+
+  SimTime ttl() const { return ttl_; }
+
+  /// True when a snapshot for `kind` exists and has age < ttl at `now`.
+  bool fresh(RpcKind kind, SimTime now) const {
+    const Entry& e = entries_[index(kind)];
+    return e.valid && now - e.built_at < ttl_;
+  }
+
+  /// Records a refreshed snapshot of `entries` listed items.
+  void store(RpcKind kind, SimTime now, std::size_t entries) {
+    Entry& e = entries_[index(kind)];
+    e.valid = true;
+    e.built_at = now;
+    e.entries = entries;
+  }
+
+  std::size_t entries(RpcKind kind) const { return entries_[index(kind)].entries; }
+  SimTime built_at(RpcKind kind) const { return entries_[index(kind)].built_at; }
+
+  /// Classifies and counts one lookup; returns true on a hit.
+  bool lookup(RpcKind kind, SimTime now) {
+    if (fresh(kind, now)) {
+      ++hits_;
+      return true;
+    }
+    if (entries_[index(kind)].valid) {
+      ++expirations_;  // had a snapshot, but it aged out
+    }
+    ++misses_;
+    return false;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  /// Subset of the misses whose snapshot existed but aged past the TTL.
+  std::uint64_t expirations() const { return expirations_; }
+  /// Guarded: 0 lookups -> 0.0.
+  double hit_ratio() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    SimTime built_at = 0;
+    std::size_t entries = 0;
+  };
+  static constexpr std::size_t index(RpcKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+
+  SimTime ttl_;
+  std::array<Entry, kRpcKindCount> entries_{};
+  std::uint64_t hits_ = 0, misses_ = 0, expirations_ = 0;
+};
+
+}  // namespace eslurm::frontend

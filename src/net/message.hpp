@@ -17,6 +17,7 @@ inline constexpr NodeId kNoNode = UINT32_MAX;
 ///   0-99    network internal
 ///   100-199 communication structures (comm)
 ///   200-299 resource-manager control traffic (rm)
+///   300-399 user-facing RPC front-end (frontend)
 using MessageType = int;
 
 struct Message {

@@ -38,8 +38,6 @@ ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
   // accounting the network performs.
   net_.register_handler(deployment_.master, kMsgNodeReport,
                         [](const net::Message&) {});
-  net_.register_handler(deployment_.master, kMsgNodeReport + 1,
-                        [](const net::Message&) {});  // user RPCs
 }
 
 ResourceManager::~ResourceManager() = default;
@@ -107,8 +105,6 @@ void ResourceManager::start(SimTime horizon) {
     });
     hazard_task_->start(minutes(10));
   }
-
-  if (config_.user_requests_per_hour > 0) arm_next_user_request();
 
   // All periodic daemon activity stops at the horizon so a drained event
   // queue means the experiment is over (benches may engine().run()).
@@ -323,35 +319,6 @@ void ResourceManager::refresh_health_view() {
 void ResourceManager::ping_all() {
   dispatch(deployment_.compute, 128, [this](const comm::BroadcastResult&) {
     refresh_health_view();
-  });
-}
-
-void ResourceManager::arm_next_user_request() {
-  const SimTime gap =
-      from_seconds(rng_.exponential(3600.0 / config_.user_requests_per_hour));
-  const SimTime at = engine_.now() + gap;
-  if (at >= horizon_) return;
-  engine_.schedule_at(at, [this] {
-    // A user command (squeue/sbatch/scontrol) from a random login path:
-    // one RPC to the master; the response latency is dominated by the
-    // master's request queue.
-    const NodeId source = deployment_.compute[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(deployment_.compute.size()) - 1))];
-    const SimTime issued = engine_.now();
-    ++requests_issued_;
-    net::Message request;
-    request.type = kMsgNodeReport + 1;  // user RPC; master just serves it
-    request.bytes = 256;
-    net_.send(source, deployment_.master, std::move(request), minutes(10),
-              [this, issued](bool ok) {
-                const SimTime latency = engine_.now() - issued;
-                request_times_.add(to_seconds(latency));
-                if (!ok || latency > config_.user_request_give_up ||
-                    !master_up_) {
-                  ++requests_failed_;
-                }
-              });
-    arm_next_user_request();
   });
 }
 

@@ -56,12 +56,6 @@ struct RmRuntimeConfig {
   bool enforce_limits = true;     ///< kill jobs at their wall limit
   bool use_runtime_estimation = false;          ///< ESLURM's Section V
   bool use_fp_tree = true;                      ///< ablation switch
-  /// User RPC traffic (squeue/sbatch/scontrol queries) arriving at the
-  /// master as a Poisson stream; 0 disables.  Responses slower than
-  /// `user_request_give_up` count as failed requests -- the Section II-B
-  /// observation (27 s average response, 38% failures at 20K+ nodes).
-  double user_requests_per_hour = 0.0;
-  SimTime user_request_give_up = seconds(30);
   predict::EstimatorConfig estimator;
   std::uint64_t seed = 1;
 };
@@ -106,9 +100,20 @@ class ResourceManager {
   std::uint64_t launch_requeues() const { return requeues_; }
 
   // --- user request service (Section II-B) ------------------------------
+  /// Records one end-to-end user request observed by the RPC front-end
+  /// (`src/frontend`), which owns the client population, admission
+  /// control and retry policy; this is the RM-side aggregation the
+  /// Section II-B comparison reads.
+  void note_user_request(double latency_seconds, bool failed) {
+    request_times_.add(latency_seconds);
+    ++requests_issued_;
+    if (failed) ++requests_failed_;
+  }
   const RunningStats& request_response_seconds() const { return request_times_; }
   std::uint64_t user_requests_issued() const { return requests_issued_; }
   std::uint64_t user_requests_failed() const { return requests_failed_; }
+  /// Guarded against the empty stream: 0 issued requests -> 0.0, never a
+  /// 0/0 division.
   double request_failure_rate() const {
     return requests_issued_ ? static_cast<double>(requests_failed_) /
                                   static_cast<double>(requests_issued_)
@@ -181,7 +186,6 @@ class ResourceManager {
   std::unordered_set<NodeId> drained_;
   std::uint64_t requeues_ = 0;
 
-  void arm_next_user_request();
   RunningStats request_times_;
   std::uint64_t requests_issued_ = 0;
   std::uint64_t requests_failed_ = 0;

@@ -73,7 +73,14 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
       counts_(buckets, 0) {}
 
 void Histogram::add(double x) {
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
   ++total_;
+  sum_ += x;
   if (x < lo_) {
     ++underflow_;
   } else if (x >= hi_) {
@@ -87,6 +94,34 @@ void Histogram::add(double x) {
 
 double Histogram::bucket_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 double Histogram::bucket_high(std::size_t i) const { return bucket_low(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  const auto clamp_observed = [this](double v) {
+    return std::clamp(v, min_, max_);
+  };
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) {
+    // Interpolate across the underflow mass [min, lo).
+    const double frac = underflow_ ? target / static_cast<double>(underflow_) : 0.0;
+    return clamp_observed(min_ + (lo_ - min_) * frac);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return clamp_observed(bucket_low(i) + width_ * frac);
+    }
+    cumulative = next;
+  }
+  // Overflow mass [hi, max]: interpolation keeps a p99 below an extreme
+  // max honest.
+  const double frac =
+      overflow_ ? (target - cumulative) / static_cast<double>(overflow_) : 1.0;
+  return clamp_observed(hi_ + (max_ - hi_) * std::clamp(frac, 0.0, 1.0));
+}
 
 void TimeSeries::record(SimTime t, double value) { points_.emplace_back(t, value); }
 

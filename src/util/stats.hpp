@@ -44,6 +44,13 @@ std::vector<double> empirical_cdf(const std::vector<double>& samples,
                                   const std::vector<double>& thresholds);
 
 /// Fixed-width histogram with overflow/underflow buckets.
+///
+/// Doubles as a streaming quantile estimator: `quantile(q)` walks the
+/// cumulative counts and interpolates linearly inside the matched
+/// bucket, clamped to the observed min/max so the tails stay honest even
+/// when the samples land in the under/overflow buckets.  O(1) memory per
+/// sample stream, O(buckets) per query -- the cheap replacement for
+/// sorting every sample just to report a p95.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -56,10 +63,24 @@ class Histogram {
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }
 
+  double min() const { return total_ ? min_ : 0.0; }
+  double max() const { return total_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  /// Streaming percentile, q in [0, 1].  Returns 0 for an empty
+  /// histogram.  Resolution is one bucket width; values are clamped to
+  /// the observed [min, max].
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
  private:
   double lo_, hi_, width_;
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+  double min_ = 0.0, max_ = 0.0, sum_ = 0.0;
 };
 
 /// Time series of (sim time, value) samples with down-sampled summaries.

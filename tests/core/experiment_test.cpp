@@ -108,6 +108,8 @@ TEST(ExperimentTest, ConfigFromTextParsesEslurmKeys) {
     EstimatorAlpha=1.08
     EnableFailures=true
     NodeMtbfHours=500
+    FrontendUsers=5000
+    CacheTtlSeconds=7.5
   )");
   EXPECT_EQ(config.rm, "eslurm");
   EXPECT_EQ(config.compute_nodes, 2048u);
@@ -118,6 +120,8 @@ TEST(ExperimentTest, ConfigFromTextParsesEslurmKeys) {
   EXPECT_DOUBLE_EQ(config.rm_config.estimator.alpha, 1.08);
   EXPECT_TRUE(config.enable_failures);
   EXPECT_DOUBLE_EQ(config.failure_params.node_mtbf_hours, 500.0);
+  EXPECT_EQ(config.frontend.clients.users, 5000u);
+  EXPECT_EQ(config.frontend.gateway.cache_ttl, from_seconds(7.5));
 }
 
 TEST(ExperimentTest, ConfigDefaultsSurviveEmptyText) {
@@ -125,6 +129,26 @@ TEST(ExperimentTest, ConfigDefaultsSurviveEmptyText) {
   EXPECT_EQ(config.rm, "eslurm");
   EXPECT_EQ(config.compute_nodes, 1024u);
   EXPECT_FALSE(config.enable_failures);
+  EXPECT_EQ(config.frontend.clients.users, 0u);  // front-end off by default
+}
+
+TEST(ExperimentTest, FrontendIsBuiltOnlyWhenUsersArePresent) {
+  ExperimentConfig off;
+  off.compute_nodes = 32;
+  off.horizon = minutes(2);
+  Experiment disabled(off);
+  EXPECT_EQ(disabled.frontend(), nullptr);
+
+  ExperimentConfig on = off;
+  on.frontend.clients.users = 500;
+  on.frontend.clients.session_cycle_mean = minutes(30);
+  Experiment enabled(on);
+  ASSERT_NE(enabled.frontend(), nullptr);
+  enabled.run();
+  // The population drove traffic through the gateway into the RM stream.
+  EXPECT_GT(enabled.frontend()->clients().completed(), 0u);
+  EXPECT_EQ(enabled.manager().user_requests_issued(),
+            enabled.frontend()->clients().completed());
 }
 
 TEST(ExperimentTest, TopologyWiring) {

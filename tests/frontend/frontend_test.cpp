@@ -1,0 +1,221 @@
+// Integration tests of the RPC front-end over the simulated cluster:
+// satellite read offloading, admission-control lane ordering, retry
+// storms after mass sheds, satellite-failure fallback, and the guarded
+// empty-stream accessors.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "frontend/frontend.hpp"
+#include "rm/centralized_rm.hpp"
+#include "rm/eslurm_rm.hpp"
+
+namespace eslurm::frontend {
+namespace {
+
+using rm::NodeId;
+
+struct FrontendFixture : ::testing::Test {
+  static constexpr std::size_t kCompute = 64;
+  static constexpr std::size_t kSatellites = 2;
+  sim::Engine engine;
+  std::optional<net::Network> net;
+  std::optional<cluster::ClusterModel> cluster_model;
+  rm::RmDeployment deployment;
+  rm::RmRuntimeConfig rm_config;
+
+  void SetUp() override {
+    net::LinkModel link;
+    link.jitter_frac = 0.0;
+    const std::size_t total = 1 + kSatellites + kCompute;
+    net.emplace(engine, total, link, Rng(1));
+    cluster_model.emplace(engine, total);
+    net->set_liveness(cluster_model->liveness());
+    deployment.master = 0;
+    for (std::size_t i = 0; i < kSatellites; ++i)
+      deployment.satellites.push_back(static_cast<NodeId>(1 + i));
+    for (std::size_t i = 0; i < kCompute; ++i)
+      deployment.compute.push_back(static_cast<NodeId>(1 + kSatellites + i));
+    rm_config.sched_interval = seconds(5);
+    rm_config.sample_interval = seconds(10);
+  }
+};
+
+TEST_F(FrontendFixture, SatelliteReadsOffloadTheMaster) {
+  rm::EslurmRm manager(engine, *net, *cluster_model, rm::eslurm_profile(),
+                       deployment, rm_config);
+  FrontendConfig config;
+  config.clients.users = 20000;
+  config.clients.session_cycle_mean = hours(4);
+  config.clients.seed = 7;
+  config.gateway.cache_ttl = seconds(10);
+  FrontEnd frontend(engine, *net, manager, config);
+
+  const SimTime horizon = minutes(5);
+  manager.start(horizon);
+  frontend.start(horizon);
+  engine.run_until(horizon + minutes(2));  // let in-flight requests settle
+
+  const auto& clients = frontend.clients();
+  const auto& gateway = frontend.gateway();
+  ASSERT_GT(clients.completed(), 100u);
+  EXPECT_EQ(clients.started(), clients.completed());
+  EXPECT_EQ(gateway.pending_count(), 0u);
+  // The read-heavy mix served from satellite snapshots keeps well over
+  // half of the requests off the master (the Section II-B mechanism).
+  EXPECT_GT(gateway.served_by_satellite(), gateway.served_by_master());
+  EXPECT_GT(gateway.master_offload(), 0.5);
+  EXPECT_GT(gateway.cache_hit_ratio(), 0.5);
+  EXPECT_LT(clients.failure_rate(), 0.01);
+  // Latency percentiles come from the streaming histogram and must
+  // bracket the mean.
+  const Histogram& hist = clients.latency_histogram();
+  EXPECT_GT(hist.p95(), 0.0);
+  EXPECT_LE(hist.p50(), hist.p95());
+  EXPECT_LE(hist.p95(), hist.p99());
+}
+
+TEST_F(FrontendFixture, MutatingLaneDrainsBeforeQueuedReads) {
+  rm::CentralizedRm manager(engine, *net, *cluster_model, rm::slurm_profile(),
+                            deployment, rm_config);
+  GatewayConfig config;
+  config.master_connection_cap = 1;
+  config.read_queue_limit = 2;
+  config.mutating_queue_limit = 2;
+  config.satellite_reads = false;
+  Gateway gateway(engine, *net, manager, config);
+
+  std::vector<std::pair<char, RpcOutcome>> outcomes;  // (tag, outcome) in order
+  auto record = [&outcomes](char tag) {
+    return [&outcomes, tag](RpcOutcome outcome) { outcomes.emplace_back(tag, outcome); };
+  };
+  const NodeId source = deployment.compute[0];
+  engine.schedule_at(0, [&] {
+    gateway.issue(RpcKind::QueryQueue, source, record('a'));  // takes the slot
+    gateway.issue(RpcKind::QueryQueue, source, record('b'));  // queued read 1
+    gateway.issue(RpcKind::QueryQueue, source, record('c'));  // queued read 2
+    gateway.issue(RpcKind::QueryQueue, source, record('d'));  // read queue full: shed
+    gateway.issue(RpcKind::SubmitJob, source, record('e'));   // queued mutating 1
+    gateway.issue(RpcKind::CancelJob, source, record('f'));   // queued mutating 2
+  });
+  engine.run_until(minutes(2));
+
+  ASSERT_EQ(outcomes.size(), 6u);
+  // The overflowing read is shed immediately with a retry hint.
+  EXPECT_EQ(outcomes[0].first, 'd');
+  EXPECT_EQ(outcomes[0].second, RpcOutcome::RetryHint);
+  // Then the in-flight read, then the mutating lane drains ahead of the
+  // queued reads.
+  EXPECT_EQ(outcomes[1].first, 'a');
+  EXPECT_EQ(outcomes[2].first, 'e');
+  EXPECT_EQ(outcomes[3].first, 'f');
+  EXPECT_EQ(outcomes[4].first, 'b');
+  EXPECT_EQ(outcomes[5].first, 'c');
+  for (std::size_t i = 1; i < outcomes.size(); ++i)
+    EXPECT_EQ(outcomes[i].second, RpcOutcome::Ok) << outcomes[i].first;
+  EXPECT_EQ(gateway.shed_reads(), 1u);
+  EXPECT_EQ(gateway.refused_mutating(), 0u);
+  EXPECT_EQ(gateway.master_inflight(), 0);
+}
+
+TEST_F(FrontendFixture, RetryStormAfterMassShedConverges) {
+  rm::CentralizedRm manager(engine, *net, *cluster_model, rm::slurm_profile(),
+                            deployment, rm_config);
+  FrontendConfig config;
+  // A needle-eye gateway: almost everything is shed on first contact and
+  // comes back as a jittered backoff storm.
+  config.gateway.master_connection_cap = 1;
+  config.gateway.read_queue_limit = 2;
+  config.gateway.mutating_queue_limit = 2;
+  config.gateway.satellite_reads = false;
+  // Offered attempt rate far above the single slot's throughput: the
+  // bulk of first attempts shed and return as backoff waves.
+  config.clients.users = 20000;
+  config.clients.session_cycle_mean = minutes(2);
+  config.clients.think_time_mean = seconds(2);
+  config.clients.give_up = seconds(20);
+  config.clients.seed = 11;
+  FrontEnd frontend(engine, *net, manager, config);
+
+  const SimTime horizon = minutes(2);
+  manager.start(horizon);
+  frontend.start(horizon);
+  // Drain: every straggler resolves within give_up + the server-side
+  // request timeout.
+  engine.run_until(horizon + config.clients.give_up +
+                   config.gateway.request_timeout + seconds(10));
+
+  const auto& clients = frontend.clients();
+  const auto& gateway = frontend.gateway();
+  ASSERT_GT(clients.started(), 200u);
+  // The storm happened...
+  EXPECT_GT(gateway.shed_reads(), 0u);
+  EXPECT_GT(clients.retries(), clients.started());
+  EXPECT_GT(clients.gave_up(), 0u);
+  // ...and every logical request still reached a terminal outcome, with
+  // no leaked in-flight slots or pending entries.
+  EXPECT_EQ(clients.completed(), clients.started());
+  // Give-ups plus responses that landed after the deadline.
+  EXPECT_GE(clients.failed(), clients.gave_up());
+  EXPECT_EQ(gateway.pending_count(), 0u);
+  EXPECT_EQ(gateway.master_inflight(), 0);
+  EXPECT_GT(clients.failure_rate(), 0.0);
+  EXPECT_LT(clients.failure_rate(), 1.0);
+}
+
+TEST_F(FrontendFixture, ReadsFallBackWhenSatellitesDie) {
+  rm::EslurmRm manager(engine, *net, *cluster_model, rm::eslurm_profile(),
+                       deployment, rm_config);
+  FrontendConfig config;
+  config.clients.users = 10000;
+  config.clients.session_cycle_mean = hours(4);
+  config.clients.seed = 13;
+  config.gateway.cache_ttl = seconds(10);
+  config.gateway.satellite_retry_cooldown = minutes(30);  // no coming back
+  FrontEnd frontend(engine, *net, manager, config);
+
+  const SimTime horizon = minutes(6);
+  manager.start(horizon);
+  frontend.start(horizon);
+  // Mid-run, both satellites die (FAULT and, after the dwell, DOWN).
+  engine.schedule_at(minutes(3), [&] {
+    for (const NodeId sat : deployment.satellites) cluster_model->fail(sat);
+  });
+  engine.run_until(horizon + minutes(2));
+
+  const auto& clients = frontend.clients();
+  const auto& gateway = frontend.gateway();
+  ASSERT_GT(clients.completed(), 100u);
+  EXPECT_EQ(clients.started(), clients.completed());
+  // Both halves of the run are visible: satellite-served reads before
+  // the failure, master-served reads after the fallback.
+  EXPECT_GT(gateway.served_by_satellite(), 0u);
+  EXPECT_GT(gateway.served_by_master(), 0u);
+  // The requests caught mid-failover resolve (timeout or dead-peer
+  // detection), clients retry, and the system converges: nothing leaks.
+  EXPECT_EQ(gateway.pending_count(), 0u);
+  EXPECT_EQ(gateway.master_inflight(), 0);
+  EXPECT_LT(clients.failure_rate(), 0.05);
+}
+
+TEST_F(FrontendFixture, EmptyStreamAccessorsAreGuarded) {
+  rm::EslurmRm manager(engine, *net, *cluster_model, rm::eslurm_profile(),
+                       deployment, rm_config);
+  FrontendConfig config;  // users == 0: no traffic at all
+  FrontEnd frontend(engine, *net, manager, config);
+  manager.start(minutes(1));
+  frontend.start(minutes(1));
+  engine.run_until(minutes(1));
+
+  EXPECT_EQ(frontend.clients().completed(), 0u);
+  EXPECT_DOUBLE_EQ(frontend.clients().failure_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(frontend.clients().latency_seconds().mean(), 0.0);
+  EXPECT_DOUBLE_EQ(frontend.clients().latency_histogram().p95(), 0.0);
+  EXPECT_DOUBLE_EQ(frontend.gateway().master_offload(), 0.0);
+  EXPECT_DOUBLE_EQ(frontend.gateway().cache_hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(manager.request_failure_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace eslurm::frontend

@@ -1,0 +1,48 @@
+// Typed RPC layer: kind classification and cost-profile sanity.
+#include <gtest/gtest.h>
+
+#include "frontend/rpc.hpp"
+
+namespace eslurm::frontend {
+namespace {
+
+TEST(RpcKindTest, NamesAreStable) {
+  EXPECT_STREQ(rpc_kind_name(RpcKind::SubmitJob), "SUBMIT_JOB");
+  EXPECT_STREQ(rpc_kind_name(RpcKind::CancelJob), "CANCEL_JOB");
+  EXPECT_STREQ(rpc_kind_name(RpcKind::QueryQueue), "QUERY_QUEUE");
+  EXPECT_STREQ(rpc_kind_name(RpcKind::QueryNodes), "QUERY_NODES");
+  EXPECT_STREQ(rpc_kind_name(RpcKind::JobInfo), "JOB_INFO");
+}
+
+TEST(RpcKindTest, OnlyStateChangingKindsAreMutating) {
+  EXPECT_TRUE(rpc_mutating(RpcKind::SubmitJob));
+  EXPECT_TRUE(rpc_mutating(RpcKind::CancelJob));
+  EXPECT_FALSE(rpc_mutating(RpcKind::QueryQueue));
+  EXPECT_FALSE(rpc_mutating(RpcKind::QueryNodes));
+  EXPECT_FALSE(rpc_mutating(RpcKind::JobInfo));
+}
+
+TEST(RpcCostTest, ListingQueriesScaleWithEntries) {
+  // squeue/sinfo responses grow with what they list; point lookups and
+  // mutations do not.
+  EXPECT_GT(rpc_cost(RpcKind::QueryQueue).response_bytes_per_entry, 0u);
+  EXPECT_GT(rpc_cost(RpcKind::QueryNodes).response_bytes_per_entry, 0u);
+  EXPECT_EQ(rpc_cost(RpcKind::SubmitJob).response_bytes_per_entry, 0u);
+  EXPECT_EQ(rpc_cost(RpcKind::JobInfo).response_bytes_per_entry, 0u);
+}
+
+TEST(RpcCostTest, SubmissionIsTheExpensiveKind) {
+  // sbatch parses a job script and runs validation; every other kind
+  // must be cheaper on the serving daemon.
+  const double submit_cpu = rpc_cost(RpcKind::SubmitJob).server_cpu_us;
+  for (const RpcKind kind : {RpcKind::CancelJob, RpcKind::QueryQueue,
+                             RpcKind::QueryNodes, RpcKind::JobInfo}) {
+    EXPECT_LT(rpc_cost(kind).server_cpu_us, submit_cpu) << rpc_kind_name(kind);
+    EXPECT_GT(rpc_cost(kind).server_cpu_us, 0.0) << rpc_kind_name(kind);
+  }
+  EXPECT_GT(rpc_cost(RpcKind::SubmitJob).request_bytes,
+            rpc_cost(RpcKind::QueryQueue).request_bytes);
+}
+
+}  // namespace
+}  // namespace eslurm::frontend

@@ -1,0 +1,65 @@
+// Snapshot cache: strict TTL boundary semantics and guarded statistics.
+#include <gtest/gtest.h>
+
+#include "frontend/snapshot_cache.hpp"
+
+namespace eslurm::frontend {
+namespace {
+
+TEST(SnapshotCacheTest, EmptyCacheMissesAndGuardsRatio) {
+  SnapshotCache cache(seconds(2));
+  EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.0);  // no lookups: never 0/0
+  EXPECT_FALSE(cache.fresh(RpcKind::QueryQueue, 0));
+  EXPECT_FALSE(cache.lookup(RpcKind::QueryQueue, seconds(1)));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.expirations(), 0u);  // nothing stored, nothing expired
+  EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.0);
+}
+
+TEST(SnapshotCacheTest, ExactTtlBoundaryIsStale) {
+  SnapshotCache cache(seconds(2));
+  const SimTime built = seconds(10);
+  cache.store(RpcKind::QueryQueue, built, 128);
+
+  // Fresh strictly inside the window, including the last nanosecond.
+  EXPECT_TRUE(cache.fresh(RpcKind::QueryQueue, built));
+  EXPECT_TRUE(cache.fresh(RpcKind::QueryQueue, built + seconds(2) - 1));
+  // Stale at exactly age == ttl: the boundary query pays the refresh.
+  EXPECT_FALSE(cache.fresh(RpcKind::QueryQueue, built + seconds(2)));
+  EXPECT_FALSE(cache.fresh(RpcKind::QueryQueue, built + seconds(2) + 1));
+}
+
+TEST(SnapshotCacheTest, KindsAreIndependent) {
+  SnapshotCache cache(seconds(2));
+  cache.store(RpcKind::QueryQueue, seconds(10), 7);
+  EXPECT_TRUE(cache.fresh(RpcKind::QueryQueue, seconds(11)));
+  EXPECT_FALSE(cache.fresh(RpcKind::QueryNodes, seconds(11)));
+  EXPECT_EQ(cache.entries(RpcKind::QueryQueue), 7u);
+  EXPECT_EQ(cache.entries(RpcKind::QueryNodes), 0u);
+}
+
+TEST(SnapshotCacheTest, ExpirationCountsSeparatelyFromColdMisses) {
+  SnapshotCache cache(seconds(2));
+  EXPECT_FALSE(cache.lookup(RpcKind::QueryNodes, 0));  // cold miss
+  cache.store(RpcKind::QueryNodes, seconds(1), 16);
+  EXPECT_TRUE(cache.lookup(RpcKind::QueryNodes, seconds(2)));       // hit
+  EXPECT_FALSE(cache.lookup(RpcKind::QueryNodes, seconds(3)));      // aged out
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_NEAR(cache.hit_ratio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SnapshotCacheTest, StoreRefreshesTheWindow) {
+  SnapshotCache cache(milliseconds(500));
+  cache.store(RpcKind::JobInfo, 0, 1);
+  EXPECT_FALSE(cache.fresh(RpcKind::JobInfo, milliseconds(500)));
+  cache.store(RpcKind::JobInfo, milliseconds(500), 2);
+  EXPECT_TRUE(cache.fresh(RpcKind::JobInfo, milliseconds(999)));
+  EXPECT_EQ(cache.entries(RpcKind::JobInfo), 2u);
+  EXPECT_EQ(cache.built_at(RpcKind::JobInfo), milliseconds(500));
+}
+
+}  // namespace
+}  // namespace eslurm::frontend

@@ -277,6 +277,31 @@ TEST_F(RmFixture, OverloadCrashAndRecovery) {
   EXPECT_GE(manager.pool().finished().size(), 1u);
 }
 
+TEST_F(RmFixture, UserRequestStreamStartsEmptyAndGuarded) {
+  // Regression: the ratio accessors must return 0, not divide 0/0, when
+  // the front-end has fed nothing yet.
+  CentralizedRm manager(engine, *net, *cluster_model, slurm_profile(), deployment,
+                        config);
+  EXPECT_EQ(manager.user_requests_issued(), 0u);
+  EXPECT_EQ(manager.user_requests_failed(), 0u);
+  EXPECT_DOUBLE_EQ(manager.request_failure_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(manager.request_response_seconds().mean(), 0.0);
+}
+
+TEST_F(RmFixture, NoteUserRequestAggregatesTheFrontendStream) {
+  CentralizedRm manager(engine, *net, *cluster_model, slurm_profile(), deployment,
+                        config);
+  manager.note_user_request(0.5, false);
+  manager.note_user_request(1.5, false);
+  manager.note_user_request(30.0, true);
+  manager.note_user_request(0.2, true);
+  EXPECT_EQ(manager.user_requests_issued(), 4u);
+  EXPECT_EQ(manager.user_requests_failed(), 2u);
+  EXPECT_DOUBLE_EQ(manager.request_failure_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(manager.request_response_seconds().mean(), 8.05);
+  EXPECT_DOUBLE_EQ(manager.request_response_seconds().max(), 30.0);
+}
+
 TEST_F(RmFixture, ProfileLookup) {
   EXPECT_EQ(profile_by_name("slurm").name, "slurm");
   EXPECT_EQ(profile_by_name("openpbs").name, "openpbs");

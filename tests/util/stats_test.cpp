@@ -88,6 +88,55 @@ TEST(HistogramTest, BucketsAndOverflow) {
   EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
 }
 
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, QuantileOfUniformStreamIsAccurate) {
+  // 10,000 evenly spaced samples in [0, 100) against 1,000 buckets: the
+  // streaming quantile must land within one bucket width (0.1) of the
+  // exact order statistic.
+  Histogram h(0.0, 100.0, 1000);
+  for (int i = 0; i < 10000; ++i) h.add(i * 0.01);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 0.1);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 0.1);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 0.1);
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_NEAR(h.mean(), 49.995, 1e-9);
+}
+
+TEST(HistogramTest, QuantileClampsToObservedRange) {
+  // All mass in one bucket: any quantile must stay inside [min, max],
+  // not report the bucket edges.
+  Histogram h(0.0, 60.0, 12);  // 5-wide buckets
+  h.add(2.2);
+  h.add(2.4);
+  h.add(2.6);
+  EXPECT_GE(h.quantile(0.01), 2.2);
+  EXPECT_LE(h.quantile(0.99), 2.6);
+  EXPECT_DOUBLE_EQ(h.min(), 2.2);
+  EXPECT_DOUBLE_EQ(h.max(), 2.6);
+}
+
+TEST(HistogramTest, QuantileCoversUnderAndOverflowMass) {
+  Histogram h(10.0, 20.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(5.0);   // underflow mass
+  for (int i = 0; i < 50; ++i) h.add(25.0);  // overflow mass
+  // Low quantiles interpolate inside [min, lo); high ones inside
+  // (hi, max]; both stay within the observed range.
+  EXPECT_GE(h.quantile(0.1), 5.0);
+  EXPECT_LT(h.quantile(0.1), 10.0);
+  EXPECT_GT(h.quantile(0.9), 20.0);
+  EXPECT_LE(h.quantile(0.9), 25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 25.0);
+}
+
 TEST(TimeSeriesTest, LastMaxMean) {
   TimeSeries ts;
   EXPECT_TRUE(ts.empty());
