@@ -14,65 +14,86 @@ using namespace eslurm;
 
 namespace {
 
-std::pair<double, double> evaluate(const predict::EstimatorConfig& config,
-                                   const std::vector<sched::Job>& jobs) {
-  predict::EslurmPredictor predictor(config, 7);
-  predict::AccuracyTracker accuracy;
-  for (const auto& job : jobs) {
-    predictor.maybe_retrain(job.submit_time);
-    accuracy.add(predictor.predict(job), job.actual_runtime);
-    predictor.observe(job);
-  }
-  return {accuracy.aea(), accuracy.underestimate_rate()};
-}
+struct Cell {
+  std::string group;
+  std::string knob;
+  std::string value;
+  predict::EstimatorConfig config;
+  double aea = 0.0;
+  double ur = 0.0;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Ablation", "estimation-framework design knobs");
+  bench::Harness harness("ablation_predictor", "Ablation",
+                         "estimation-framework design knobs", argc, argv);
   trace::WorkloadProfile profile = trace::tianhe2a_profile();
   profile.jobs_per_hour = 25;
   trace::TraceGenerator generator(profile);
-  const auto jobs = generator.generate(days(21));
-  std::printf("workload: %zu jobs over 21 days\n\n", jobs.size());
+  const auto jobs = generator.generate(harness.smoke() ? days(7) : days(21));
+  std::printf("workload: %zu jobs\n\n", jobs.size());
 
   predict::EstimatorConfig base;
   base.retrain_period = hours(4);
 
-  std::printf("interest-window size (jobs):\n");
-  Table window_table({"window", "AEA", "UR"});
-  for (const std::size_t window : {100u, 300u, 700u, 1500u, 3000u}) {
-    auto config = base;
-    config.interest_window = window;
-    const auto [aea, ur] = evaluate(config, jobs);
-    window_table.add_row({std::to_string(window), format_double(aea, 3),
-                          format_double(ur, 3)});
+  std::vector<Cell> cells;
+  const std::vector<std::size_t> windows =
+      harness.smoke() ? std::vector<std::size_t>{100, 700, 3000}
+                      : std::vector<std::size_t>{100, 300, 700, 1500, 3000};
+  for (const std::size_t window : windows) {
+    Cell cell{"window", "interest_window", std::to_string(window), base};
+    cell.config.interest_window = window;
+    cells.push_back(std::move(cell));
   }
-  window_table.print();
+  const std::vector<int> periods = harness.smoke()
+                                       ? std::vector<int>{1, 15, 60}
+                                       : std::vector<int>{1, 4, 8, 15, 30, 60};
+  for (const int hours_value : periods) {
+    Cell cell{"period", "retrain_hours", std::to_string(hours_value), base};
+    cell.config.retrain_period = hours(hours_value);
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<std::size_t> ks = harness.smoke()
+                                          ? std::vector<std::size_t>{1, 15, 0}
+                                          : std::vector<std::size_t>{1, 5, 15, 40, 0};
+  for (const std::size_t k : ks) {
+    Cell cell{"clusters", "K", k == 0 ? "elbow" : std::to_string(k), base};
+    cell.config.clusters = k;
+    cells.push_back(std::move(cell));
+  }
 
-  std::printf("\nmodel-refresh period:\n");
-  Table period_table({"period (h)", "AEA", "UR"});
-  for (const int hours_value : {1, 4, 8, 15, 30, 60}) {
-    auto config = base;
-    config.retrain_period = hours(hours_value);
-    const auto [aea, ur] = evaluate(config, jobs);
-    period_table.add_row({std::to_string(hours_value), format_double(aea, 3),
-                          format_double(ur, 3)});
-  }
-  period_table.print();
-  std::printf("[paper guidance: never refresh slower than every 30 h (Fig. 5b)]\n");
+  core::parallel_for(cells.size(), harness.jobs(), [&](std::size_t i) {
+    predict::EslurmPredictor predictor(cells[i].config, 7);
+    predict::AccuracyTracker accuracy;
+    for (const auto& job : jobs) {
+      predictor.maybe_retrain(job.submit_time);
+      accuracy.add(predictor.predict(job), job.actual_runtime);
+      predictor.observe(job);
+    }
+    cells[i].aea = accuracy.aea();
+    cells[i].ur = accuracy.underestimate_rate();
+  });
 
-  std::printf("\ncluster count K (0 = elbow auto):\n");
-  Table k_table({"K", "AEA", "UR"});
-  for (const std::size_t k : {1u, 5u, 15u, 40u, 0u}) {
-    auto config = base;
-    config.clusters = k;
-    const auto [aea, ur] = evaluate(config, jobs);
-    k_table.add_row({k == 0 ? "elbow" : std::to_string(k), format_double(aea, 3),
-                     format_double(ur, 3)});
-  }
-  k_table.print();
+  auto print_group = [&](const char* group, const char* heading,
+                         const char* column) {
+    std::printf("%s\n", heading);
+    Table table({column, "AEA", "UR"});
+    for (const Cell& cell : cells) {
+      if (cell.group != group) continue;
+      table.add_row({cell.value, format_double(cell.aea, 3),
+                     format_double(cell.ur, 3)});
+      harness.record_point(cell.knob + "=" + cell.value,
+                           {{"knob", cell.knob}, {"value", cell.value}},
+                           {{"aea", cell.aea}, {"underestimate_rate", cell.ur}});
+    }
+    table.print();
+  };
+  print_group("window", "interest-window size (jobs):", "window");
+  std::printf("\n");
+  print_group("period", "model-refresh period:", "period (h)");
+  std::printf("[paper guidance: never refresh slower than every 30 h (Fig. 5b)]\n\n");
+  print_group("clusters", "cluster count K (0 = elbow auto):", "K");
   std::printf("[paper: K = 15 selected by the elbow method]\n");
   return 0;
 }

@@ -84,53 +84,65 @@ sched::SchedulingReport replay(const std::vector<sched::Job>& jobs, int nodes,
   return sched::compute_report(pool, nodes, 0, horizon);
 }
 
+struct Variant {
+  const char* policy;
+  const char* estimates_label;
+  EstimateSource estimates;
+  sched::SchedulingReport report;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Ablation", "scheduling policies and estimate quality (1024 nodes)");
-  const SimTime horizon = hours(72);
+  bench::Harness harness("ablation_sched", "Ablation",
+                         "scheduling policies and estimate quality (1024 nodes)",
+                         argc, argv);
+  const SimTime horizon = harness.smoke() ? hours(24) : hours(72);
   const auto jobs =
       bench::workload_for(1024, horizon, 0.95, trace::tianhe2a_profile(), 77);
-  std::printf("workload: %zu jobs over 3 days\n\n", jobs.size());
+  std::printf("workload: %zu jobs over %.0f h\n\n", jobs.size(),
+              to_seconds(horizon) / 3600.0);
+
+  std::vector<Variant> variants{
+      {"FCFS", "user", EstimateSource::User, {}},
+      {"EASY backfill", "user", EstimateSource::User, {}},
+      {"EASY backfill", "2x actual", EstimateSource::DoubleActual, {}},
+      {"EASY backfill", "perfect", EstimateSource::Perfect, {}},
+      {"conservative backfill", "user", EstimateSource::User, {}},
+      {"priority backfill", "user", EstimateSource::User, {}}};
+
+  core::parallel_for(variants.size(), harness.jobs(), [&](std::size_t i) {
+    Variant& v = variants[i];
+    const std::string policy = v.policy;
+    if (policy == "FCFS") {
+      sched::FcfsScheduler fcfs;
+      v.report = replay(jobs, 1024, fcfs, horizon, v.estimates);
+    } else if (policy == "EASY backfill") {
+      sched::EasyBackfillScheduler easy;
+      v.report = replay(jobs, 1024, easy, horizon, v.estimates);
+    } else if (policy == "conservative backfill") {
+      sched::ConservativeBackfillScheduler conservative;
+      v.report = replay(jobs, 1024, conservative, horizon, v.estimates);
+    } else {
+      sched::PriorityBackfillScheduler priority(sched::PriorityWeights{}, 1024);
+      v.report = replay(jobs, 1024, priority, horizon, v.estimates, &priority);
+    }
+  });
 
   Table table({"policy", "estimates", "utilization %", "avg wait (s)",
                "avg bounded slowdown"});
-  auto add = [&](const char* label, const char* est_label,
-                 const sched::SchedulingReport& report) {
-    table.add_row({label, est_label, format_double(100 * report.system_utilization, 4),
-                   format_double(report.avg_wait_seconds, 4),
-                   format_double(report.avg_bounded_slowdown, 4)});
-  };
-
-  {
-    sched::FcfsScheduler fcfs;
-    add("FCFS", "user", replay(jobs, 1024, fcfs, horizon, EstimateSource::User));
-  }
-  {
-    sched::EasyBackfillScheduler easy;
-    add("EASY backfill", "user",
-        replay(jobs, 1024, easy, horizon, EstimateSource::User));
-  }
-  {
-    sched::EasyBackfillScheduler easy;
-    add("EASY backfill", "2x actual",
-        replay(jobs, 1024, easy, horizon, EstimateSource::DoubleActual));
-  }
-  {
-    sched::EasyBackfillScheduler easy;
-    add("EASY backfill", "perfect",
-        replay(jobs, 1024, easy, horizon, EstimateSource::Perfect));
-  }
-  {
-    sched::ConservativeBackfillScheduler conservative;
-    add("conservative backfill", "user",
-        replay(jobs, 1024, conservative, horizon, EstimateSource::User));
-  }
-  {
-    sched::PriorityBackfillScheduler priority(sched::PriorityWeights{}, 1024);
-    add("priority backfill", "user",
-        replay(jobs, 1024, priority, horizon, EstimateSource::User, &priority));
+  for (const Variant& v : variants) {
+    table.add_row({v.policy, v.estimates_label,
+                   format_double(100 * v.report.system_utilization, 4),
+                   format_double(v.report.avg_wait_seconds, 4),
+                   format_double(v.report.avg_bounded_slowdown, 4)});
+    harness.record_point(std::string(v.policy) + "/" + v.estimates_label,
+                         {{"policy", v.policy}, {"estimates", v.estimates_label}},
+                         {{"system_utilization", v.report.system_utilization},
+                          {"avg_wait_seconds", v.report.avg_wait_seconds},
+                          {"avg_bounded_slowdown", v.report.avg_bounded_slowdown},
+                          {"jobs_finished",
+                           static_cast<double>(v.report.jobs_finished)}});
   }
   table.print();
   std::printf("\n[expected: backfill >> FCFS; better estimates tighten waits; the\n"

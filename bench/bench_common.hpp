@@ -1,14 +1,38 @@
-// Shared helpers for the benchmark harnesses.  Every bench regenerates
-// one table or figure of the paper's evaluation (see DESIGN.md for the
-// experiment index) and prints paper-style rows; EXPERIMENTS.md records
-// the paper-vs-measured comparison.
+// Shared scenario-runner for the benchmark harnesses.  Every bench
+// regenerates one table or figure of the paper's evaluation (see
+// DESIGN.md for the experiment index) and prints paper-style rows;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// All harnesses accept the same flags, parsed by bench::Harness:
+//   --smoke              reduced sweep for CI (small cluster, few points)
+//   --jobs N             run sweep points/replicas on N worker threads
+//   --replicas N         seed replicas per sweep point (mean +/- stddev)
+//   --json OUT           write a BENCH_<name>.json artifact; OUT is the
+//                        file path (when it ends in .json) or a directory
+//   --telemetry-out FILE single combined trace+metrics artifact
+//   --telemetry-dir DIR  one telemetry artifact per sweep point
+//
+// The BENCH JSON schema ("eslurm-bench-v1"):
+//   { "schema": "eslurm-bench-v1", "bench": "<name>", "smoke": bool,
+//     "jobs": N, "replicas": N,
+//     "points": [ { "label": "...", "params": {"k": "v", ...},
+//                   "metrics": {"m": {"mean","stddev","min","max","n"}},
+//                   "replicas": [ {"m": value, ...}, ... ] } ] }
+// Per-replica raw values make cross-run bit-identity checkable with a
+// plain diff; aggregate stats feed the perf-trajectory tooling.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/generator.hpp"
 #include "util/strings.hpp"
@@ -16,26 +40,33 @@
 
 namespace eslurm::bench {
 
-/// Opt-in telemetry for a bench run.  Construct at the top of main() with
-/// the raw argv; if `--telemetry-out FILE` is present, global telemetry is
-/// enabled before any engine or world is built and the combined
-/// trace+metrics artifact is written to FILE when the scope ends (load it
-/// in Perfetto, or summarize it with tools/esprof).  Without the flag the
-/// scope is inert and the run pays no telemetry cost.
+/// Opt-in telemetry for a bench run.  If `--telemetry-out FILE` is
+/// present, this scope owns an enabled per-run context; pass `context()`
+/// into the worlds the bench builds (ExperimentConfig::telemetry or
+/// sim::Engine's constructor) and the combined trace+metrics artifact is
+/// written to FILE when the scope ends (load it in Perfetto, or
+/// summarize it with tools/esprof).  Without the flag the scope is inert
+/// and the run pays no telemetry cost.  The context serves one world at
+/// a time: attach it to sequential runs only, never concurrent ones.
 class TelemetryScope {
  public:
   TelemetryScope(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string(argv[i]) == "--telemetry-out") {
-        path_ = argv[i + 1];
-        telemetry::global().enable();
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) != "--telemetry-out") continue;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "warning: --telemetry-out requires a path argument; "
+                     "telemetry stays disabled\n");
         break;
       }
+      path_ = argv[i + 1];
+      context_.enable();
+      break;
     }
   }
   ~TelemetryScope() {
     if (path_.empty()) return;
-    if (telemetry::global().save(path_))
+    if (context_.save(path_))
       std::printf("telemetry: wrote %s\n", path_.c_str());
     else
       std::fprintf(stderr, "telemetry: could not write %s\n", path_.c_str());
@@ -43,7 +74,16 @@ class TelemetryScope {
   TelemetryScope(const TelemetryScope&) = delete;
   TelemetryScope& operator=(const TelemetryScope&) = delete;
 
+  /// The context to inject into this bench's worlds; nullptr when the
+  /// flag was absent.
+  telemetry::Telemetry* context() { return path_.empty() ? nullptr : &context_; }
+
+  /// Drop the pending artifact (the flag was rejected, e.g. --jobs > 1);
+  /// nothing is written at scope end.
+  void suppress() { path_.clear(); }
+
  private:
+  telemetry::Telemetry context_;
   std::string path_;
 };
 
@@ -54,6 +94,227 @@ inline void banner(const std::string& id, const std::string& what) {
   std::printf("==============================================================\n");
   std::printf("%s -- %s\n", id.c_str(), what.c_str());
   std::printf("==============================================================\n");
+}
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trip double formatting; non-finite values become null (JSON has
+/// no NaN/Inf).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+/// Uniform flag parsing + result recording for a bench harness.
+/// Construct at the top of main(), record every sweep point (or whole
+/// run_sweep outcome), and the destructor writes the JSON artifact.
+class Harness {
+ public:
+  Harness(std::string name, const std::string& paper_id,
+          const std::string& what, int argc, char** argv)
+      : name_(std::move(name)), scope_(argc, argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* flag) -> const char* {
+        if (i + 1 < argc) return argv[++i];
+        std::fprintf(stderr, "warning: %s requires an argument; ignored\n", flag);
+        return nullptr;
+      };
+      if (arg == "--smoke") {
+        smoke_ = true;
+      } else if (arg == "--jobs") {
+        if (const char* v = value("--jobs")) jobs_ = std::max(1, std::atoi(v));
+      } else if (arg == "--replicas") {
+        if (const char* v = value("--replicas"))
+          replicas_ = std::max(1, std::atoi(v));
+      } else if (arg == "--json") {
+        if (const char* v = value("--json")) json_out_ = v;
+      } else if (arg == "--telemetry-out") {
+        ++i;  // handled (and validated) by the TelemetryScope
+      } else if (arg == "--telemetry-dir") {
+        if (const char* v = value("--telemetry-dir")) telemetry_dir_ = v;
+      } else {
+        std::fprintf(stderr, "warning: unknown argument '%s' ignored\n",
+                     arg.c_str());
+      }
+    }
+    banner(paper_id, what);
+  }
+
+  ~Harness() { write_json(); }
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool smoke() const { return smoke_; }
+  int jobs() const { return jobs_; }
+  int replicas() const { return replicas_; }
+
+  /// The single-artifact telemetry context (--telemetry-out); nullptr
+  /// when absent.  A context serves one world at a time, so parallel
+  /// runs (--jobs > 1) get nullptr here -- use --telemetry-dir for
+  /// per-point artifacts instead.
+  telemetry::Telemetry* telemetry() {
+    if (jobs_ > 1 && scope_.context()) {
+      if (!warned_parallel_telemetry_) {
+        warned_parallel_telemetry_ = true;
+        std::fprintf(stderr,
+                     "warning: --telemetry-out is single-world; ignored with "
+                     "--jobs > 1 (use --telemetry-dir)\n");
+        scope_.suppress();
+      }
+      return nullptr;
+    }
+    return scope_.context();
+  }
+
+  /// SweepSpec pre-filled with this run's --jobs/--replicas and the
+  /// per-point artifact directory (--telemetry-dir); add points and go.
+  core::SweepSpec sweep_spec() const {
+    core::SweepSpec spec;
+    spec.jobs = jobs_;
+    spec.replicas = replicas_;
+    spec.telemetry_dir = telemetry_dir_;
+    return spec;
+  }
+
+  /// Records run_sweep outcomes into the JSON artifact (appends).
+  void record_sweep(const std::vector<core::PointOutcome>& outcomes) {
+    points_.insert(points_.end(), outcomes.begin(), outcomes.end());
+  }
+
+  /// Records one standalone point (single replica, n = 1 aggregates) --
+  /// for benches whose points are not Experiment sweeps.
+  void record_point(std::string label,
+                    std::vector<std::pair<std::string, std::string>> params,
+                    core::MetricRow metrics) {
+    core::PointOutcome outcome;
+    outcome.point.label = std::move(label);
+    outcome.point.params = std::move(params);
+    outcome.aggregates.reserve(metrics.size());
+    for (const auto& [metric_name, metric_value] : metrics)
+      outcome.aggregates.emplace_back(metric_name,
+                                      core::aggregate({metric_value}));
+    outcome.replicas.push_back(std::move(metrics));
+    points_.push_back(std::move(outcome));
+  }
+
+ private:
+  void write_json() const {
+    if (json_out_.empty()) return;
+    namespace fs = std::filesystem;
+    fs::path path(json_out_);
+    std::error_code ec;
+    if (path.extension() != ".json") {
+      fs::create_directories(path, ec);
+      path /= "BENCH_" + name_ + ".json";
+    } else if (path.has_parent_path()) {
+      fs::create_directories(path.parent_path(), ec);
+    }
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "bench: could not write %s\n", path.c_str());
+      return;
+    }
+    using detail::json_escape;
+    using detail::json_number;
+    os << "{\n  \"schema\": \"eslurm-bench-v1\",\n  \"bench\": \""
+       << json_escape(name_) << "\",\n  \"smoke\": " << (smoke_ ? "true" : "false")
+       << ",\n  \"jobs\": " << jobs_ << ",\n  \"replicas\": " << replicas_
+       << ",\n  \"points\": [";
+    for (std::size_t p = 0; p < points_.size(); ++p) {
+      const core::PointOutcome& point = points_[p];
+      os << (p ? ",\n    {" : "\n    {");
+      os << "\"label\": \"" << json_escape(point.point.label) << "\", \"params\": {";
+      for (std::size_t k = 0; k < point.point.params.size(); ++k) {
+        const auto& [key, v] = point.point.params[k];
+        os << (k ? ", " : "") << '"' << json_escape(key) << "\": \""
+           << json_escape(v) << '"';
+      }
+      os << "}, \"metrics\": {";
+      for (std::size_t m = 0; m < point.aggregates.size(); ++m) {
+        const auto& [metric_name, stats] = point.aggregates[m];
+        os << (m ? ", " : "") << '"' << json_escape(metric_name)
+           << "\": {\"mean\": " << json_number(stats.mean)
+           << ", \"stddev\": " << json_number(stats.stddev)
+           << ", \"min\": " << json_number(stats.min)
+           << ", \"max\": " << json_number(stats.max) << ", \"n\": " << stats.n
+           << '}';
+      }
+      os << "}, \"replicas\": [";
+      for (std::size_t r = 0; r < point.replicas.size(); ++r) {
+        os << (r ? ", {" : "{");
+        for (std::size_t m = 0; m < point.replicas[r].size(); ++m) {
+          const auto& [metric_name, metric_value] = point.replicas[r][m];
+          os << (m ? ", " : "") << '"' << json_escape(metric_name)
+             << "\": " << json_number(metric_value);
+        }
+        os << '}';
+      }
+      os << "]}";
+    }
+    os << "\n  ]\n}\n";
+    std::printf("bench: wrote %s\n", path.c_str());
+  }
+
+  std::string name_;
+  TelemetryScope scope_;
+  bool smoke_ = false;
+  int jobs_ = 1;
+  int replicas_ = 1;
+  std::string json_out_;
+  std::string telemetry_dir_;
+  bool warned_parallel_telemetry_ = false;
+  std::vector<core::PointOutcome> points_;
+};
+
+/// Aggregate lookup on a sweep outcome (nullptr when absent).
+inline const core::MetricStats* metric_stats(const core::PointOutcome& outcome,
+                                             const std::string& name) {
+  for (const auto& [metric_name, stats] : outcome.aggregates)
+    if (metric_name == name) return &stats;
+  return nullptr;
+}
+
+/// Mean of one metric across a point's replicas (0 when absent).
+inline double metric_mean(const core::PointOutcome& outcome,
+                          const std::string& name) {
+  const core::MetricStats* stats = metric_stats(outcome, name);
+  return stats ? stats->mean : 0.0;
+}
+
+/// "mean" or "mean +/- stddev" cell text, depending on replica count.
+inline std::string format_stat(const core::MetricStats* stats, int precision = 3) {
+  if (!stats) return "-";
+  if (stats->n < 2) return format_double(stats->mean, precision);
+  return format_double(stats->mean, precision) + " +/- " +
+         format_double(stats->stddev, precision);
 }
 
 /// Workload with approximately `target_jobs` submissions over `duration`,

@@ -21,8 +21,6 @@ using namespace eslurm;
 
 namespace {
 
-const SimTime kHorizon = hours(48);
-
 struct Variant {
   std::string rm;
   bool estimation = false;
@@ -30,70 +28,100 @@ struct Variant {
   std::string label;
 };
 
-sched::SchedulingReport run_variant(const Variant& variant, std::size_t nodes,
-                                    const std::vector<sched::Job>& jobs,
-                                    std::uint64_t* crashes = nullptr) {
-  core::ExperimentConfig config;
-  config.rm = variant.rm;
-  config.compute_nodes = nodes;
-  config.satellite_count = std::max<std::size_t>(2, nodes / 5000);
-  config.horizon = kHorizon;
-  config.seed = 1234;
-  config.rm_config.use_runtime_estimation = variant.estimation;
-  config.rm_config.use_fp_tree = variant.fp_tree;
-  config.rm_config.estimator.retrain_period = hours(4);
-  config.enable_failures = true;
-  config.failure_params.node_mtbf_hours = 400.0;
-  config.failure_params.repair_mean_hours = 6.0;
-  core::Experiment experiment(config);
-  experiment.submit_trace(jobs);
-  experiment.run();
-  if (crashes) *crashes = experiment.manager().crash_count();
-  return experiment.report();
-}
-
-void run_scale(std::size_t nodes, const std::vector<Variant>& variants,
-               const trace::WorkloadProfile& profile) {
-  // Offered load just under capacity: queues form during diurnal peaks
-  // (so backfill quality matters) but the machine is not saturated --
-  // the regime where scheduling efficiency differentiates RMs.
-  const auto jobs = bench::workload_for(nodes, kHorizon, 0.9, profile, 4242);
-  std::printf("\n--- %zu nodes, %zu jobs over 2 days ---\n", nodes, jobs.size());
-  Table table({"RM", "utilization %", "avg wait (s)", "avg bounded slowdown",
-               "jobs done", "crashes"});
-  for (const auto& variant : variants) {
-    std::uint64_t crashes = 0;
-    const auto report = run_variant(variant, nodes, jobs, &crashes);
-    table.add_row({variant.label, format_double(100 * report.system_utilization, 4),
-                   format_double(report.avg_wait_seconds, 4),
-                   format_double(report.avg_bounded_slowdown, 4),
-                   std::to_string(report.jobs_finished), std::to_string(crashes)});
-    std::printf("[%s done]\n", variant.label.c_str());
-  }
-  table.print();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Fig. 10", "scheduling efficiency across cluster scales (Table VII)");
+  bench::Harness harness("fig10_scheduling", "Fig. 10",
+                         "scheduling efficiency across cluster scales (Table VII)",
+                         argc, argv);
 
   const Variant sge{"sge", false, true, "SGE"};
   const Variant torque{"torque", false, true, "Torque"};
   const Variant openpbs{"openpbs", false, true, "OpenPBS"};
   const Variant lsf{"lsf", false, true, "LSF"};
   const Variant slurm{"slurm", false, true, "Slurm"};
-  const Variant eslurm{"eslurm", true, true, "ESLURM"};
+  const Variant eslurm_full{"eslurm", true, true, "ESLURM"};
   const Variant eslurm_noest{"eslurm", false, true, "ESLURM w/o estimation"};
   const Variant eslurm_nofp{"eslurm", true, false, "ESLURM w/o FP-Tree"};
 
-  run_scale(1024, {sge, torque, openpbs, lsf, slurm, eslurm}, trace::tianhe2a_profile());
-  run_scale(4096, {openpbs, lsf, slurm, eslurm}, trace::tianhe2a_profile());
-  run_scale(16384, {slurm, eslurm}, trace::tianhe2a_profile());
-  // Full NG-Tianhe, with the ablations the paper attributes gains to.
-  run_scale(20480, {slurm, eslurm, eslurm_noest, eslurm_nofp},
-            trace::ng_tianhe_profile());
+  const SimTime horizon = harness.smoke() ? hours(6) : hours(48);
+  std::vector<std::pair<std::size_t, std::vector<Variant>>> scales;
+  if (harness.smoke()) {
+    scales = {{1024, {slurm, eslurm_full}}};
+  } else {
+    scales = {{1024, {sge, torque, openpbs, lsf, slurm, eslurm_full}},
+              {4096, {openpbs, lsf, slurm, eslurm_full}},
+              {16384, {slurm, eslurm_full}},
+              // Full NG-Tianhe, with the ablations the paper attributes
+              // gains to.
+              {20480, {slurm, eslurm_full, eslurm_noest, eslurm_nofp}}};
+  }
+
+  core::SweepSpec spec = harness.sweep_spec();
+  for (const auto& [nodes, variants] : scales) {
+    for (const Variant& variant : variants) {
+      core::SweepPoint point;
+      point.label = std::to_string(nodes) + "/" + variant.label;
+      point.params = {{"nodes", std::to_string(nodes)},
+                      {"rm", variant.label},
+                      {"estimation", variant.estimation ? "on" : "off"},
+                      {"fp_tree", variant.fp_tree ? "on" : "off"}};
+      point.config.rm = variant.rm;
+      point.config.compute_nodes = nodes;
+      point.config.satellite_count = std::max<std::size_t>(2, nodes / 5000);
+      point.config.horizon = horizon;
+      point.config.seed = 1234;
+      point.config.rm_config.use_runtime_estimation = variant.estimation;
+      point.config.rm_config.use_fp_tree = variant.fp_tree;
+      point.config.rm_config.estimator.retrain_period = hours(4);
+      point.config.enable_failures = true;
+      point.config.failure_params.node_mtbf_hours = 400.0;
+      point.config.failure_params.repair_mean_hours = 6.0;
+      spec.points.push_back(std::move(point));
+    }
+  }
+
+  const auto outcomes = core::run_sweep(spec, [horizon](const core::SweepTask& task) {
+    // Offered load just under capacity: queues form during diurnal peaks
+    // (so backfill quality matters) but the machine is not saturated --
+    // the regime where scheduling efficiency differentiates RMs.  The
+    // workload is a function of the scale only, so every variant (and
+    // every replica) of one scale replays the identical trace.
+    const std::size_t nodes = task.config.compute_nodes;
+    const auto profile =
+        nodes >= 20000 ? trace::ng_tianhe_profile() : trace::tianhe2a_profile();
+    const auto jobs = bench::workload_for(nodes, horizon, 0.9, profile, 4242);
+    core::Experiment experiment(task.config);
+    experiment.submit_trace(jobs);
+    experiment.run();
+    core::MetricRow row = core::metrics_from_report(experiment.report());
+    row.emplace_back("crashes",
+                     static_cast<double>(experiment.manager().crash_count()));
+    row.emplace_back("jobs_submitted", static_cast<double>(jobs.size()));
+    std::printf("[%s done]\n", task.point->label.c_str());
+    return row;
+  });
+
+  std::size_t cursor = 0;
+  for (const auto& [nodes, variants] : scales) {
+    std::printf("\n--- %zu nodes, %d jobs over %.0f h ---\n", nodes,
+                static_cast<int>(bench::metric_mean(outcomes[cursor], "jobs_submitted")),
+                to_seconds(horizon) / 3600.0);
+    Table table({"RM", "utilization %", "avg wait (s)", "avg bounded slowdown",
+                 "jobs done", "crashes"});
+    for (std::size_t v = 0; v < variants.size(); ++v, ++cursor) {
+      const core::PointOutcome& outcome = outcomes[cursor];
+      table.add_row(
+          {variants[v].label,
+           format_double(100 * bench::metric_mean(outcome, "system_utilization"), 4),
+           format_double(bench::metric_mean(outcome, "avg_wait_seconds"), 4),
+           format_double(bench::metric_mean(outcome, "avg_bounded_slowdown"), 4),
+           format_double(bench::metric_mean(outcome, "jobs_finished"), 6),
+           format_double(bench::metric_mean(outcome, "crashes"), 3)});
+    }
+    table.print();
+  }
+  harness.record_sweep(outcomes);
 
   std::printf("\n[paper: ESLURM best everywhere; utilization falls with scale for\n"
               " every RM; on NG-Tianhe ESLURM improves utilization by 47.2%% over\n"

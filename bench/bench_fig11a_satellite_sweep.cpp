@@ -3,31 +3,37 @@
 //
 // Paper: ~20 satellites minimize the transfer time at this scale, which
 // led to the deployment rule of one satellite per ~5K compute nodes.
-#include <optional>
-
 #include "bench_common.hpp"
 
 using namespace eslurm;
 
-namespace {
-constexpr std::size_t kNodes = 20480;
-}  // namespace
-
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Fig. 11a", "heartbeat broadcast time vs satellite count (20K+ nodes)");
+  bench::Harness harness("fig11a_satellite_sweep", "Fig. 11a",
+                         "heartbeat broadcast time vs satellite count (20K+ nodes)",
+                         argc, argv);
 
-  Table table({"satellites", "avg heartbeat broadcast (s)"});
-  for (const std::size_t satellites : {1u, 5u, 10u, 20u, 30u, 40u, 50u}) {
-    core::ExperimentConfig config;
-    config.rm = "eslurm";
-    config.compute_nodes = kNodes;
-    config.satellite_count = satellites;
-    config.horizon = hours(1);
-    config.seed = 21;
-    config.rm_config.enable_pings = true;
-    core::Experiment experiment(config);
+  const std::size_t nodes = harness.smoke() ? 4096 : 20480;
+  const std::vector<std::size_t> satellite_counts =
+      harness.smoke() ? std::vector<std::size_t>{5, 20}
+                      : std::vector<std::size_t>{1, 5, 10, 20, 30, 40, 50};
 
+  core::SweepSpec spec = harness.sweep_spec();
+  for (const std::size_t satellites : satellite_counts) {
+    core::SweepPoint point;
+    point.label = "satellites=" + std::to_string(satellites);
+    point.params = {{"satellites", std::to_string(satellites)},
+                    {"nodes", std::to_string(nodes)}};
+    point.config.rm = "eslurm";
+    point.config.compute_nodes = nodes;
+    point.config.satellite_count = satellites;
+    point.config.horizon = hours(1);
+    point.config.seed = 21;
+    point.config.rm_config.enable_pings = true;
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto outcomes = core::run_sweep(spec, [nodes](const core::SweepTask& task) {
+    core::Experiment experiment(task.config);
     // Time explicit full-cluster heartbeat rounds: submit a full-width
     // job whose launch broadcast covers every compute node, five times.
     std::vector<sched::Job> jobs;
@@ -36,8 +42,8 @@ int main(int argc, char** argv) {
       job.id = id;
       job.user = "hb";
       job.name = "heartbeat";
-      job.nodes = static_cast<int>(kNodes);
-      job.cores = static_cast<int>(kNodes) * 12;
+      job.nodes = static_cast<int>(nodes);
+      job.cores = static_cast<int>(nodes) * 12;
       job.submit_time = minutes(static_cast<std::int64_t>(id - 1) * 10);
       job.actual_runtime = seconds(1);
       job.user_estimate = minutes(5);
@@ -45,12 +51,22 @@ int main(int argc, char** argv) {
     }
     experiment.submit_trace(jobs);
     experiment.run();
-    const double avg = experiment.manager().launch_broadcast_seconds().mean();
-    table.add_row({std::to_string(satellites), format_double(avg, 4)});
-    std::printf("[%zu satellites done]\n", satellites);
+    return core::MetricRow{
+        {"launch_bcast_mean_s",
+         experiment.manager().launch_broadcast_seconds().mean()},
+        {"events", static_cast<double>(experiment.engine().executed_events())}};
+  });
+
+  Table table({"satellites", "avg heartbeat broadcast (s)"});
+  for (const core::PointOutcome& outcome : outcomes) {
+    table.add_row({outcome.point.params[0].second,
+                   bench::format_stat(
+                       bench::metric_stats(outcome, "launch_bcast_mean_s"), 4)});
+    std::printf("[%s done]\n", outcome.point.label.c_str());
   }
   std::printf("\n");
   table.print();
+  harness.record_sweep(outcomes);
   std::printf("\n[paper: minimum around 20 satellites at 20K+ nodes -> the rule of\n"
               " one satellite per ~5K compute nodes]\n");
   return 0;

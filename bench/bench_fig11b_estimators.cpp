@@ -12,16 +12,23 @@
 using namespace eslurm;
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Fig. 11b", "runtime-estimation models on NG-Tianhe history");
+  bench::Harness harness("fig11b_estimators", "Fig. 11b",
+                         "runtime-estimation models on NG-Tianhe history",
+                         argc, argv);
   trace::WorkloadProfile profile = trace::ng_tianhe_profile();
   profile.jobs_per_hour = 12;  // NG-Tianhe's observed rate (Table III)
   trace::TraceGenerator generator(profile);
-  const auto jobs = generator.generate(days(90));
-  std::printf("workload: %zu jobs over 90 days\n\n", jobs.size());
+  const auto jobs = generator.generate(harness.smoke() ? days(21) : days(90));
+  std::printf("workload: %zu jobs\n\n", jobs.size());
 
-  Table table({"model", "AEA", "underestimation rate"});
-  for (const auto& name : predict::predictor_names()) {
+  const auto names = predict::predictor_names();
+  struct Cell {
+    double aea = 0.0;
+    double under = 0.0;
+  };
+  std::vector<Cell> cells(names.size());
+  core::parallel_for(names.size(), harness.jobs(), [&](std::size_t i) {
+    const std::string& name = names[i];
     std::unique_ptr<predict::RuntimePredictor> predictor;
     if (name == "eslurm") {
       // Model refresh matched to the job rate (the paper's two exposed
@@ -38,9 +45,17 @@ int main(int argc, char** argv) {
       accuracy.add(predictor->predict(job), job.actual_runtime);
       predictor->observe(job);
     }
-    table.add_row({name, format_double(accuracy.aea(), 3),
-                   format_double(accuracy.underestimate_rate(), 3)});
+    cells[i] = {accuracy.aea(), accuracy.underestimate_rate()};
     std::printf("[%s done]\n", name.c_str());
+  });
+
+  Table table({"model", "AEA", "underestimation rate"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    table.add_row({names[i], format_double(cells[i].aea, 3),
+                   format_double(cells[i].under, 3)});
+    harness.record_point(names[i], {{"model", names[i]}},
+                         {{"aea", cells[i].aea},
+                          {"underestimate_rate", cells[i].under}});
   }
   std::printf("\n");
   table.print();

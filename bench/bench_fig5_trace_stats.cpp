@@ -15,10 +15,12 @@ using namespace eslurm;
 
 namespace {
 
-void analyze(const char* label, const trace::WorkloadProfile& profile) {
+void analyze(bench::Harness& harness, const char* label,
+             const trace::WorkloadProfile& profile, SimTime window) {
   trace::TraceGenerator generator(profile);
-  const auto jobs = generator.generate(days(14));
-  std::printf("\n--- %s: %zu jobs over 14 days ---\n", label, jobs.size());
+  const auto jobs = generator.generate(window);
+  std::printf("\n--- %s: %zu jobs over %.0f days ---\n", label, jobs.size(),
+              to_seconds(window) / 86400.0);
 
   // (a) CDF of P.
   const auto samples = trace::estimate_accuracy_samples(jobs);
@@ -31,8 +33,9 @@ void analyze(const char* label, const trace::WorkloadProfile& profile) {
   std::size_t over = 0;
   for (const double p : samples)
     if (p > 1.0) ++over;
+  const double over_fraction = static_cast<double>(over) / samples.size();
   std::printf("overestimated fraction (P > 1): %.3f  [paper: 0.80-0.90]\n",
-              static_cast<double>(over) / samples.size());
+              over_fraction);
 
   // (b) correlation vs submit interval.
   const std::vector<double> interval_edges{1, 5, 10, 20, 30, 40, 50};
@@ -55,19 +58,30 @@ void analyze(const char* label, const trace::WorkloadProfile& profile) {
   std::printf("\nFig 5c: correlation vs job-ID gap (all pairs)\n");
   fig5c.print();
 
+  const double evening = trace::long_job_evening_fraction(jobs);
+  const double resubmit = trace::resubmit_within_24h_fraction(jobs);
   std::printf("\nSection V-A scalars:\n");
-  std::printf("  >6h jobs submitted 18:00-24:00 : %.3f  [paper: 0.714]\n",
-              trace::long_job_evening_fraction(jobs));
-  std::printf("  same job resubmitted within 24h: %.3f  [paper: 0.892]\n",
-              trace::resubmit_within_24h_fraction(jobs));
+  std::printf("  >6h jobs submitted 18:00-24:00 : %.3f  [paper: 0.714]\n", evening);
+  std::printf("  same job resubmitted within 24h: %.3f  [paper: 0.892]\n", resubmit);
+
+  harness.record_point(
+      label, {{"system", label}, {"days", format_double(to_seconds(window) / 86400.0, 3)}},
+      {{"jobs", static_cast<double>(jobs.size())},
+       {"overestimated_fraction", over_fraction},
+       {"correlation_1h", by_interval.ratio.front()},
+       {"correlation_gap_700", by_gap.ratio[3]},
+       {"long_job_evening_fraction", evening},
+       {"resubmit_within_24h_fraction", resubmit}});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Fig. 5", "workload-trace statistics of the two Tianhe systems");
-  analyze("Tianhe-2A", trace::tianhe2a_profile());
-  analyze("NG-Tianhe", trace::ng_tianhe_profile());
+  bench::Harness harness("fig5_trace_stats", "Fig. 5",
+                         "workload-trace statistics of the two Tianhe systems",
+                         argc, argv);
+  const SimTime window = harness.smoke() ? days(3) : days(14);
+  analyze(harness, "Tianhe-2A", trace::tianhe2a_profile(), window);
+  analyze(harness, "NG-Tianhe", trace::ng_tianhe_profile(), window);
   return 0;
 }

@@ -8,87 +8,99 @@
 // TCP connections; LSF and Slurm show bursts >= 1000 sockets; ESLURM's
 // master never exceeds ~100.
 #include "bench_common.hpp"
+#include "util/stats.hpp"
 
 using namespace eslurm;
 
-namespace {
-
-constexpr std::size_t kNodes = 4096;
-const SimTime kHorizon = hours(24);
-
-struct Row {
-  std::string rm;
-  double cpu_minutes;
-  double cpu_util_avg;
-  double vmem_gb;
-  double rss_mb;
-  double sockets_avg;
-  double sockets_peak;
-};
-
-Row run_rm(const std::string& rm, const std::vector<sched::Job>& jobs) {
-  core::ExperimentConfig config;
-  config.rm = rm;
-  config.compute_nodes = kNodes;
-  config.satellite_count = 2;
-  config.horizon = kHorizon;
-  config.seed = 7;
-  core::Experiment experiment(config);
-  experiment.submit_trace(jobs);
-  experiment.run();
-
-  const auto& stats = experiment.manager().master_stats();
-  Row row;
-  row.rm = rm;
-  row.cpu_minutes = stats.cpu_seconds() / 60.0;
-  row.cpu_util_avg = stats.cpu_util_series().mean_value();
-  row.vmem_gb = stats.vmem_series().max_value();
-  row.rss_mb = stats.rss_series().max_value();
-  row.sockets_avg = stats.socket_series().mean_value();
-  row.sockets_peak =
-      std::max(stats.socket_series().max_value(),
-               experiment.network().socket_series(0).max_value() +
-                   (rm == "sge" ? static_cast<double>(kNodes) : 0.0));
-
-  if (rm == "eslurm") {
-    std::printf("\nESLURM satellite nodes after 24 h (Section VII-A: ~6 CPU-min,\n"
-                "~1.2 GB vmem, ~42.6 MB RSS each):\n");
-    Table sat_table({"satellite", "CPU (min)", "vmem (GB)", "RSS (MB)", "avg sockets"});
-    for (const auto& report : experiment.eslurm()->satellite_reports()) {
-      sat_table.add_row({std::to_string(report.node),
-                         format_double(report.cpu_minutes, 3),
-                         format_double(report.vmem_gb, 3),
-                         format_double(report.rss_mb, 4),
-                         format_double(report.avg_sockets, 3)});
-    }
-    sat_table.print();
-  }
-  return row;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Fig. 7a-e", "master-node resource usage, 4K nodes, 24 h");
+  bench::Harness harness("fig7_master_resources", "Fig. 7a-e",
+                         "master-node resource usage, 4K nodes, 24 h", argc, argv);
+  const std::size_t nodes = harness.smoke() ? 1024 : 4096;
+  const SimTime horizon = harness.smoke() ? hours(6) : hours(24);
   // The paper's 4K-node partition ran about 1K jobs per day (Section
-  // VII-A's core-hour extrapolation).
-  const auto jobs =
-      bench::workload_count_for(kNodes, kHorizon, 1200, trace::tianhe2a_profile(), 77);
-  std::printf("workload: %zu jobs over 24 h\n", jobs.size());
+  // VII-A's core-hour extrapolation); scale the count with the window.
+  const std::size_t job_count = harness.smoke() ? 300 : 1200;
+  const std::vector<std::string> rms =
+      harness.smoke() ? std::vector<std::string>{"slurm", "eslurm"}
+                      : std::vector<std::string>{"sge",  "torque", "openpbs",
+                                                 "lsf", "slurm",  "eslurm"};
 
+  core::SweepSpec spec = harness.sweep_spec();
+  for (const std::string& rm : rms) {
+    core::SweepPoint point;
+    point.label = rm;
+    point.params = {{"rm", rm}, {"nodes", std::to_string(nodes)}};
+    point.config.rm = rm;
+    point.config.compute_nodes = nodes;
+    point.config.satellite_count = 2;
+    point.config.horizon = horizon;
+    point.config.seed = 7;
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto outcomes =
+      core::run_sweep(spec, [&](const core::SweepTask& task) {
+        // Workload is a function of the scale only, so every RM (and
+        // every replica) replays the identical trace.
+        const auto jobs = bench::workload_count_for(nodes, horizon, job_count,
+                                                    trace::tianhe2a_profile(), 77);
+        core::Experiment experiment(task.config);
+        experiment.submit_trace(jobs);
+        experiment.run();
+
+        const auto& stats = experiment.manager().master_stats();
+        core::MetricRow row{
+            {"cpu_minutes", stats.cpu_seconds() / 60.0},
+            {"cpu_util_avg", stats.cpu_util_series().mean_value()},
+            {"vmem_peak_gb", stats.vmem_series().max_value()},
+            {"rss_peak_mb", stats.rss_series().max_value()},
+            {"sockets_avg", stats.socket_series().mean_value()},
+            {"sockets_peak",
+             std::max(stats.socket_series().max_value(),
+                      experiment.network().socket_series(0).max_value() +
+                          (task.config.rm == "sge" ? static_cast<double>(nodes)
+                                                   : 0.0))},
+            {"jobs_submitted", static_cast<double>(jobs.size())}};
+        if (task.config.rm == "eslurm" && task.replica == 0) {
+          RunningStats sat_cpu, sat_vmem, sat_rss;
+          for (const auto& report : experiment.eslurm()->satellite_reports()) {
+            sat_cpu.add(report.cpu_minutes);
+            sat_vmem.add(report.vmem_gb);
+            sat_rss.add(report.rss_mb);
+          }
+          row.emplace_back("satellite_cpu_minutes_avg", sat_cpu.mean());
+          row.emplace_back("satellite_vmem_gb_avg", sat_vmem.mean());
+          row.emplace_back("satellite_rss_mb_avg", sat_rss.mean());
+        }
+        std::printf("[%s done]\n", task.point->label.c_str());
+        return row;
+      });
+
+  std::printf("\nworkload: %d jobs over %.0f h\n",
+              static_cast<int>(bench::metric_mean(outcomes[0], "jobs_submitted")),
+              to_seconds(horizon) / 3600.0);
   Table table({"RM", "CPU (min)", "CPU util avg %", "vmem peak (GB)", "RSS peak (MB)",
                "sockets avg", "sockets peak"});
-  for (const std::string rm : {"sge", "torque", "openpbs", "lsf", "slurm", "eslurm"}) {
-    const Row row = run_rm(rm, jobs);
-    table.add_row({row.rm, format_double(row.cpu_minutes, 4),
-                   format_double(row.cpu_util_avg, 3), format_double(row.vmem_gb, 3),
-                   format_double(row.rss_mb, 4), format_double(row.sockets_avg, 3),
-                   format_double(row.sockets_peak, 4)});
-    std::printf("[%s done]\n", rm.c_str());
+  for (const core::PointOutcome& outcome : outcomes) {
+    table.add_row({outcome.point.label,
+                   format_double(bench::metric_mean(outcome, "cpu_minutes"), 4),
+                   format_double(bench::metric_mean(outcome, "cpu_util_avg"), 3),
+                   format_double(bench::metric_mean(outcome, "vmem_peak_gb"), 3),
+                   format_double(bench::metric_mean(outcome, "rss_peak_mb"), 4),
+                   format_double(bench::metric_mean(outcome, "sockets_avg"), 3),
+                   format_double(bench::metric_mean(outcome, "sockets_peak"), 4)});
   }
-  std::printf("\n");
   table.print();
+  const core::PointOutcome& eslurm_outcome = outcomes.back();
+  if (bench::metric_stats(eslurm_outcome, "satellite_cpu_minutes_avg")) {
+    std::printf("\nESLURM satellite nodes (avg, Section VII-A: ~6 CPU-min,\n"
+                "~1.2 GB vmem, ~42.6 MB RSS each): %.3f CPU-min, %.3f GB vmem, "
+                "%.4f MB RSS\n",
+                bench::metric_mean(eslurm_outcome, "satellite_cpu_minutes_avg"),
+                bench::metric_mean(eslurm_outcome, "satellite_vmem_gb_avg"),
+                bench::metric_mean(eslurm_outcome, "satellite_rss_mb_avg"));
+  }
+  harness.record_sweep(outcomes);
   std::printf("\n[paper: ESLURM lowest CPU + <2 GB vmem + ~60 MB RSS + <100 sockets;\n"
               " Slurm ~10 GB vmem; SGE/OpenPBS sustain huge connection counts;\n"
               " LSF/Slurm burst past 1000 sockets]\n");

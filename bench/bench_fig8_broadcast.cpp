@@ -12,6 +12,8 @@
 //       flat, the FP-Tree stays below ~10 s even at 30%.
 #include <optional>
 
+#include "util/stats.hpp"
+
 #include "bench_common.hpp"
 #include "comm/fp_tree.hpp"
 #include "comm/ring.hpp"
@@ -22,20 +24,21 @@ using namespace eslurm;
 
 namespace {
 
-constexpr std::size_t kNodes = 4096;
-
 struct World {
   sim::Engine engine;
   std::optional<net::Network> net;
   std::optional<cluster::ClusterModel> cluster;
   std::vector<net::NodeId> targets;
+  std::size_t nodes;
 
-  explicit World(std::uint64_t seed) {
+  World(std::size_t node_count, std::uint64_t seed,
+        telemetry::Telemetry* telemetry = nullptr)
+      : engine(telemetry), nodes(node_count) {
     net::LinkModel link;
-    net.emplace(engine, kNodes + 1, link, Rng(seed));
-    cluster.emplace(engine, kNodes + 1);
+    net.emplace(engine, nodes + 1, link, Rng(seed));
+    cluster.emplace(engine, nodes + 1);
     net->set_liveness(cluster->liveness());
-    for (net::NodeId n = 1; n <= kNodes; ++n) targets.push_back(n);
+    for (net::NodeId n = 1; n <= nodes; ++n) targets.push_back(n);
   }
 
   /// Fails `ratio` of the targets; returns the failed set.
@@ -60,13 +63,15 @@ struct World {
 
 /// Average dispatch time over several rounds for one RM flavour under
 /// ~2% failures (predicted by a perfect monitoring view for the FP case).
-double fig8a_time(const std::string& flavour, std::size_t bytes, std::uint64_t seed) {
+double fig8a_time(const std::string& flavour, std::size_t nodes, std::size_t bytes,
+                  std::uint64_t seed, int rounds, telemetry::Telemetry* telemetry) {
   // Average over independent rounds, each with its own 2% failure draw
   // (timeout quantization would otherwise dominate a single draw).
   RunningStats elapsed;
-  for (int round = 0; round < 10; ++round) {
-    World world(seed + static_cast<std::uint64_t>(round) * 131);
-    Rng rng(seed ^ (0xF00 + round));
+  for (int round = 0; round < rounds; ++round) {
+    World world(nodes, derive_seed(seed, static_cast<std::uint64_t>(round)),
+                telemetry);
+    Rng rng(derive_seed(seed ^ 0xF00, static_cast<std::uint64_t>(round)));
     const auto failed = world.fail_fraction(0.02, rng);
     cluster::StaticFailurePredictor predictor(failed);
 
@@ -100,63 +105,98 @@ double fig8a_time(const std::string& flavour, std::size_t bytes, std::uint64_t s
   return elapsed.mean();
 }
 
-void fig8a() {
-  std::printf("\nFig 8a: average broadcast time, 4K-node job, ~2%% failed nodes\n");
+void fig8a(bench::Harness& harness, std::size_t nodes, int rounds) {
+  std::printf("\nFig 8a: average broadcast time, %zu-node job, ~2%% failed nodes\n",
+              nodes);
+  struct Cell {
+    const char* flavour;
+    const char* msg;
+    std::size_t bytes;
+    std::uint64_t seed;
+    double elapsed = 0.0;
+  };
+  std::vector<Cell> cells{{"slurm", "load", 2048, 11},       {"slurm", "term", 512, 12},
+                          {"eslurm-noFP", "load", 2048, 13}, {"eslurm-noFP", "term", 512, 14},
+                          {"eslurm", "load", 2048, 15},      {"eslurm", "term", 512, 16}};
+  telemetry::Telemetry* telemetry = harness.telemetry();
+  core::parallel_for(cells.size(), harness.jobs(), [&](std::size_t i) {
+    Cell& cell = cells[i];
+    cell.elapsed = fig8a_time(cell.flavour, nodes, cell.bytes, cell.seed, rounds,
+                              telemetry);
+  });
+  for (const Cell& cell : cells) {
+    harness.record_point(std::string(cell.flavour) + "/" + cell.msg,
+                         {{"flavour", cell.flavour},
+                          {"msg", cell.msg},
+                          {"nodes", std::to_string(nodes)}},
+                         {{"broadcast_mean_s", cell.elapsed}});
+  }
   Table table({"RM", "job load msg (s)", "job term msg (s)"});
-  const double slurm_load = fig8a_time("slurm", 2048, 11);
-  const double slurm_term = fig8a_time("slurm", 512, 12);
-  const double plain_load = fig8a_time("eslurm-noFP", 2048, 13);
-  const double plain_term = fig8a_time("eslurm-noFP", 512, 14);
-  const double fp_load = fig8a_time("eslurm", 2048, 15);
-  const double fp_term = fig8a_time("eslurm", 512, 16);
-  table.add_row({"Slurm", format_double(slurm_load, 4), format_double(slurm_term, 4)});
-  table.add_row({"ESLURM w/o FP-Tree", format_double(plain_load, 4),
-                 format_double(plain_term, 4)});
-  table.add_row({"ESLURM", format_double(fp_load, 4), format_double(fp_term, 4)});
+  table.add_row({"Slurm", format_double(cells[0].elapsed, 4),
+                 format_double(cells[1].elapsed, 4)});
+  table.add_row({"ESLURM w/o FP-Tree", format_double(cells[2].elapsed, 4),
+                 format_double(cells[3].elapsed, 4)});
+  table.add_row({"ESLURM", format_double(cells[4].elapsed, 4),
+                 format_double(cells[5].elapsed, 4)});
   table.print();
   std::printf("reduction vs Slurm: load %.1f%%, term %.1f%%  [paper: 63.7%%, 73.6%%]\n",
-              100.0 * (1.0 - fp_load / slurm_load),
-              100.0 * (1.0 - fp_term / slurm_term));
+              100.0 * (1.0 - cells[4].elapsed / cells[0].elapsed),
+              100.0 * (1.0 - cells[5].elapsed / cells[1].elapsed));
   std::printf("FP-Tree share     : load %.1f%%, term %.1f%%  [paper: 36.3%%, 54.9%%]\n",
-              100.0 * (1.0 - fp_load / plain_load),
-              100.0 * (1.0 - fp_term / plain_term));
+              100.0 * (1.0 - cells[4].elapsed / cells[2].elapsed),
+              100.0 * (1.0 - cells[5].elapsed / cells[3].elapsed));
 }
 
 // --- Fig. 8b -----------------------------------------------------------
 
-void fig8b() {
-  std::printf("\nFig 8b: broadcast time (s) vs failure ratio, 4K nodes\n");
-  const std::vector<double> ratios{0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30};
+void fig8b(bench::Harness& harness, std::size_t nodes) {
+  std::printf("\nFig 8b: broadcast time (s) vs failure ratio, %zu nodes\n", nodes);
+  const std::vector<double> ratios =
+      harness.smoke() ? std::vector<double>{0.0, 0.02, 0.10}
+                      : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30};
+  const std::vector<std::string> structures{"ring", "star", "shm", "tree", "fp"};
+  std::vector<double> elapsed(ratios.size() * structures.size(), 0.0);
+  telemetry::Telemetry* telemetry = harness.telemetry();
+  core::parallel_for(elapsed.size(), harness.jobs(), [&](std::size_t i) {
+    const double ratio = ratios[i / structures.size()];
+    const std::string& structure = structures[i % structures.size()];
+    World world(nodes, 0xB0 + static_cast<std::uint64_t>(ratio * 1000), telemetry);
+    Rng rng(0x5EED);
+    const auto failed = world.fail_fraction(ratio, rng);
+    cluster::StaticFailurePredictor predictor(failed);
+    comm::BroadcastOptions opts;
+    opts.payload_bytes = 2048;
+    if (structure == "ring") {
+      comm::RingBroadcaster b(*world.net);
+      elapsed[i] = world.run_one(b, opts);
+    } else if (structure == "star") {
+      comm::StarBroadcaster b(*world.net);
+      elapsed[i] = world.run_one(b, opts);
+    } else if (structure == "shm") {
+      comm::SharedMemoryBroadcaster b(*world.net);
+      elapsed[i] = world.run_one(b, opts);
+    } else if (structure == "tree") {
+      comm::TreeBroadcaster b(*world.net);
+      elapsed[i] = world.run_one(b, opts);
+    } else {
+      comm::FpTreeBroadcaster b(*world.net, predictor);
+      elapsed[i] = world.run_one(b, opts);
+    }
+  });
   Table table({"failure %", "ring", "star", "shared-mem", "tree", "FP-Tree"});
-  for (const double ratio : ratios) {
-    std::vector<std::string> row{format_double(100 * ratio, 3)};
-    for (const std::string structure : {"ring", "star", "shm", "tree", "fp"}) {
-      World world(0xB0 + static_cast<std::uint64_t>(ratio * 1000));
-      Rng rng(0x5EED);
-      const auto failed = world.fail_fraction(ratio, rng);
-      cluster::StaticFailurePredictor predictor(failed);
-      comm::BroadcastOptions opts;
-      opts.payload_bytes = 2048;
-      double elapsed = 0.0;
-      if (structure == "ring") {
-        comm::RingBroadcaster b(*world.net);
-        elapsed = world.run_one(b, opts);
-      } else if (structure == "star") {
-        comm::StarBroadcaster b(*world.net);
-        elapsed = world.run_one(b, opts);
-      } else if (structure == "shm") {
-        comm::SharedMemoryBroadcaster b(*world.net);
-        elapsed = world.run_one(b, opts);
-      } else if (structure == "tree") {
-        comm::TreeBroadcaster b(*world.net);
-        elapsed = world.run_one(b, opts);
-      } else {
-        comm::FpTreeBroadcaster b(*world.net, predictor);
-        elapsed = world.run_one(b, opts);
-      }
-      row.push_back(format_double(elapsed, 4));
+  for (std::size_t r = 0; r < ratios.size(); ++r) {
+    std::vector<std::string> row{format_double(100 * ratios[r], 3)};
+    core::MetricRow metrics;
+    for (std::size_t s = 0; s < structures.size(); ++s) {
+      const double value = elapsed[r * structures.size() + s];
+      row.push_back(format_double(value, 4));
+      metrics.emplace_back(structures[s] + "_s", value);
     }
     table.add_row(std::move(row));
+    harness.record_point("failure=" + format_double(100 * ratios[r], 3) + "%",
+                         {{"failure_ratio", format_double(ratios[r], 4)},
+                          {"nodes", std::to_string(nodes)}},
+                         std::move(metrics));
   }
   table.print();
   std::printf("[paper: ring/star/tree rise sharply; shared-mem flat; FP-Tree < 10 s "
@@ -166,9 +206,12 @@ void fig8b() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Fig. 8", "broadcast efficiency and failure tolerance (4K nodes)");
-  fig8a();
-  fig8b();
+  bench::Harness harness("fig8_broadcast", "Fig. 8",
+                         "broadcast efficiency and failure tolerance (4K nodes)",
+                         argc, argv);
+  const std::size_t nodes = harness.smoke() ? 1024 : 4096;
+  const int rounds = harness.smoke() ? 3 : 10;
+  fig8a(harness, nodes, rounds);
+  fig8b(harness, nodes);
   return 0;
 }

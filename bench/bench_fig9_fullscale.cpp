@@ -12,78 +12,90 @@ using namespace eslurm;
 
 namespace {
 
-constexpr std::size_t kNodes = 16384;
-const SimTime kHorizon = hours(24);
-
-struct Row {
-  double cpu_minutes = 0.0;
-  double vmem_gb = 0.0;
-  double rss_mb = 0.0;
-  double sockets_avg = 0.0;
-  double sockets_peak = 0.0;
-};
-
-Row collect(const rm::DaemonStats& stats) {
-  Row row;
-  row.cpu_minutes = stats.cpu_seconds() / 60.0;
-  row.vmem_gb = stats.vmem_series().max_value();
-  row.rss_mb = stats.rss_series().max_value();
-  row.sockets_avg = stats.socket_series().mean_value();
-  row.sockets_peak = stats.socket_series().max_value();
-  return row;
+core::MetricRow collect(const std::string& prefix, const rm::DaemonStats& stats) {
+  return {{prefix + "cpu_minutes", stats.cpu_seconds() / 60.0},
+          {prefix + "vmem_peak_gb", stats.vmem_series().max_value()},
+          {prefix + "rss_peak_mb", stats.rss_series().max_value()},
+          {prefix + "sockets_avg", stats.socket_series().mean_value()},
+          {prefix + "sockets_peak", stats.socket_series().max_value()}};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bench::banner("Fig. 9", "full-scale Tianhe-2A (16K nodes): Slurm vs ESLURM, 24 h");
-  const auto jobs =
-      bench::workload_count_for(kNodes, kHorizon, 2500, trace::tianhe2a_profile(), 99);
-  std::printf("workload: %zu jobs over 24 h\n\n", jobs.size());
+  bench::Harness harness("fig9_fullscale", "Fig. 9",
+                         "full-scale Tianhe-2A (16K nodes): Slurm vs ESLURM, 24 h",
+                         argc, argv);
+  const std::size_t nodes = harness.smoke() ? 2048 : 16384;
+  const SimTime horizon = harness.smoke() ? hours(6) : hours(24);
+  const std::size_t job_count = harness.smoke() ? 400 : 2500;
 
-  Row rows[2];
-  Row satellites[2];
-  const char* names[2] = {"slurm", "eslurm"};
-  for (int i = 0; i < 2; ++i) {
-    core::ExperimentConfig config;
-    config.rm = names[i];
-    config.compute_nodes = kNodes;
-    config.satellite_count = 2;
-    config.horizon = kHorizon;
-    config.seed = 5;
-    core::Experiment experiment(config);
+  core::SweepSpec spec = harness.sweep_spec();
+  for (const char* rm : {"slurm", "eslurm"}) {
+    core::SweepPoint point;
+    point.label = rm;
+    point.params = {{"rm", rm}, {"nodes", std::to_string(nodes)}};
+    point.config.rm = rm;
+    point.config.compute_nodes = nodes;
+    point.config.satellite_count = 2;
+    point.config.horizon = horizon;
+    point.config.seed = 5;
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto outcomes = core::run_sweep(spec, [&](const core::SweepTask& task) {
+    const auto jobs = bench::workload_count_for(nodes, horizon, job_count,
+                                                trace::tianhe2a_profile(), 99);
+    core::Experiment experiment(task.config);
     experiment.submit_trace(jobs);
     experiment.run();
-    rows[i] = collect(experiment.manager().master_stats());
+    core::MetricRow row = collect("", experiment.manager().master_stats());
+    row.emplace_back("jobs_submitted", static_cast<double>(jobs.size()));
     if (auto* eslurm_rm = experiment.eslurm()) {
-      for (int s = 0; s < 2; ++s) satellites[s] = collect(eslurm_rm->satellite_stats(s));
+      for (int s = 0; s < 2; ++s) {
+        const std::string prefix = "sat" + std::to_string(s + 1) + "_";
+        for (auto& metric : collect(prefix, eslurm_rm->satellite_stats(s)))
+          row.push_back(std::move(metric));
+      }
     }
-    std::printf("[%s done]\n", names[i]);
-  }
+    std::printf("[%s done]\n", task.point->label.c_str());
+    return row;
+  });
+
+  std::printf("\nworkload: %d jobs over %.0f h\n",
+              static_cast<int>(bench::metric_mean(outcomes[0], "jobs_submitted")),
+              to_seconds(horizon) / 3600.0);
+  const core::PointOutcome& slurm = outcomes[0];
+  const core::PointOutcome& eslurm_rm = outcomes[1];
 
   std::printf("\nFig 9a-c: master-node usage\n");
   Table master({"metric", "Slurm", "ESLURM", "ESLURM/Slurm"});
-  auto add = [&](const char* metric, double a, double b) {
+  auto add = [&](const char* metric, const char* key) {
+    const double a = bench::metric_mean(slurm, key);
+    const double b = bench::metric_mean(eslurm_rm, key);
     master.add_row({metric, format_double(a, 4), format_double(b, 4),
                     format_double(a > 0 ? b / a : 0, 3)});
   };
-  add("CPU time (min)", rows[0].cpu_minutes, rows[1].cpu_minutes);
-  add("vmem peak (GB)", rows[0].vmem_gb, rows[1].vmem_gb);
-  add("RSS peak (MB)", rows[0].rss_mb, rows[1].rss_mb);
-  add("sockets avg", rows[0].sockets_avg, rows[1].sockets_avg);
-  add("sockets peak", rows[0].sockets_peak, rows[1].sockets_peak);
+  add("CPU time (min)", "cpu_minutes");
+  add("vmem peak (GB)", "vmem_peak_gb");
+  add("RSS peak (MB)", "rss_peak_mb");
+  add("sockets avg", "sockets_avg");
+  add("sockets peak", "sockets_peak");
   master.print();
   std::printf("[paper: ESLURM < 40%% of Slurm's CPU time, > 80%% memory saving,\n"
               " > 10x fewer concurrent sockets]\n");
 
   std::printf("\nFig 9d-f: the two ESLURM satellites\n");
   Table sat({"satellite", "CPU (min)", "RSS peak (MB)", "sockets peak"});
-  for (int s = 0; s < 2; ++s)
-    sat.add_row({std::to_string(s + 1), format_double(satellites[s].cpu_minutes, 4),
-                 format_double(satellites[s].rss_mb, 4),
-                 format_double(satellites[s].sockets_peak, 4)});
+  for (int s = 1; s <= 2; ++s) {
+    const std::string prefix = "sat" + std::to_string(s) + "_";
+    sat.add_row({std::to_string(s),
+                 format_double(bench::metric_mean(eslurm_rm, prefix + "cpu_minutes"), 4),
+                 format_double(bench::metric_mean(eslurm_rm, prefix + "rss_peak_mb"), 4),
+                 format_double(bench::metric_mean(eslurm_rm, prefix + "sockets_peak"), 4)});
+  }
   sat.print();
+  harness.record_sweep(outcomes);
   std::printf("[paper: balanced load; ~50 CPU min each; ~80 MB RSS; < 80 sockets]\n");
   return 0;
 }

@@ -10,27 +10,45 @@
 // times degrade super-linearly with population while ESLURM's satellite
 // read path stays flat.  Part 2 sweeps the snapshot-cache TTL at the
 // largest population to show the freshness/offload trade-off.
-//
-// Flags: --smoke (small sweep for CI), --telemetry-out FILE.
 #include "bench_common.hpp"
 
 using namespace eslurm;
 
 namespace {
 
-struct Row {
-  std::uint64_t requests = 0;
-  double mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
-  double failed = 0.0;      ///< fraction of requests failed or given up
-  double shed = 0.0;        ///< reads shed with a retry hint
-  double offload = 0.0;     ///< served without costing the master an RPC
-  double hit_ratio = 0.0;   ///< snapshot-cache hit ratio (ESLURM)
-  std::uint64_t refreshes = 0;
-  std::uint64_t master_msgs = 0;
-};
+core::MetricRow frontend_metrics(const core::SweepTask& task) {
+  core::Experiment experiment(task.config);
+  // Background job load so the master is also scheduling and dispatching.
+  experiment.submit_trace(bench::workload_count_for(
+      task.config.compute_nodes, task.config.horizon, 300,
+      trace::tianhe2a_profile(), 5));
+  experiment.run();
 
-Row run(const std::string& rm, std::size_t nodes, std::uint64_t users,
-        SimTime horizon, SimTime cache_ttl) {
+  const auto* fe = experiment.frontend();
+  const auto& clients = fe->clients();
+  const auto& gateway = fe->gateway();
+  const std::uint64_t attempts = clients.completed() + clients.retries();
+  std::printf("[%s done]\n", task.point->label.c_str());
+  return {{"requests", static_cast<double>(clients.completed())},
+          {"latency_mean_s", clients.latency_seconds().mean()},
+          {"latency_p50_s", clients.latency_histogram().p50()},
+          {"latency_p95_s", clients.latency_histogram().p95()},
+          {"latency_p99_s", clients.latency_histogram().p99()},
+          {"failed_fraction", clients.failure_rate()},
+          {"shed_fraction",
+           attempts ? static_cast<double>(gateway.shed_reads()) /
+                          static_cast<double>(attempts)
+                    : 0.0},
+          {"offload_fraction", gateway.master_offload()},
+          {"cache_hit_ratio", gateway.cache_hit_ratio()},
+          {"cache_refreshes", static_cast<double>(gateway.cache_refreshes())},
+          {"master_msgs",
+           static_cast<double>(experiment.network().messages_received(0))}};
+}
+
+core::ExperimentConfig base_config(const std::string& rm, std::size_t nodes,
+                                   std::uint64_t users, SimTime horizon,
+                                   SimTime cache_ttl) {
   core::ExperimentConfig config;
   config.rm = rm;
   config.compute_nodes = nodes;
@@ -43,31 +61,7 @@ Row run(const std::string& rm, std::size_t nodes, std::uint64_t users,
   // per-message service capacity -- the paper's saturation regime.
   config.frontend.clients.session_cycle_mean = hours(1);
   config.frontend.gateway.cache_ttl = cache_ttl;
-  core::Experiment experiment(config);
-  // Background job load so the master is also scheduling and dispatching.
-  experiment.submit_trace(bench::workload_count_for(
-      nodes, config.horizon, 300, trace::tianhe2a_profile(), 5));
-  experiment.run();
-
-  Row row;
-  const auto* fe = experiment.frontend();
-  const auto& clients = fe->clients();
-  const auto& gateway = fe->gateway();
-  row.requests = clients.completed();
-  row.mean = clients.latency_seconds().mean();
-  row.p50 = clients.latency_histogram().p50();
-  row.p95 = clients.latency_histogram().p95();
-  row.p99 = clients.latency_histogram().p99();
-  row.failed = clients.failure_rate();
-  const std::uint64_t attempts = clients.completed() + clients.retries();
-  row.shed = attempts ? static_cast<double>(gateway.shed_reads()) /
-                            static_cast<double>(attempts)
-                      : 0.0;
-  row.offload = gateway.master_offload();
-  row.hit_ratio = gateway.cache_hit_ratio();
-  row.refreshes = gateway.cache_refreshes();
-  row.master_msgs = experiment.network().messages_received(0);
-  return row;
+  return config;
 }
 
 /// Fixed-point percentage (format_double's %g turns 100 into 1e+02).
@@ -80,54 +74,85 @@ std::string pct(double fraction) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::TelemetryScope telemetry_scope(argc, argv);
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--smoke") smoke = true;
-
-  bench::banner("Sec. II-B", "user-request response vs. client population");
-
-  const std::size_t nodes = smoke ? 4096 : 20480;
-  const SimTime horizon = smoke ? minutes(3) : minutes(15);
+  bench::Harness harness("frontend", "Sec. II-B",
+                         "user-request response vs. client population", argc,
+                         argv);
+  const std::size_t nodes = harness.smoke() ? 4096 : 20480;
+  const SimTime horizon = harness.smoke() ? minutes(3) : minutes(15);
   const SimTime default_ttl = seconds(2);
   const std::vector<std::uint64_t> populations =
-      smoke ? std::vector<std::uint64_t>{100, 10'000}
-            : std::vector<std::uint64_t>{100, 1'000, 10'000, 100'000, 1'000'000};
+      harness.smoke()
+          ? std::vector<std::uint64_t>{100, 10'000}
+          : std::vector<std::uint64_t>{100, 1'000, 10'000, 100'000, 1'000'000};
 
-  Table sweep({"RM", "users", "requests", "mean (s)", "p50 (s)", "p95 (s)",
-               "p99 (s)", "failed %", "shed %", "offload %", "master msgs"});
+  core::SweepSpec spec = harness.sweep_spec();
   for (const std::uint64_t users : populations) {
     for (const std::string rm : {"slurm", "eslurm"}) {
-      const Row row = run(rm, nodes, users, horizon, default_ttl);
-      sweep.add_row({rm, std::to_string(users), std::to_string(row.requests),
-                     format_double(row.mean, 4), format_double(row.p50, 4),
-                     format_double(row.p95, 4), format_double(row.p99, 4),
-                     pct(row.failed), pct(row.shed), pct(row.offload),
-                     std::to_string(row.master_msgs)});
-      std::printf("[%s @ %llu users done]\n", rm.c_str(),
-                  static_cast<unsigned long long>(users));
+      core::SweepPoint point;
+      point.label = rm + "@" + std::to_string(users);
+      point.params = {{"rm", rm},
+                      {"users", std::to_string(users)},
+                      {"nodes", std::to_string(nodes)}};
+      point.config = base_config(rm, nodes, users, horizon, default_ttl);
+      spec.points.push_back(std::move(point));
     }
   }
-  std::printf("\n");
-  sweep.print();
-
   // Part 2: snapshot-freshness trade-off at the largest population.
   const std::uint64_t top_users = populations.back();
   const std::vector<double> ttls =
-      smoke ? std::vector<double>{2.0} : std::vector<double>{0.5, 2.0, 10.0, 30.0};
-  Table ttl_table({"cache TTL (s)", "hit %", "offload %", "refreshes",
-                   "mean (s)", "p95 (s)"});
+      harness.smoke() ? std::vector<double>{2.0}
+                      : std::vector<double>{0.5, 2.0, 10.0, 30.0};
   for (const double ttl : ttls) {
-    const Row row = run("eslurm", nodes, top_users, horizon, from_seconds(ttl));
     char ttl_text[32];
     std::snprintf(ttl_text, sizeof(ttl_text), "%.1f", ttl);
-    ttl_table.add_row({ttl_text, pct(row.hit_ratio), pct(row.offload),
-                       std::to_string(row.refreshes), format_double(row.mean, 4),
-                       format_double(row.p95, 4)});
-    std::printf("[eslurm ttl=%.1fs done]\n", ttl);
+    core::SweepPoint point;
+    point.label = std::string("eslurm ttl=") + ttl_text + "s";
+    point.params = {{"rm", "eslurm"},
+                    {"users", std::to_string(top_users)},
+                    {"cache_ttl_s", ttl_text}};
+    point.config = base_config("eslurm", nodes, top_users, horizon,
+                               from_seconds(ttl));
+    spec.points.push_back(std::move(point));
   }
+
+  const auto outcomes = core::run_sweep(spec, frontend_metrics);
+  auto cell = [&](const core::PointOutcome& o, const char* key, int precision) {
+    return format_double(bench::metric_mean(o, key), precision);
+  };
+
   std::printf("\n");
+  Table sweep({"RM", "users", "requests", "mean (s)", "p50 (s)", "p95 (s)",
+               "p99 (s)", "failed %", "shed %", "offload %", "master msgs"});
+  std::size_t cursor = 0;
+  for (const std::uint64_t users : populations) {
+    for (const std::string rm : {"slurm", "eslurm"}) {
+      const core::PointOutcome& o = outcomes[cursor++];
+      sweep.add_row({rm, std::to_string(users),
+                     format_double(bench::metric_mean(o, "requests"), 6),
+                     cell(o, "latency_mean_s", 4), cell(o, "latency_p50_s", 4),
+                     cell(o, "latency_p95_s", 4), cell(o, "latency_p99_s", 4),
+                     pct(bench::metric_mean(o, "failed_fraction")),
+                     pct(bench::metric_mean(o, "shed_fraction")),
+                     pct(bench::metric_mean(o, "offload_fraction")),
+                     format_double(bench::metric_mean(o, "master_msgs"), 8)});
+    }
+  }
+  sweep.print();
+
+  std::printf("\n");
+  Table ttl_table({"cache TTL (s)", "hit %", "offload %", "refreshes",
+                   "mean (s)", "p95 (s)"});
+  for (std::size_t t = 0; t < ttls.size(); ++t) {
+    const core::PointOutcome& o = outcomes[cursor++];
+    ttl_table.add_row({o.point.params[2].second,
+                       pct(bench::metric_mean(o, "cache_hit_ratio")),
+                       pct(bench::metric_mean(o, "offload_fraction")),
+                       format_double(bench::metric_mean(o, "cache_refreshes"), 6),
+                       cell(o, "latency_mean_s", 4),
+                       cell(o, "latency_p95_s", 4)});
+  }
   ttl_table.print();
+  harness.record_sweep(outcomes);
 
   std::printf("\n[paper: Slurm at 20K+ nodes: >27 s average response with ~38%%\n"
               " of requests failing as the population grows; ESLURM production:\n"

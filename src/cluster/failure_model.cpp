@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace eslurm::cluster {
@@ -67,9 +68,24 @@ void FailureModel::execute_failure(NodeId node, SimTime repair_after) {
   ++injected_;
   ESLURM_DEBUG("failure: node ", node, " down at t=", to_seconds(cluster_.engine().now()),
                "s for ", to_seconds(repair_after), "s");
+  if (auto* t = cluster_.engine().telemetry()) {
+    t->metrics.counter("cluster.failures_injected").inc();
+    t->metrics.gauge("cluster.nodes_down")
+        .set(static_cast<double>(cluster_.size() - cluster_.alive_count() + 1));
+    t->tracer.instant("node-failure", "cluster",
+                      {{"node", static_cast<double>(node)},
+                       {"repair_s", to_seconds(repair_after)}});
+  }
   cluster_.fail(node);
   cluster_.engine().schedule_after(repair_after, [this, node] {
-    if (!cluster_.alive(node)) cluster_.restore(node);
+    if (!cluster_.alive(node)) {
+      cluster_.restore(node);
+      if (auto* t = cluster_.engine().telemetry()) {
+        t->metrics.counter("cluster.nodes_repaired").inc();
+        t->metrics.gauge("cluster.nodes_down")
+            .set(static_cast<double>(cluster_.size() - cluster_.alive_count()));
+      }
+    }
   });
 }
 

@@ -3,19 +3,16 @@
 #include "telemetry/telemetry.hpp"
 
 namespace eslurm::comm {
-namespace {
-// Process-wide allocator for per-instance message-type ranges.  Types are
-// assigned deterministically in construction order.
-net::MessageType g_next_type = kCommTypeBase;
-}  // namespace
 
 Broadcaster::Broadcaster(net::Network& network, std::string name)
-    : net_(network), name_(std::move(name)) {}
+    : net_(network),
+      telemetry_(network.engine().telemetry()),
+      name_(std::move(name)) {}
 
 net::MessageType Broadcaster::alloc_type_range(int width) {
-  const net::MessageType base = g_next_type;
-  g_next_type += width;
-  return base;
+  // Per-network allocation keeps type assignment deterministic in
+  // construction order even with several worlds in one process.
+  return net_.alloc_message_types(width);
 }
 
 void Broadcaster::broadcast(NodeId root, std::vector<NodeId> targets,
@@ -25,7 +22,7 @@ void Broadcaster::broadcast(NodeId root, std::vector<NodeId> targets,
 }
 
 void Broadcaster::record_result(const BroadcastResult& result) {
-  auto* t = telemetry::maybe();
+  auto* t = telemetry_;
   if (!t) return;
   t->metrics.counter("comm.broadcasts", {{"structure", name_}}).inc();
   t->metrics.histogram("comm.broadcast_seconds", {{"structure", name_}})
@@ -45,7 +42,7 @@ void Broadcaster::record_result(const BroadcastResult& result) {
 }
 
 void Broadcaster::record_retry() {
-  if (auto* t = telemetry::maybe())
+  if (auto* t = telemetry_)
     t->metrics.counter("comm.send_retries", {{"structure", name_}}).inc();
 }
 

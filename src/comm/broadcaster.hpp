@@ -23,9 +23,9 @@ namespace eslurm::comm {
 using net::NodeId;
 
 /// Message-type space reserved for communication structures (100-199).
-/// Each Broadcaster instance takes a distinct stride so several
-/// structures can coexist on the same nodes.
-inline constexpr net::MessageType kCommTypeBase = 100;
+/// Each Broadcaster instance takes a distinct stride (allocated from its
+/// network) so several structures can coexist on the same nodes.
+inline constexpr net::MessageType kCommTypeBase = net::kDynamicTypeBase;
 
 struct BroadcastOptions {
   std::size_t payload_bytes = 512;  ///< control messages are small
@@ -97,6 +97,10 @@ class Broadcaster {
   bool mark_delivered(std::uint64_t broadcast_id, std::vector<bool>& bitmap, NodeId node);
 
   net::Network& net_;
+  /// The world's telemetry context (via the network's engine); nullptr
+  /// when telemetry is off.  Cached at construction like every other
+  /// instrumented subsystem.
+  telemetry::Telemetry* telemetry_;
   std::string name_;
   DeliveryHook delivery_hook_;
   std::uint64_t next_broadcast_id_ = 1;

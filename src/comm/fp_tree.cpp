@@ -75,7 +75,7 @@ FpTreeBroadcaster::FpTreeBroadcaster(net::Network& network,
 
 std::shared_ptr<const std::vector<NodeId>> FpTreeBroadcaster::prepare(
     std::shared_ptr<const std::vector<NodeId>> targets, const BroadcastOptions& options) {
-  auto* t = telemetry::maybe();
+  auto* t = telemetry_;
   const auto wall_start = t ? std::chrono::steady_clock::now()
                             : std::chrono::steady_clock::time_point();
   RearrangeStats stats;

@@ -9,7 +9,7 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   const std::size_t satellites = is_eslurm ? config_.satellite_count : 0;
   const std::size_t total = 1 + satellites + config_.compute_nodes;
 
-  engine_ = std::make_unique<sim::Engine>();
+  engine_ = std::make_unique<sim::Engine>(config_.telemetry);
   network_ = std::make_unique<net::Network>(*engine_, total, config_.link,
                                             Rng(config_.seed ^ 0x4E7));
   if (config_.use_topology) {

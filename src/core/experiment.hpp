@@ -23,6 +23,7 @@
 #include "frontend/frontend.hpp"
 #include "rm/centralized_rm.hpp"
 #include "rm/eslurm_rm.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/generator.hpp"
 #include "util/config.hpp"
 
@@ -49,6 +50,12 @@ struct ExperimentConfig {
   /// User-facing RPC front-end (Section II-B).  Disabled unless
   /// frontend.clients.users > 0.
   frontend::FrontendConfig frontend;
+
+  /// Telemetry context this experiment publishes to (non-owning; must
+  /// outlive the Experiment).  nullptr or a disabled context turns all
+  /// instrumentation off.  Each concurrently-running Experiment needs its
+  /// own context -- contexts are single-world, single-thread.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class Experiment {
@@ -67,6 +74,8 @@ class Experiment {
 
   // --- world access ----------------------------------------------------
   sim::Engine& engine() { return *engine_; }
+  /// The injected telemetry context; nullptr when telemetry is off.
+  telemetry::Telemetry* telemetry() { return engine_->telemetry(); }
   net::Network& network() { return *network_; }
   cluster::ClusterModel& cluster() { return *cluster_; }
   cluster::FailureModel& failures() { return *failures_; }

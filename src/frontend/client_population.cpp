@@ -60,7 +60,7 @@ void ClientPopulation::begin_session() {
         static_cast<int>(rng_.exponential(config_.session_requests_mean - 1.0));
   }
   ++sessions_started_;
-  if (auto* t = telemetry::maybe()) {
+  if (auto* t = engine_.telemetry()) {
     t->metrics.gauge("frontend.active_sessions")
         .set(static_cast<double>(sessions_.size()));
   }

@@ -393,14 +393,14 @@ void Gateway::resolve(std::uint64_t id, RpcOutcome outcome) {
     } else {
       ++served_by_master_;
     }
-    if (auto* t = telemetry::maybe()) {
+    if (auto* t = engine_.telemetry()) {
       t->metrics.counter("frontend.served", {{"endpoint", satellite ? "satellite" : "master"}})
           .inc();
       t->metrics
           .histogram("frontend.rpc_seconds", {{"kind", rpc_kind_name(p.kind)}})
           .observe(to_seconds(engine_.now() - p.issued_at));
     }
-  } else if (auto* t = telemetry::maybe()) {
+  } else if (auto* t = engine_.telemetry()) {
     t->metrics.counter("frontend.failed", {{"outcome", rpc_outcome_name(outcome)}}).inc();
   }
 
@@ -454,7 +454,7 @@ double Gateway::cache_hit_ratio() const {
 }
 
 void Gateway::publish_queue_depths() {
-  if (auto* t = telemetry::maybe()) {
+  if (auto* t = engine_.telemetry()) {
     t->metrics.gauge("frontend.read_queue_depth")
         .set(static_cast<double>(read_queue_.size()));
     t->metrics.gauge("frontend.mutating_queue_depth")

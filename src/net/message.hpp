@@ -20,6 +20,10 @@ inline constexpr NodeId kNoNode = UINT32_MAX;
 ///   300-399 user-facing RPC front-end (frontend)
 using MessageType = int;
 
+/// First type of the dynamically-allocated range handed out by
+/// Network::alloc_message_types (the comm structures' 100-199 block).
+inline constexpr MessageType kDynamicTypeBase = 100;
+
 struct Message {
   MessageType type = 0;
   std::uint64_t id = 0;      ///< unique per send, assigned by the network

@@ -70,6 +70,17 @@ class Network {
   void register_handler(NodeId node, MessageType type, Handler handler);
   void unregister_handler(NodeId node, MessageType type);
 
+  /// Allocates a contiguous private message-type range of `width` types
+  /// (communication structures use this).  The allocator is per-network
+  /// state -- not process-wide -- so identical worlds built in the same
+  /// process (sequentially or on concurrent sweep threads) assign
+  /// identical type numbers in construction order.
+  MessageType alloc_message_types(int width) {
+    const MessageType base = next_dynamic_type_;
+    next_dynamic_type_ += width;
+    return base;
+  }
+
   /// Per-node receive-processing override (0 = use the link model's
   /// default).  A centralized RM master pays a full RPC-handling cost
   /// (global locks, protocol work) per inbound message -- the first-order
@@ -124,6 +135,7 @@ class Network {
   std::function<bool(NodeId)> alive_;
   const Topology* topology_ = nullptr;
   std::vector<NodeState> nodes_;
+  MessageType next_dynamic_type_ = kDynamicTypeBase;
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;

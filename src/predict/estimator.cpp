@@ -9,8 +9,9 @@
 
 namespace eslurm::predict {
 
-RuntimeEstimator::RuntimeEstimator(EstimatorConfig config, Rng rng)
-    : config_(config), rng_(rng) {}
+RuntimeEstimator::RuntimeEstimator(EstimatorConfig config, Rng rng,
+                                   telemetry::Telemetry* telemetry)
+    : config_(config), rng_(rng), telemetry_(telemetry) {}
 
 void RuntimeEstimator::record_completion(const sched::Job& job) {
   if (job.actual_runtime <= 0) return;
@@ -25,7 +26,7 @@ void RuntimeEstimator::record_completion(const sched::Job& job) {
       const auto [value, cluster] = *predicted;
       models_[cluster].accuracy.add(value, job.actual_runtime);
       model_accuracy_.add(value, job.actual_runtime);
-      if (auto* t = telemetry::maybe()) {
+      if (auto* t = telemetry_) {
         t->metrics
             .gauge("predict.cluster_aea", {{"cluster", std::to_string(cluster)}})
             .set(models_[cluster].accuracy.aea());
@@ -48,7 +49,7 @@ std::vector<double> RuntimeEstimator::scale_weighted(
 
 void RuntimeEstimator::retrain() {
   if (history_.size() < config_.min_history) return;
-  auto* telem = telemetry::maybe();
+  auto* telem = telemetry_;
   const auto wall_start = telem ? std::chrono::steady_clock::now()
                                 : std::chrono::steady_clock::time_point();
   const std::size_t window = std::min(config_.interest_window, history_.size());

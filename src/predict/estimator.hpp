@@ -26,6 +26,10 @@
 #include "predict/features.hpp"
 #include "util/rng.hpp"
 
+namespace eslurm::telemetry {
+struct Telemetry;
+}  // namespace eslurm::telemetry
+
 namespace eslurm::predict {
 
 struct EstimatorConfig {
@@ -59,7 +63,10 @@ struct Estimate {
 
 class RuntimeEstimator {
  public:
-  explicit RuntimeEstimator(EstimatorConfig config = {}, Rng rng = Rng(4242));
+  /// The estimator has no engine of its own, so the owning RM injects
+  /// its telemetry context (nullptr when off).
+  explicit RuntimeEstimator(EstimatorConfig config = {}, Rng rng = Rng(4242),
+                            telemetry::Telemetry* telemetry = nullptr);
 
   /// Record module: called when a job completes with its actual runtime.
   /// Also refreshes the AEA of the cluster the job maps to.
@@ -116,6 +123,7 @@ class RuntimeEstimator {
 
   EstimatorConfig config_;
   Rng rng_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::deque<HistoricJob> history_;
   ml::StandardScaler scaler_;
   std::unique_ptr<ml::KMeans> kmeans_;

@@ -101,7 +101,7 @@ void EslurmRm::apply_event(std::size_t sat_index, SatelliteEvent event) {
                  satellite_state_name(old_state), " -> ",
                  satellite_state_name(sat.state), " on ",
                  satellite_event_name(event));
-    if (auto* t = telemetry::maybe()) {
+    if (auto* t = telemetry_) {
       // One counter per edge of the Table II FSM, so a run's churn is
       // directly readable (e.g. rm.sat_transitions{from=RUNNING,to=FAULT}).
       t->metrics
@@ -170,7 +170,7 @@ void EslurmRm::dispatch(std::vector<NodeId> targets, std::size_t bytes,
   }
   state->pending = state->subtasks.size();
   dispatches_.emplace(state->id, state);
-  if (auto* t = telemetry::maybe()) {
+  if (auto* t = telemetry_) {
     t->metrics.counter("rm.dispatches").inc();
     t->metrics
         .histogram("rm.subtasks_per_dispatch",
@@ -230,7 +230,7 @@ void EslurmRm::send_task(NodeId sat_node, net::Message msg, std::uint64_t dispat
                 apply_event(sat_index, SatelliteEvent::BtFailure);
                 ++st.reallocations;
                 ++reallocations_;
-                if (auto* t = telemetry::maybe())
+                if (auto* t = telemetry_)
                   t->metrics.counter("rm.subtask_reallocations").inc();
                 assign_subtask(dispatch_id, subtask_index);
                 return;
@@ -247,7 +247,7 @@ void EslurmRm::send_task(NodeId sat_node, net::Message msg, std::uint64_t dispat
                     apply_event(sat_index, SatelliteEvent::BtFailure);
                     ++st2.reallocations;
                     ++reallocations_;
-                    if (auto* t = telemetry::maybe())
+                    if (auto* t = telemetry_)
                       t->metrics.counter("rm.subtask_reallocations").inc();
                     assign_subtask(dispatch_id, subtask_index);
                   });
@@ -334,7 +334,7 @@ void EslurmRm::master_takeover(std::uint64_t dispatch_id, std::size_t subtask_in
   if (it == dispatches_.end()) return;
   Subtask& subtask = it->second->subtasks[subtask_index];
   ++takeovers_;
-  if (auto* t = telemetry::maybe()) {
+  if (auto* t = telemetry_) {
     t->metrics.counter("rm.master_takeovers").inc();
     t->tracer.instant("master-takeover", "rm",
                       {{"nodes", static_cast<double>(subtask.list->size())}});
@@ -371,7 +371,7 @@ void EslurmRm::subtask_finished(std::uint64_t dispatch_id, std::size_t subtask_i
     const auto aggregate = state.aggregate;
     const std::size_t subtasks = state.subtasks.size();
     dispatches_.erase(dispatch_id);
-    if (auto* t = telemetry::maybe()) {
+    if (auto* t = telemetry_) {
       // The whole fan-out/aggregate round as one span: master split ->
       // satellite relays -> completion reports (Eq. 1 path).
       t->tracer.complete(
@@ -399,11 +399,11 @@ void EslurmRm::heartbeat_satellites() {
     net::Message ping;
     ping.type = kMsgSatelliteHeartbeat;
     ping.bytes = 64;
-    if (auto* t = telemetry::maybe())
+    if (auto* t = telemetry_)
       t->metrics.counter("rm.heartbeats_sent").inc();
     net_.send(deployment_.master, sat.node, std::move(ping), config_.bcast.timeout,
               [this, i](bool ok) {
-                if (auto* t = telemetry::maybe())
+                if (auto* t = telemetry_)
                   t->metrics
                       .counter("rm.heartbeat_results",
                                {{"result", ok ? "ok" : "fail"}})

@@ -13,6 +13,7 @@ ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
     : engine_(engine),
       net_(network),
       cluster_(cluster),
+      telemetry_(engine.telemetry()),
       profile_(std::move(profile)),
       deployment_(std::move(deployment)),
       config_(config),
@@ -20,9 +21,10 @@ ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
       free_(deployment_.compute) {
   master_stats_ = std::make_unique<DaemonStats>(engine_, net_, deployment_.master,
                                                 profile_.accounting);
+  scheduler_.set_telemetry(telemetry_);
   if (config_.use_runtime_estimation) {
-    estimator_ = std::make_unique<predict::RuntimeEstimator>(config_.estimator,
-                                                             Rng(config_.seed ^ 0xE5));
+    estimator_ = std::make_unique<predict::RuntimeEstimator>(
+        config_.estimator, Rng(config_.seed ^ 0xE5), telemetry_);
   }
   if (profile_.persistent_node_connections) {
     master_stats_->set_persistent_sockets(
@@ -128,14 +130,14 @@ void ResourceManager::submit(sched::Job job) {
   }
   pool_.submit(std::move(job));
   master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
-  if (auto* t = telemetry::maybe())
+  if (auto* t = telemetry_)
     t->metrics.counter("rm.jobs_submitted", {{"rm", profile_.name}}).inc();
 }
 
 void ResourceManager::run_sched_cycle() {
   if (!master_up_) return;
   if (estimator_) estimator_->maybe_retrain(engine_.now());
-  if (auto* t = telemetry::maybe()) {
+  if (auto* t = telemetry_) {
     const auto depth = static_cast<double>(pool_.pending().size());
     t->metrics.counter("sched.cycles").inc();
     t->metrics.gauge("sched.queue_depth", {{"rm", profile_.name}}).set(depth);
@@ -203,14 +205,14 @@ void ResourceManager::start_job(sched::JobId id) {
   // Launch broadcast ("job loading message").
   dispatch(allocated, 2048, [this, id](const comm::BroadcastResult& result) {
     launch_bcast_.add(to_seconds(result.elapsed()));
-    if (auto* t = telemetry::maybe())
+    if (auto* t = telemetry_)
       t->metrics.histogram("rm.launch_broadcast_seconds", {{"rm", profile_.name}})
           .observe(to_seconds(result.elapsed()));
     if (result.unreachable > 0) {
       // One or more allocated nodes were dead: the launch fails, the dead
       // nodes are now known, and the job returns to the queue head.
       ++requeues_;
-      if (auto* t = telemetry::maybe())
+      if (auto* t = telemetry_)
         t->metrics.counter("rm.launch_requeues", {{"rm", profile_.name}}).inc();
       for (const NodeId node : allocations_[id]) {
         if (!cluster_.alive(node)) {
@@ -227,7 +229,7 @@ void ResourceManager::start_job(sched::JobId id) {
     }
     sched::Job& j = pool_.get(id);
     pool_.mark_running(id, engine_.now());
-    if (auto* t = telemetry::maybe()) {
+    if (auto* t = telemetry_) {
       t->metrics.counter("rm.jobs_started", {{"rm", profile_.name}}).inc();
       t->metrics.histogram("sched.wait_seconds", {{"rm", profile_.name}})
           .observe(to_seconds(engine_.now() - j.submit_time));
@@ -262,7 +264,7 @@ void ResourceManager::job_ended(sched::JobId id, sched::JobState end_state) {
   const std::vector<NodeId> allocated = allocations_[id];
   dispatch(allocated, 512, [this, id](const comm::BroadcastResult& result) {
     term_bcast_.add(to_seconds(result.elapsed()));
-    if (auto* t = telemetry::maybe()) {
+    if (auto* t = telemetry_) {
       t->metrics.histogram("rm.term_broadcast_seconds", {{"rm", profile_.name}})
           .observe(to_seconds(result.elapsed()));
       t->metrics.counter("rm.jobs_finished", {{"rm", profile_.name}}).inc();
@@ -327,7 +329,7 @@ void ResourceManager::crash_master() {
   ++crashes_;
   crashed_at_ = engine_.now();
   ESLURM_INFO(profile_.name, ": master crashed at t=", to_seconds(engine_.now()), "s");
-  if (auto* t = telemetry::maybe()) {
+  if (auto* t = telemetry_) {
     t->metrics.counter("rm.master_crashes", {{"rm", profile_.name}}).inc();
     t->tracer.instant("master-crash", "rm");
   }
@@ -337,7 +339,7 @@ void ResourceManager::crash_master() {
 void ResourceManager::recover_master() {
   master_up_ = true;
   downtime_ += engine_.now() - crashed_at_;
-  if (auto* t = telemetry::maybe())
+  if (auto* t = telemetry_)
     t->tracer.complete("master-outage", "rm", crashed_at_, engine_.now() - crashed_at_);
   // Process completions that piled up during the outage.
   auto deferred = std::move(deferred_completions_);

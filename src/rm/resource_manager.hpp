@@ -161,6 +161,9 @@ class ResourceManager {
   sim::Engine& engine_;
   net::Network& net_;
   cluster::ClusterModel& cluster_;
+  /// The experiment's telemetry context (via the engine); nullptr when
+  /// telemetry is off.  Cached at construction.
+  telemetry::Telemetry* telemetry_;
   RmCostProfile profile_;
   RmDeployment deployment_;
   RmRuntimeConfig config_;

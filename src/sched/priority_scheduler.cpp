@@ -37,7 +37,7 @@ std::vector<JobId> PriorityBackfillScheduler::schedule(const JobPool& pool,
   std::vector<JobId> ordered;
   ordered.reserve(ranked.size());
   for (const auto& [neg_priority, id] : ranked) ordered.push_back(id);
-  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_);
+  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_, telemetry_);
 }
 
 void PriorityBackfillScheduler::on_job_released(const Job& job, SimTime now) {

@@ -27,6 +27,9 @@ class PriorityBackfillScheduler final : public Scheduler {
   FairshareTracker& fairshare() { return fairshare_; }
   std::uint64_t backfilled_jobs() const { return backfilled_; }
 
+  /// Injects the owning RM's telemetry context (nullptr to detach).
+  void set_telemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+
   /// Priority of one job right now (for squeue-style introspection).
   double priority_of(const Job& job, SimTime now) const;
 
@@ -35,6 +38,7 @@ class PriorityBackfillScheduler final : public Scheduler {
   FairshareTracker fairshare_;
   const PartitionSet* partitions_;
   std::uint64_t backfilled_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace eslurm::sched

@@ -48,7 +48,8 @@ std::vector<JobId> FcfsScheduler::schedule(const JobPool& pool, int free_nodes,
 std::vector<JobId> easy_backfill_pass(const JobPool& pool,
                                       const std::vector<JobId>& ordered_pending,
                                       int free_nodes, SimTime now,
-                                      std::uint64_t* backfilled_counter) {
+                                      std::uint64_t* backfilled_counter,
+                                      telemetry::Telemetry* telemetry) {
   std::vector<JobId> out;
   std::size_t cursor = 0;
 
@@ -105,8 +106,8 @@ std::vector<JobId> easy_backfill_pass(const JobPool& pool,
       if (fits_spare && !ends_before_shadow) spare -= job.nodes;
       out.push_back(job.id);
       if (backfilled_counter) ++(*backfilled_counter);
-      if (auto* t = telemetry::maybe())
-        t->metrics.counter("sched.backfill_decisions").inc();
+      if (telemetry)
+        telemetry->metrics.counter("sched.backfill_decisions").inc();
     }
   }
   return out;
@@ -118,7 +119,7 @@ std::vector<JobId> EasyBackfillScheduler::schedule(const JobPool& pool, int free
   ordered.reserve(pool.pending().size());
   for (const JobId id : pool.pending())
     if (dependency_ready(pool, pool.get(id))) ordered.push_back(id);
-  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_);
+  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_, telemetry_);
 }
 
 ConservativeBackfillScheduler::ConservativeBackfillScheduler(std::size_t planning_depth)

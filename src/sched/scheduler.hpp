@@ -11,6 +11,10 @@
 
 #include "sched/job_pool.hpp"
 
+namespace eslurm::telemetry {
+struct Telemetry;
+}  // namespace eslurm::telemetry
+
 namespace eslurm::sched {
 
 class Scheduler {
@@ -32,11 +36,14 @@ class FcfsScheduler final : public Scheduler {
 /// Core EASY pass over an explicitly ordered candidate list: start jobs
 /// in order while they fit, reserve for the first blocked one, then
 /// backfill any candidate that cannot delay the reservation.  Shared by
-/// the submit-order and priority-order schedulers.
+/// the submit-order and priority-order schedulers.  Schedulers have no
+/// engine, so the RM hands its telemetry context in explicitly (nullptr
+/// when off).
 std::vector<JobId> easy_backfill_pass(const JobPool& pool,
                                       const std::vector<JobId>& ordered_pending,
                                       int free_nodes, SimTime now,
-                                      std::uint64_t* backfilled_counter = nullptr);
+                                      std::uint64_t* backfilled_counter = nullptr,
+                                      telemetry::Telemetry* telemetry = nullptr);
 
 /// EASY backfill: FCFS plus a reservation for the queue head; any later
 /// job may jump ahead if it fits the free nodes now and cannot delay the
@@ -50,8 +57,12 @@ class EasyBackfillScheduler final : public Scheduler {
 
   std::uint64_t backfilled_jobs() const { return backfilled_; }
 
+  /// Injects the owning RM's telemetry context (nullptr to detach).
+  void set_telemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
   std::uint64_t backfilled_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 /// Conservative backfill: every queued job (up to a planning depth) gets

@@ -16,21 +16,23 @@ constexpr std::size_t kCompactionMinQueue = 64;
 
 }  // namespace
 
-Engine::Engine() {
-  if (auto* t = telemetry::maybe()) {
+Engine::Engine(telemetry::Telemetry* telemetry)
+    : telemetry_(telemetry && telemetry->enabled() ? telemetry : nullptr) {
+  if (auto* t = telemetry_) {
     executed_counter_ = &t->metrics.counter("sim.events_executed");
     depth_gauge_ = &t->metrics.gauge("sim.queue_depth");
     stale_gauge_ = &t->metrics.gauge("sim.stale_ratio");
     compaction_counter_ = &t->metrics.counter("sim.queue_compactions");
-    // The newest engine drives the trace clock (benches build one world
-    // at a time; the destructor retracts exactly this registration).
+    // The newest engine drives the trace clock (a context serves one
+    // world at a time; the destructor retracts exactly this
+    // registration).
     t->tracer.set_clock([this] { return now_; }, this);
   }
 }
 
 Engine::~Engine() {
   if (depth_gauge_) publish_telemetry();  // final sync for the artifact
-  telemetry::global().tracer.clear_clock(this);
+  if (telemetry_) telemetry_->tracer.clear_clock(this);
 }
 
 EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {

@@ -18,6 +18,7 @@
 namespace eslurm::telemetry {
 class Counter;
 class Gauge;
+struct Telemetry;
 }  // namespace eslurm::telemetry
 
 namespace eslurm::sim {
@@ -28,12 +29,21 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class Engine {
  public:
-  Engine();
+  /// An engine optionally carries the experiment's telemetry context;
+  /// subsystems built on top reach it through `telemetry()`, so one
+  /// injection point covers the whole world.  A disabled context is
+  /// treated as absent (instrument caching happens at construction).
+  explicit Engine(telemetry::Telemetry* telemetry = nullptr);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   SimTime now() const { return now_; }
+
+  /// The telemetry context this world publishes to; nullptr when
+  /// telemetry is off.  The fast path for instrumented code is
+  /// `if (auto* t = engine.telemetry()) ...` -- one pointer check.
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
 
   /// Schedules `fn` at absolute simulated time `t` (>= now).
   EventId schedule_at(SimTime t, std::function<void()> fn);
@@ -99,6 +109,7 @@ class Engine {
   void maybe_compact();
   void publish_telemetry();
 
+  telemetry::Telemetry* telemetry_ = nullptr;
   SimTime now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;

@@ -24,9 +24,4 @@ bool Telemetry::save(const std::string& path) const {
   return static_cast<bool>(os);
 }
 
-Telemetry& global() {
-  static Telemetry instance;
-  return instance;
-}
-
 }  // namespace eslurm::telemetry

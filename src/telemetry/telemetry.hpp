@@ -1,10 +1,15 @@
-// Process-wide telemetry context: one metrics Registry plus one Tracer
+// Per-experiment telemetry context: one metrics Registry plus one Tracer
 // behind a single master switch.
 //
-// Usage pattern for instrumented code (the only cost when telemetry is
-// off is one inline pointer load + branch):
+// There is deliberately no process-wide instance: each world owns (or is
+// handed) its own `Telemetry`, which is what lets several `Experiment`s
+// coexist in one process -- sequentially or on concurrent sweep threads --
+// without trampling each other's metrics or trace clocks.  The context is
+// injected at the bottom of the world (`sim::Engine`) and reached from
+// instrumented subsystems through their engine, so the fast path stays a
+// pointer check:
 //
-//   if (auto* t = telemetry::maybe()) {
+//   if (auto* t = engine.telemetry()) {
 //     t->metrics.counter("rm.dispatches").inc();
 //     t->tracer.instant("master-crash", "rm");
 //   }
@@ -13,10 +18,10 @@
 // instead (see sim::Engine), turning the per-event cost into a plain
 // pointer check + double increment.
 //
-// Benches enable the context before building their world (see
+// Benches enable a context before building their world (see
 // bench_common.hpp's TelemetryScope and the --telemetry-out flag); tests
-// enable/disable it around the code under test.  The simulation is
-// single-threaded by design, so the context is too.
+// construct one around the code under test.  Each instance is used from
+// one thread at a time (the thread running its experiment).
 #pragma once
 
 #include <iosfwd>
@@ -41,17 +46,13 @@ struct Telemetry {
   /// snapshot) to `path`.  Returns false on I/O failure.
   bool save(const std::string& path) const;
 
+  /// Injection helper: `this` when enabled, nullptr otherwise.  World
+  /// builders pass `t.if_enabled()` down so disabled telemetry costs the
+  /// instrumented code nothing but a null check.
+  Telemetry* if_enabled() { return enabled_ ? this : nullptr; }
+
  private:
   bool enabled_ = false;
 };
-
-/// The process-wide context (always constructed; maybe disabled).
-Telemetry& global();
-
-/// Fast-path accessor: nullptr when telemetry is disabled.
-inline Telemetry* maybe() {
-  Telemetry& t = global();
-  return t.enabled() ? &t : nullptr;
-}
 
 }  // namespace eslurm::telemetry

@@ -17,6 +17,16 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Mix the base once so adjacent bases land far apart, fold the stream
+  // index in with the golden-ratio increment, then mix again.  Two
+  // finalizer passes give full avalanche between (base, stream) pairs.
+  std::uint64_t state = base;
+  std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ ((stream + 1) * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& si : s_) si = splitmix64(sm);

@@ -10,6 +10,14 @@
 
 namespace eslurm {
 
+/// Derives the seed for stream `stream` of a family rooted at `base` via
+/// a splitmix64 mixer.  Sweep replica k runs with derive_seed(base, k),
+/// which is reproducible in isolation (no dependence on which replicas
+/// ran before it) and decorrelated from neighbouring streams -- unlike
+/// the `seed + i` arithmetic it replaces, where nearby seeds feed nearly
+/// identical state into the generator.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 /// xoshiro256** with SplitMix64 seeding.  Small, fast, and good enough
 /// statistical quality for workload synthesis and failure injection.
 class Rng {

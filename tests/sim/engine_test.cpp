@@ -137,20 +137,33 @@ TEST(Engine, CompactionPreservesExecutionOrder) {
 }
 
 TEST(Engine, PublishesTelemetryWhenEnabled) {
-  telemetry::global().reset();
-  telemetry::global().enable();
+  telemetry::Telemetry context;
+  context.enable();
   {
-    Engine engine;
+    Engine engine(&context);
     for (int i = 0; i < 5000; ++i) engine.schedule_at(seconds(i), [] {});
     engine.run();
-    auto& metrics = telemetry::global().metrics;
-    EXPECT_DOUBLE_EQ(metrics.counter("sim.events_executed").value(), 5000.0);
+    EXPECT_DOUBLE_EQ(context.metrics.counter("sim.events_executed").value(),
+                     5000.0);
     // The engine drives the trace clock while it lives.
-    EXPECT_EQ(telemetry::global().tracer.now(), engine.now());
+    EXPECT_EQ(context.tracer.now(), engine.now());
   }
   // Destroyed engine retracts its clock registration.
-  EXPECT_EQ(telemetry::global().tracer.now(), 0);
-  telemetry::global().reset();
+  EXPECT_EQ(context.tracer.now(), 0);
+}
+
+TEST(Engine, DisabledOrAbsentContextPublishesNothing) {
+  telemetry::Telemetry disabled;  // never enabled
+  {
+    Engine engine(&disabled);
+    engine.schedule_at(seconds(1), [] {});
+    engine.run();
+  }
+  EXPECT_TRUE(disabled.metrics.empty());
+  Engine bare;  // no context at all
+  bare.schedule_at(seconds(1), [] {});
+  bare.run();
+  EXPECT_EQ(bare.telemetry(), nullptr);
 }
 
 TEST(PeriodicTaskTest, FiresAtPeriod) {

@@ -154,16 +154,30 @@ TEST(Tracer, ChromeTraceJsonParsesBack) {
                    3.0);
 }
 
-TEST(Telemetry, GlobalContextEnableResetCycle) {
-  EXPECT_EQ(maybe(), nullptr);
-  global().enable();
-  ASSERT_NE(maybe(), nullptr);
-  maybe()->metrics.counter("t").inc();
-  maybe()->tracer.instant("e", "test");
-  global().reset();
-  EXPECT_EQ(maybe(), nullptr);
-  EXPECT_TRUE(global().metrics.empty());
-  EXPECT_EQ(global().tracer.event_count(), 0u);
+TEST(Telemetry, ContextEnableResetCycle) {
+  Telemetry context;
+  EXPECT_EQ(context.if_enabled(), nullptr);
+  context.enable();
+  ASSERT_NE(context.if_enabled(), nullptr);
+  context.if_enabled()->metrics.counter("t").inc();
+  context.if_enabled()->tracer.instant("e", "test");
+  context.reset();
+  EXPECT_EQ(context.if_enabled(), nullptr);
+  EXPECT_TRUE(context.metrics.empty());
+  EXPECT_EQ(context.tracer.event_count(), 0u);
+}
+
+TEST(Telemetry, ContextsAreIndependent) {
+  Telemetry a, b;
+  a.enable();
+  b.enable();
+  a.metrics.counter("hits").inc(3);
+  b.metrics.counter("hits").inc(5);
+  a.tracer.instant("only-a", "test");
+  EXPECT_DOUBLE_EQ(a.metrics.counter("hits").value(), 3.0);
+  EXPECT_DOUBLE_EQ(b.metrics.counter("hits").value(), 5.0);
+  EXPECT_EQ(a.tracer.event_count(), 1u);
+  EXPECT_EQ(b.tracer.event_count(), 0u);
 }
 
 }  // namespace

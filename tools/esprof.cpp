@@ -1,16 +1,25 @@
-// esprof -- summarize a telemetry artifact written with --telemetry-out
-// (a Chrome trace-event JSON with an embedded metrics snapshot) into
-// paper-style tables: span durations grouped by name, counter tracks,
-// instant-event counts, and the metrics registry with percentiles.
+// esprof -- summarize telemetry artifacts written with --telemetry-out /
+// --telemetry-dir (Chrome trace-event JSON with an embedded metrics
+// snapshot) into paper-style tables: span durations grouped by name,
+// counter tracks, instant-event counts, and the metrics registry with
+// percentiles.
 //
-//   esprof trace.json                 # full summary
+//   esprof trace.json                 # full summary of one artifact
 //   esprof trace.json --spans         # span table only
 //   esprof trace.json --metrics       # registry only
 //   esprof trace.json --cat comm      # restrict events to one category
+//   esprof sweep/*.trace.json         # merged per-point comparison: one
+//                                     # column per artifact, counters /
+//                                     # gauges / histogram means side by
+//                                     # side (e.g. a sweep's points)
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <optional>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -146,6 +155,110 @@ void summarize_metrics(const JsonValue& metrics) {
   }
 }
 
+struct Artifact {
+  std::string label;  ///< file stem, used as the column header
+  JsonValue document;
+};
+
+std::optional<Artifact> load_artifact(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "esprof: cannot read '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string error;
+  auto document = telemetry::parse_json(buffer.str(), &error);
+  if (!document) {
+    std::fprintf(stderr, "esprof: '%s' is not valid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return std::nullopt;
+  }
+  std::string label = std::filesystem::path(path).filename().string();
+  // Strip the ".trace.json" / ".json" suffix for narrower columns.
+  for (const char* suffix : {".trace.json", ".json"}) {
+    if (label.size() > std::strlen(suffix) &&
+        label.rfind(suffix) == label.size() - std::strlen(suffix)) {
+      label.resize(label.size() - std::strlen(suffix));
+      break;
+    }
+  }
+  return Artifact{std::move(label), std::move(*document)};
+}
+
+/// The metrics snapshot of an artifact (combined or bare form).
+const JsonValue* metrics_of(const JsonValue& document) {
+  if (const JsonValue* metrics = document.find("metrics")) return metrics;
+  if (document.find("counters")) return &document;
+  return nullptr;
+}
+
+/// Merged mode: one column per artifact, one table per metric kind.
+/// Rows are the union of the metric names, "-" where an artifact lacks
+/// one, so sweep points with divergent instrumentation still line up.
+void summarize_merged(const std::vector<Artifact>& artifacts) {
+  auto collect = [&](const char* section,
+                     const std::function<double(const JsonValue&)>& value_of) {
+    std::map<std::string, std::vector<std::optional<double>>> rows;
+    for (std::size_t a = 0; a < artifacts.size(); ++a) {
+      const JsonValue* metrics = metrics_of(artifacts[a].document);
+      const JsonValue* values = metrics ? metrics->find(section) : nullptr;
+      if (!values || !values->is_object()) continue;
+      for (const auto& [name, value] : values->members()) {
+        auto& row = rows[name];
+        row.resize(artifacts.size());
+        row[a] = value_of(value);
+      }
+    }
+    return rows;
+  };
+  auto print_grid = [&](const char* heading, const char* name_column,
+                        const std::map<std::string,
+                                       std::vector<std::optional<double>>>& rows) {
+    if (rows.empty()) return;
+    std::printf("%s\n", heading);
+    std::vector<std::string> header{name_column};
+    for (const Artifact& artifact : artifacts) header.push_back(artifact.label);
+    Table table(header);
+    for (const auto& [name, values] : rows) {
+      std::vector<std::string> cells{name};
+      for (std::size_t a = 0; a < artifacts.size(); ++a)
+        cells.push_back(a < values.size() && values[a]
+                            ? format_double(*values[a], 6)
+                            : "-");
+      table.add_row(std::move(cells));
+    }
+    table.print();
+    std::printf("\n");
+  };
+
+  std::printf("merged summary of %zu artifacts\n\n", artifacts.size());
+  {
+    // Overview: trace-event counts per artifact.
+    std::vector<std::string> header{"artifact", "trace events"};
+    Table table({"artifact", "trace events"});
+    for (const Artifact& artifact : artifacts) {
+      const JsonValue* events = artifact.document.find("traceEvents");
+      table.add_row({artifact.label,
+                     events && events->is_array()
+                         ? std::to_string(events->items().size())
+                         : "-"});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  const auto number = [](const JsonValue& v) {
+    return v.is_number() ? v.as_number() : 0.0;
+  };
+  print_grid("counters", "counter", collect("counters", number));
+  print_grid("gauges", "gauge", collect("gauges", number));
+  print_grid("histogram means", "histogram", collect("histograms", [](const JsonValue& h) {
+               const double count = member_number(h, "count");
+               return count > 0 ? member_number(h, "sum") / count : 0.0;
+             }));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,29 +271,29 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.help_requested() || args.positional().empty()) {
-    std::fputs(args.usage("esprof <trace.json>",
-                          "Summarize a telemetry trace/metrics artifact.")
+    std::fputs(args.usage("esprof <trace.json> [more.json ...]",
+                          "Summarize one telemetry trace/metrics artifact, or "
+                          "merge several into a side-by-side comparison.")
                    .c_str(),
                stdout);
     return args.help_requested() ? 0 : 2;
   }
 
-  const std::string path = args.positional()[0];
-  std::ifstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "esprof: cannot read '%s'\n", path.c_str());
-    return 1;
+  if (args.positional().size() > 1) {
+    std::vector<Artifact> artifacts;
+    for (const std::string& artifact_path : args.positional()) {
+      auto artifact = load_artifact(artifact_path);
+      if (!artifact) return 1;
+      artifacts.push_back(std::move(*artifact));
+    }
+    summarize_merged(artifacts);
+    return 0;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
 
-  std::string error;
-  const auto document = telemetry::parse_json(buffer.str(), &error);
-  if (!document) {
-    std::fprintf(stderr, "esprof: '%s' is not valid JSON: %s\n", path.c_str(),
-                 error.c_str());
-    return 1;
-  }
+  const std::string path = args.positional()[0];
+  const auto artifact = load_artifact(path);
+  if (!artifact) return 1;
+  const JsonValue& document = artifact->document;
 
   const bool only_spans = args.has_flag("spans");
   const bool only_metrics = args.has_flag("metrics");
@@ -188,9 +301,8 @@ int main(int argc, char** argv) {
 
   // Accept both the combined artifact ({"traceEvents": ..., "metrics": ...})
   // and a bare metrics snapshot ({"counters": ...}).
-  const JsonValue* events = document->find("traceEvents");
-  const JsonValue* metrics = document->find("metrics");
-  if (!metrics && document->find("counters")) metrics = &*document;
+  const JsonValue* events = document.find("traceEvents");
+  const JsonValue* metrics = metrics_of(document);
 
   if (!events && !metrics) {
     std::fprintf(stderr,
@@ -213,7 +325,7 @@ int main(int argc, char** argv) {
   if (events && events->is_array() && !only_metrics)
     summarize_events(*events, category);
   if (metrics && !only_spans) summarize_metrics(*metrics);
-  if (const JsonValue* dropped = document->find("droppedEvents"))
+  if (const JsonValue* dropped = document.find("droppedEvents"))
     std::printf("warning: %.0f events were dropped at the trace-buffer cap\n",
                 dropped->as_number());
   return 0;
