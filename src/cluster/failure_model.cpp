@@ -68,15 +68,17 @@ void FailureModel::execute_failure(NodeId node, SimTime repair_after) {
   ++injected_;
   ESLURM_DEBUG("failure: node ", node, " down at t=", to_seconds(cluster_.engine().now()),
                "s for ", to_seconds(repair_after), "s");
+  cluster_.fail(node);
   if (auto* t = cluster_.engine().telemetry()) {
     t->metrics.counter("cluster.failures_injected").inc();
+    // fail() has already run, so the alive count is the post-fail truth --
+    // no hand-computed offset that drifts when fail() is a no-op.
     t->metrics.gauge("cluster.nodes_down")
-        .set(static_cast<double>(cluster_.size() - cluster_.alive_count() + 1));
+        .set(static_cast<double>(cluster_.size() - cluster_.alive_count()));
     t->tracer.instant("node-failure", "cluster",
                       {{"node", static_cast<double>(node)},
                        {"repair_s", to_seconds(repair_after)}});
   }
-  cluster_.fail(node);
   cluster_.engine().schedule_after(repair_after, [this, node] {
     if (!cluster_.alive(node)) {
       cluster_.restore(node);

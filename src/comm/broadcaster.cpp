@@ -4,15 +4,41 @@
 
 namespace eslurm::comm {
 
-Broadcaster::Broadcaster(net::Network& network, std::string name)
+Broadcaster::Broadcaster(net::Network& network, std::string name,
+                         net::ReliableTransport* transport)
     : net_(network),
       telemetry_(network.engine().telemetry()),
+      transport_(transport),
       name_(std::move(name)) {}
 
 net::MessageType Broadcaster::alloc_type_range(int width) {
   // Per-network allocation keeps type assignment deterministic in
   // construction order even with several worlds in one process.
   return net_.alloc_message_types(width);
+}
+
+void Broadcaster::register_relay_handler(NodeId node, net::MessageType type,
+                                         net::Handler handler) {
+  if (transport_) {
+    transport_->register_handler(node, type, std::move(handler));
+  } else {
+    net_.register_handler(node, type, std::move(handler));
+  }
+}
+
+void Broadcaster::relay_send(NodeId from, NodeId to, net::Message msg,
+                             SimTime timeout, net::SendCallback on_complete) {
+  if (transport_) {
+    transport_->send(from, to, std::move(msg), timeout, std::move(on_complete));
+  } else {
+    net_.send(from, to, std::move(msg), timeout, std::move(on_complete));
+  }
+}
+
+SimTime Broadcaster::contact_budget(SimTime timeout) const {
+  if (timeout <= 0) timeout = net_.link_model().default_timeout;
+  if (!transport_) return timeout;
+  return net::worst_case_send_time(transport_->options(), timeout);
 }
 
 void Broadcaster::broadcast(NodeId root, std::vector<NodeId> targets,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/transport.hpp"
 
 namespace eslurm::comm {
 
@@ -58,7 +59,15 @@ class Broadcaster {
   /// Called once per target node when the payload reaches it.
   using DeliveryHook = std::function<void(NodeId node, std::uint64_t broadcast_id)>;
 
-  explicit Broadcaster(net::Network& network, std::string name);
+  /// With a `transport`, all control traffic (relay + completion
+  /// messages) is sent and received through the reliable channel:
+  /// transient message loss is retried below the tree's own retry logic,
+  /// and duplicated relays are suppressed by the dedup window before they
+  /// reach the forwarding handlers.  The transport must outlive the
+  /// broadcaster; nullptr (default) keeps raw Network::send semantics and
+  /// bit-identical behaviour.
+  explicit Broadcaster(net::Network& network, std::string name,
+                       net::ReliableTransport* transport = nullptr);
   virtual ~Broadcaster() = default;
   Broadcaster(const Broadcaster&) = delete;
   Broadcaster& operator=(const Broadcaster&) = delete;
@@ -77,10 +86,24 @@ class Broadcaster {
 
   const std::string& name() const { return name_; }
   net::Network& network() { return net_; }
+  net::ReliableTransport* transport() { return transport_; }
 
  protected:
   /// Allocates this instance's private message-type range.
   net::MessageType alloc_type_range(int width);
+
+  /// Handler registration / send routed through the reliable transport
+  /// when one is attached, raw Network otherwise.  Implementations use
+  /// these for their control traffic so one construction argument flips
+  /// the whole structure between lossy and reliable delivery.
+  void register_relay_handler(NodeId node, net::MessageType type, net::Handler handler);
+  void relay_send(NodeId from, NodeId to, net::Message msg, SimTime timeout,
+                  net::SendCallback on_complete = {});
+
+  /// Worst-case duration of one relay_send against an unresponsive peer:
+  /// `timeout` raw, the transport's full retransmit schedule otherwise.
+  /// Watchdogs must scale with this or they fire mid-retransmit.
+  SimTime contact_budget(SimTime timeout) const;
 
   /// Telemetry tap: every implementation calls this once per finished
   /// broadcast (latency histogram + counters labeled by structure name,
@@ -101,6 +124,7 @@ class Broadcaster {
   /// when telemetry is off.  Cached at construction like every other
   /// instrumented subsystem.
   telemetry::Telemetry* telemetry_;
+  net::ReliableTransport* transport_ = nullptr;
   std::string name_;
   DeliveryHook delivery_hook_;
   std::uint64_t next_broadcast_id_ = 1;

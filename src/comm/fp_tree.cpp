@@ -70,8 +70,9 @@ std::vector<NodeId> rearrange_nodelist(const std::vector<NodeId>& list, int widt
 
 FpTreeBroadcaster::FpTreeBroadcaster(net::Network& network,
                                      const cluster::FailurePredictor& predictor,
-                                     std::string name)
-    : TreeBroadcaster(network, std::move(name)), predictor_(predictor) {}
+                                     std::string name,
+                                     net::ReliableTransport* transport)
+    : TreeBroadcaster(network, std::move(name), transport), predictor_(predictor) {}
 
 std::shared_ptr<const std::vector<NodeId>> FpTreeBroadcaster::prepare(
     std::shared_ptr<const std::vector<NodeId>> targets, const BroadcastOptions& options) {

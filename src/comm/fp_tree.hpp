@@ -54,8 +54,11 @@ std::vector<NodeId> rearrange_nodelist(const std::vector<NodeId>& list, int widt
 
 class FpTreeBroadcaster final : public TreeBroadcaster {
  public:
+  /// `transport` (optional) routes relay/done traffic through a reliable
+  /// channel -- see Broadcaster.
   FpTreeBroadcaster(net::Network& network, const cluster::FailurePredictor& predictor,
-                    std::string name = "fp-tree");
+                    std::string name = "fp-tree",
+                    net::ReliableTransport* transport = nullptr);
 
   /// Optional instrumentation: an oracle for nodes that are *really*
   /// failed (or failing), used only to fill the ground-truth fields of

@@ -37,15 +37,16 @@ int tree_depth_estimate(std::size_t n, int width) {
   return depth;
 }
 
-TreeBroadcaster::TreeBroadcaster(net::Network& network, std::string name)
-    : Broadcaster(network, std::move(name)) {
+TreeBroadcaster::TreeBroadcaster(net::Network& network, std::string name,
+                                 net::ReliableTransport* transport)
+    : Broadcaster(network, std::move(name), transport) {
   relay_type_ = alloc_type_range(2);
   done_type_ = relay_type_ + 1;
   for (NodeId node = 0; node < net_.node_count(); ++node) {
-    net_.register_handler(node, relay_type_,
-                          [this, node](const net::Message& m) { on_relay(node, m); });
-    net_.register_handler(node, done_type_,
-                          [this, node](const net::Message& m) { on_done(node, m); });
+    register_relay_handler(node, relay_type_,
+                           [this, node](const net::Message& m) { on_relay(node, m); });
+    register_relay_handler(node, done_type_,
+                           [this, node](const net::Message& m) { on_done(node, m); });
   }
 }
 
@@ -100,8 +101,8 @@ void TreeBroadcaster::attempt_child(State& state, NodeCtx& ctx, std::size_t slot
   // The relay carries the payload plus the serialized subtree list.
   msg.bytes = state.opts.payload_bytes + 8 * slot.subtree.size();
   msg.payload = RelayBody{id, slot.subtree};
-  net_.send(self, slot.child, std::move(msg), state.opts.timeout,
-            [this, id, self, slot_index, attempts_left](bool ok) {
+  relay_send(self, slot.child, std::move(msg), state.opts.timeout,
+             [this, id, self, slot_index, attempts_left](bool ok) {
               const auto it = active_.find(id);
               if (it == active_.end()) return;  // broadcast already finished
               State& st = *it->second;
@@ -114,8 +115,11 @@ void TreeBroadcaster::attempt_child(State& state, NodeCtx& ctx, std::size_t slot
                 // subtree is adopted when this fires.
                 const int depth = tree_depth_estimate(s.subtree.size() + 1,
                                                       st.opts.tree_width);
+                // contact_budget covers the transport's retransmit
+                // schedule (== timeout raw), so a watchdog never fires
+                // while a descendant is still legitimately retrying.
                 const SimTime deadline =
-                    st.opts.timeout * (st.opts.retries + 1) * (depth + 1);
+                    contact_budget(st.opts.timeout) * (st.opts.retries + 1) * (depth + 1);
                 s.watchdog = net_.engine().schedule_after(
                     deadline, [this, id, self, slot_index] {
                       const auto it2 = active_.find(id);
@@ -181,7 +185,7 @@ void TreeBroadcaster::maybe_finish_node(State& state, NodeCtx& ctx) {
   msg.type = done_type_;
   msg.bytes = 64;
   msg.payload = DoneBody{state.id, ctx.agg_unreachable, ctx.agg_repairs};
-  net_.send(ctx.self, ctx.parent, std::move(msg), state.opts.timeout);
+  relay_send(ctx.self, ctx.parent, std::move(msg), state.opts.timeout);
 }
 
 void TreeBroadcaster::finish_root(State& state, NodeCtx& ctx) {
@@ -212,7 +216,7 @@ void TreeBroadcaster::on_relay(NodeId self, const net::Message& msg) {
     done_msg.type = done_type_;
     done_msg.bytes = 64;
     done_msg.payload = DoneBody{state.id, 0, 0};
-    net_.send(self, msg.src, std::move(done_msg), state.opts.timeout);
+    relay_send(self, msg.src, std::move(done_msg), state.opts.timeout);
     return;
   }
   mark_delivered(state.id, state.delivered, self);

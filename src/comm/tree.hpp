@@ -41,7 +41,10 @@ int tree_depth_estimate(std::size_t n, int width);
 
 class TreeBroadcaster : public Broadcaster {
  public:
-  explicit TreeBroadcaster(net::Network& network, std::string name = "tree");
+  /// `transport` (optional) routes relay/done traffic through a reliable
+  /// channel -- see Broadcaster.
+  explicit TreeBroadcaster(net::Network& network, std::string name = "tree",
+                           net::ReliableTransport* transport = nullptr);
 
   void broadcast(NodeId root, std::shared_ptr<const std::vector<NodeId>> targets,
                  const BroadcastOptions& options, Callback done) override;

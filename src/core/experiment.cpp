@@ -19,6 +19,38 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   cluster_ = std::make_unique<cluster::ClusterModel>(*engine_, total);
   network_->set_liveness(cluster_->liveness());
 
+  if (config_.chaos.any()) {
+    // Own seed stream, so enabling chaos never perturbs the network's
+    // jitter rng and identical seeds give bit-identical fault schedules.
+    chaos_ = std::make_unique<net::ChaosInjector>(*engine_, total,
+                                                  Rng(config_.seed ^ 0xC4A05));
+    net::ChaosPlan plan;
+    if (config_.chaos.drop_prob > 0.0 || config_.chaos.duplicate_prob > 0.0 ||
+        config_.chaos.delay_spike_prob > 0.0) {
+      plan.ambient(config_.chaos.drop_prob, config_.chaos.duplicate_prob,
+                   config_.chaos.delay_spike_prob,
+                   from_seconds(config_.chaos.delay_spike_ms / 1e3));
+    }
+    if (config_.chaos.partition_start_s >= 0.0 &&
+        config_.chaos.partition_duration_s > 0.0) {
+      // The canonical tier cut: master on one side, the satellite tier
+      // (or, without satellites, the whole compute plane) on the other.
+      std::vector<net::NodeId> side_b;
+      if (satellites > 0) {
+        for (std::size_t i = 0; i < satellites; ++i)
+          side_b.push_back(static_cast<net::NodeId>(1 + i));
+      } else {
+        for (std::size_t i = 1; i < total; ++i)
+          side_b.push_back(static_cast<net::NodeId>(i));
+      }
+      plan.partition(from_seconds(config_.chaos.partition_start_s),
+                     from_seconds(config_.chaos.partition_duration_s),
+                     {static_cast<net::NodeId>(0)}, std::move(side_b));
+    }
+    chaos_->set_plan(std::move(plan));
+    network_->set_chaos(chaos_.get());
+  }
+
   failures_ = std::make_unique<cluster::FailureModel>(
       *cluster_, Rng(config_.seed ^ 0xFA11), config_.failure_params);
   monitoring_ = std::make_unique<cluster::MonitoringSystem>(
@@ -51,6 +83,7 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   if (config_.frontend.clients.users > 0) {
     frontend::FrontendConfig fe_config = config_.frontend;
     fe_config.clients.seed = config_.seed ^ 0xF0E0;
+    fe_config.gateway.transport_seed = config_.seed ^ 0xF0E1;
     frontend_ = std::make_unique<frontend::FrontEnd>(*engine_, *network_, *manager_,
                                                      fe_config);
   }
@@ -119,6 +152,22 @@ ExperimentConfig Experiment::config_from_text(const std::string& text) {
       "frontendusers", static_cast<std::int64_t>(config.frontend.clients.users)));
   config.frontend.gateway.cache_ttl = from_seconds(parsed.get_double(
       "cachettlseconds", to_seconds(config.frontend.gateway.cache_ttl)));
+  config.rm_config.use_reliable_transport = parsed.get_bool(
+      "usereliabletransport", config.rm_config.use_reliable_transport);
+  config.frontend.gateway.reliable_responses =
+      config.rm_config.use_reliable_transport;
+  config.chaos.drop_prob =
+      parsed.get_double("chaosdropprob", config.chaos.drop_prob);
+  config.chaos.duplicate_prob =
+      parsed.get_double("chaosduplicateprob", config.chaos.duplicate_prob);
+  config.chaos.delay_spike_prob =
+      parsed.get_double("chaosdelayprob", config.chaos.delay_spike_prob);
+  config.chaos.delay_spike_ms =
+      parsed.get_double("chaosdelayms", config.chaos.delay_spike_ms);
+  config.chaos.partition_start_s =
+      parsed.get_double("chaospartitionstarts", config.chaos.partition_start_s);
+  config.chaos.partition_duration_s = parsed.get_double(
+      "chaospartitiondurations", config.chaos.partition_duration_s);
   return config;
 }
 

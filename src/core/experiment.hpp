@@ -21,6 +21,7 @@
 #include "cluster/failure_model.hpp"
 #include "cluster/monitoring.hpp"
 #include "frontend/frontend.hpp"
+#include "net/chaos.hpp"
 #include "rm/centralized_rm.hpp"
 #include "rm/eslurm_rm.hpp"
 #include "telemetry/telemetry.hpp"
@@ -47,6 +48,11 @@ struct ExperimentConfig {
   std::vector<cluster::BurstEvent> bursts;
   cluster::MonitoringParams monitoring;
 
+  /// Network chaos (message drop/duplication/delay spikes plus an
+  /// optional timed master<->satellite-tier partition).  All-zero (the
+  /// default) builds no injector and leaves the network lossless.
+  net::ChaosParams chaos;
+
   /// User-facing RPC front-end (Section II-B).  Disabled unless
   /// frontend.clients.users > 0.
   frontend::FrontendConfig frontend;
@@ -69,7 +75,9 @@ class Experiment {
   /// keys: ResourceManager, Nodes, SatelliteNodes, TreeWidth,
   /// HorizonHours, Seed, SchedInterval, UseRuntimeEstimation, UseFpTree,
   /// EstimatorWindow, EstimatorAlpha, EnableFailures, NodeMtbfHours,
-  /// FrontendUsers, CacheTtlSeconds.
+  /// FrontendUsers, CacheTtlSeconds, UseReliableTransport, ChaosDropProb,
+  /// ChaosDuplicateProb, ChaosDelayProb, ChaosDelayMs,
+  /// ChaosPartitionStartS, ChaosPartitionDurationS.
   static ExperimentConfig config_from_text(const std::string& text);
 
   // --- world access ----------------------------------------------------
@@ -77,6 +85,8 @@ class Experiment {
   /// The injected telemetry context; nullptr when telemetry is off.
   telemetry::Telemetry* telemetry() { return engine_->telemetry(); }
   net::Network& network() { return *network_; }
+  /// Non-null when config.chaos.any() built an injector.
+  net::ChaosInjector* chaos() { return chaos_.get(); }
   cluster::ClusterModel& cluster() { return *cluster_; }
   cluster::FailureModel& failures() { return *failures_; }
   cluster::MonitoringSystem& monitoring() { return *monitoring_; }
@@ -101,6 +111,7 @@ class Experiment {
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<net::ChaosInjector> chaos_;
   std::unique_ptr<cluster::ClusterModel> cluster_;
   std::unique_ptr<cluster::FailureModel> failures_;
   std::unique_ptr<cluster::MonitoringSystem> monitoring_;

@@ -53,6 +53,11 @@ Gateway::Gateway(sim::Engine& engine, net::Network& network,
       rm_(rm),
       eslurm_(dynamic_cast<rm::EslurmRm*>(&rm)),
       config_(config) {
+  if (config_.reliable_responses) {
+    transport_ = std::make_unique<net::ReliableTransport>(
+        net_, Rng(derive_seed(config_.transport_seed, 0xF3)), config_.transport,
+        "frontend");
+  }
   const net::NodeId master = rm_.deployment().master;
   net_.register_handler(master, kMsgRpcRequest,
                         [this](const net::Message& m) { on_master_request(m); });
@@ -74,9 +79,24 @@ Gateway::Gateway(sim::Engine& engine, net::Network& network,
   }
 
   // Clients consume their responses in the send-completion callback; a
-  // no-op handler keeps the delivery from being logged as a drop.
+  // no-op handler keeps the delivery from being logged as a drop (and,
+  // through the transport, puts retransmitted responses behind the dedup
+  // window).
   for (const net::NodeId node : rm_.deployment().compute) {
-    net_.register_handler(node, kMsgRpcResponse, [](const net::Message&) {});
+    if (transport_) {
+      transport_->register_handler(node, kMsgRpcResponse, [](const net::Message&) {});
+    } else {
+      net_.register_handler(node, kMsgRpcResponse, [](const net::Message&) {});
+    }
+  }
+}
+
+void Gateway::respond(net::NodeId from, net::NodeId to, net::Message msg,
+                      net::SendCallback on_complete) {
+  if (transport_) {
+    transport_->send(from, to, std::move(msg), 0, std::move(on_complete));
+  } else {
+    net_.send(from, to, std::move(msg), 0, std::move(on_complete));
   }
 }
 
@@ -89,7 +109,11 @@ Gateway::~Gateway() {
     net_.unregister_handler(sat.node, kMsgRefreshReply);
   }
   for (const net::NodeId node : rm_.deployment().compute) {
-    net_.unregister_handler(node, kMsgRpcResponse);
+    if (transport_) {
+      transport_->unregister_handler(node, kMsgRpcResponse);
+    } else {
+      net_.unregister_handler(node, kMsgRpcResponse);
+    }
   }
 }
 
@@ -250,10 +274,10 @@ void Gateway::on_master_request(const net::Message& msg) {
     net::Message resp;
     resp.type = kMsgRpcResponse;
     resp.bytes = bytes;
-    net_.send(rm_.deployment().master, it->second.source, std::move(resp), 0,
-              [this, id](bool ok) {
-                resolve(id, ok ? RpcOutcome::Ok : RpcOutcome::Unavailable);
-              });
+    respond(rm_.deployment().master, it->second.source, std::move(resp),
+            [this, id](bool ok) {
+              resolve(id, ok ? RpcOutcome::Ok : RpcOutcome::Unavailable);
+            });
   });
 }
 
@@ -290,7 +314,7 @@ void Gateway::serve_from_cache(std::size_t sat_index, std::uint64_t id) {
   net::Message resp;
   resp.type = kMsgRpcResponse;
   resp.bytes = response_bytes(kind, entries);
-  net_.send(sat.node, it->second.source, std::move(resp), 0, [this, id](bool ok) {
+  respond(sat.node, it->second.source, std::move(resp), [this, id](bool ok) {
     resolve(id, ok ? RpcOutcome::Ok : RpcOutcome::Unavailable);
   });
 }

@@ -28,6 +28,7 @@
 #include "frontend/rpc.hpp"
 #include "frontend/snapshot_cache.hpp"
 #include "net/network.hpp"
+#include "net/transport.hpp"
 #include "rm/resource_manager.hpp"
 #include "sim/engine.hpp"
 
@@ -80,6 +81,13 @@ struct GatewayConfig {
   SimTime request_timeout = seconds(45);
   /// After a send to a satellite fails, leave it alone for this long.
   SimTime satellite_retry_cooldown = seconds(30);
+  /// Route server->client RPC responses through a ReliableTransport: a
+  /// response lost to network chaos is retransmitted instead of failing a
+  /// request the server already did the work for.  Requests keep raw
+  /// sends -- the client-side retry/backoff policy already covers them.
+  bool reliable_responses = true;
+  net::TransportOptions transport;
+  std::uint64_t transport_seed = 1;
 };
 
 /// One user RPC's terminal notification.  The latency is measured by the
@@ -181,6 +189,9 @@ class Gateway {
   void on_refresh_request(const net::Message& msg);
   void resolve(std::uint64_t id, RpcOutcome outcome);
   void arm_watchdog(std::uint64_t id);
+  /// Sends a kMsgRpcResponse through the reliable transport when enabled.
+  void respond(net::NodeId from, net::NodeId to, net::Message msg,
+               net::SendCallback on_complete);
   /// Listing size of a read query's snapshot right now.
   std::size_t live_entries(RpcKind kind) const;
   std::size_t response_bytes(RpcKind kind, std::size_t entries) const;
@@ -191,6 +202,7 @@ class Gateway {
   rm::ResourceManager& rm_;
   rm::EslurmRm* eslurm_;  ///< non-null when reads can go to satellites
   GatewayConfig config_;
+  std::unique_ptr<net::ReliableTransport> transport_;  ///< response channel
 
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_id_ = 1;

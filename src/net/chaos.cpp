@@ -1,0 +1,122 @@
+#include "net/chaos.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace eslurm::net {
+
+ChaosInjector::ChaosInjector(sim::Engine& engine, std::size_t node_count,
+                             Rng rng)
+    : engine_(engine), node_count_(node_count), rng_(std::move(rng)) {
+  if (auto* t = engine_.telemetry()) {
+    dropped_counter_ = &t->metrics.counter("net.chaos.dropped");
+    duplicated_counter_ = &t->metrics.counter("net.chaos.duplicated");
+    delayed_counter_ = &t->metrics.counter("net.chaos.delayed");
+    partitioned_counter_ = &t->metrics.counter("net.chaos.partitioned");
+  }
+}
+
+void ChaosInjector::set_plan(ChaosPlan plan) {
+  plan_ = std::move(plan);
+  partitions_.clear();
+  for (std::size_t i = 0; i < plan_.phases.size(); ++i) {
+    const ChaosPhase& phase = plan_.phases[i];
+    if (!phase.has_partition()) continue;
+    CompiledPhase compiled;
+    compiled.phase_index = i;
+    compiled.side.assign(node_count_, 0);
+    for (NodeId node : phase.partition_a) {
+      if (node < node_count_) compiled.side[node] = 1;
+    }
+    for (NodeId node : phase.partition_b) {
+      if (node < node_count_) compiled.side[node] = 2;
+    }
+    partitions_.push_back(std::move(compiled));
+  }
+  if (auto* t = engine_.telemetry()) {
+    for (std::size_t i = 0; i < plan_.phases.size(); ++i) {
+      const ChaosPhase& phase = plan_.phases[i];
+      t->tracer.instant(
+          "chaos-phase", "net",
+          {{"phase", static_cast<double>(i)},
+           {"start_s", to_seconds(phase.start)},
+           {"duration_s", phase.duration <= 0 ? -1.0
+                                              : to_seconds(phase.duration)},
+           {"drop_prob", phase.drop_prob},
+           {"duplicate_prob", phase.duplicate_prob},
+           {"delay_spike_prob", phase.delay_spike_prob},
+           {"partition", phase.has_partition() ? 1.0 : 0.0}});
+    }
+  }
+}
+
+ChaosInjector::Decision ChaosInjector::decide(NodeId from, NodeId to) {
+  Decision decision;
+  if (plan_.empty()) return decision;
+  const SimTime now = engine_.now();
+
+  // An active partition cuts the link outright; no probability draw, so
+  // the rng stream stays identical whether or not a partition phase is
+  // configured for disjoint node sets.
+  for (const CompiledPhase& compiled : partitions_) {
+    const ChaosPhase& phase = plan_.phases[compiled.phase_index];
+    if (!phase.active_at(now)) continue;
+    const std::uint8_t side_from =
+        from < node_count_ ? compiled.side[from] : 0;
+    const std::uint8_t side_to = to < node_count_ ? compiled.side[to] : 0;
+    if (side_from != 0 && side_to != 0 && side_from != side_to) {
+      ++decisions_;
+      ++dropped_;
+      ++partitioned_;
+      decision.drop = true;
+      decision.partitioned = true;
+      if (dropped_counter_) dropped_counter_->inc();
+      if (partitioned_counter_) partitioned_counter_->inc();
+      if (auto* t = engine_.telemetry()) {
+        t->tracer.instant("chaos-partition-drop", "net",
+                          {{"from", static_cast<double>(from)},
+                           {"to", static_cast<double>(to)}});
+      }
+      return decision;
+    }
+  }
+
+  for (const ChaosPhase& phase : plan_.phases) {
+    if (!phase.active_at(now)) continue;
+    if (phase.drop_prob <= 0.0 && phase.duplicate_prob <= 0.0 &&
+        phase.delay_spike_prob <= 0.0) {
+      continue;
+    }
+    ++decisions_;
+    if (phase.drop_prob > 0.0 && rng_.chance(phase.drop_prob)) {
+      ++dropped_;
+      decision.drop = true;
+      if (dropped_counter_) dropped_counter_->inc();
+      if (auto* t = engine_.telemetry()) {
+        t->tracer.instant("chaos-drop", "net",
+                          {{"from", static_cast<double>(from)},
+                           {"to", static_cast<double>(to)}});
+      }
+      // A dropped message cannot also be duplicated or delayed; return
+      // without further draws so each phase costs at most one hit.
+      return decision;
+    }
+    if (phase.duplicate_prob > 0.0 && rng_.chance(phase.duplicate_prob)) {
+      ++duplicated_;
+      decision.duplicate = true;
+      if (duplicated_counter_) duplicated_counter_->inc();
+    }
+    if (phase.delay_spike_prob > 0.0 && rng_.chance(phase.delay_spike_prob)) {
+      ++delayed_;
+      const double mean = static_cast<double>(phase.delay_spike_mean);
+      decision.extra_delay +=
+          static_cast<SimTime>(std::max(0.0, rng_.exponential(mean)));
+      if (delayed_counter_) delayed_counter_->inc();
+    }
+  }
+  return decision;
+}
+
+}  // namespace eslurm::net

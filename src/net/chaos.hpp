@@ -1,0 +1,170 @@
+// Network chaos injection: deterministic, Rng-seeded fault plans hooked
+// into Network::send.
+//
+// The paper exercises ESLURM's recovery machinery (Fig. 2 satellite state
+// machine, FP-Tree adoption, master takeover) only under whole-node
+// crashes.  Real large systems mostly misbehave *between* crashes:
+// messages are lost, delayed by congestion spikes, duplicated by
+// retransmitting middleboxes, and whole tiers get partitioned by switch
+// or routing faults.  The ChaosInjector models exactly those four faults
+// as a per-send decision consulted by Network::send:
+//
+//   * drop        -- the message vanishes in flight; the sender only
+//                    learns at its timeout (same surface as a dead peer);
+//   * duplicate   -- the receiver processes the message twice;
+//   * delay spike -- an exponential extra latency is added to the wire;
+//   * partition   -- a timed bidirectional cut between two node sets
+//                    (e.g. master <-> satellite tier): every crossing
+//                    message is dropped while the phase is active.
+//
+// Faults are described by a ChaosPlan: a list of phases with a start and
+// duration (mirroring FailureModel::schedule_burst), each carrying its
+// own probabilities and optional partition.  An open-ended phase
+// (duration <= 0) models ambient flakiness for the whole run.
+//
+// Determinism: the injector owns its own Rng, so enabling chaos never
+// perturbs the network's jitter stream, and identical seeds produce
+// bit-identical fault schedules -- including across sweep threads, since
+// each world owns its own injector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace eslurm::telemetry {
+class Counter;
+}  // namespace eslurm::telemetry
+
+namespace eslurm::net {
+
+/// One window of misbehaviour.  Probabilities are per message crossing
+/// the network while the phase is active; a phase with both partition
+/// sets non-empty additionally cuts every message between the sets.
+struct ChaosPhase {
+  SimTime start = 0;
+  SimTime duration = 0;  ///< <= 0 means open-ended (active until the end)
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_spike_prob = 0.0;
+  SimTime delay_spike_mean = milliseconds(250);  ///< exponential spike size
+  std::vector<NodeId> partition_a;
+  std::vector<NodeId> partition_b;
+
+  bool active_at(SimTime now) const {
+    return now >= start && (duration <= 0 || now < start + duration);
+  }
+  bool has_partition() const {
+    return !partition_a.empty() && !partition_b.empty();
+  }
+};
+
+/// Schedule of fault phases, built by the experiment (or a bench) before
+/// the run starts.
+struct ChaosPlan {
+  std::vector<ChaosPhase> phases;
+
+  bool empty() const { return phases.empty(); }
+
+  /// Ambient flakiness for the whole run (open-ended phase at t=0).
+  ChaosPhase& ambient(double drop, double duplicate = 0.0,
+                      double delay_spike = 0.0,
+                      SimTime delay_mean = milliseconds(250)) {
+    ChaosPhase phase;
+    phase.drop_prob = drop;
+    phase.duplicate_prob = duplicate;
+    phase.delay_spike_prob = delay_spike;
+    phase.delay_spike_mean = delay_mean;
+    phases.push_back(std::move(phase));
+    return phases.back();
+  }
+
+  /// Timed bidirectional partition between two node sets.
+  ChaosPhase& partition(SimTime start, SimTime duration, std::vector<NodeId> a,
+                        std::vector<NodeId> b) {
+    ChaosPhase phase;
+    phase.start = start;
+    phase.duration = duration;
+    phase.partition_a = std::move(a);
+    phase.partition_b = std::move(b);
+    phases.push_back(std::move(phase));
+    return phases.back();
+  }
+};
+
+/// Scalar, config-file-friendly description of a chaos setup; the
+/// Experiment compiles it into a ChaosPlan (ambient phase + one optional
+/// master<->satellite-tier partition).  `any()` gates construction so a
+/// default config pays nothing.
+struct ChaosParams {
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_spike_prob = 0.0;
+  double delay_spike_ms = 250.0;
+  double partition_start_s = -1.0;  ///< < 0 disables the partition phase
+  double partition_duration_s = 0.0;
+
+  bool any() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || delay_spike_prob > 0.0 ||
+           (partition_start_s >= 0.0 && partition_duration_s > 0.0);
+  }
+};
+
+class ChaosInjector {
+ public:
+  /// `node_count` sizes the per-phase partition-side tables.
+  ChaosInjector(sim::Engine& engine, std::size_t node_count, Rng rng);
+
+  /// Installs the fault schedule (replacing any previous plan) and emits
+  /// a tracer instant per phase boundary so runs are inspectable in the
+  /// trace viewer.
+  void set_plan(ChaosPlan plan);
+  const ChaosPlan& plan() const { return plan_; }
+
+  /// The network's verdict for one message (or ack) leg from -> to.
+  struct Decision {
+    bool drop = false;        ///< message vanishes; sender times out
+    bool partitioned = false; ///< drop caused by an active partition
+    bool duplicate = false;   ///< receiver processes the message twice
+    SimTime extra_delay = 0;  ///< delay spike added to the wire latency
+  };
+  Decision decide(NodeId from, NodeId to);
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t delayed() const { return delayed_; }
+  std::uint64_t partitioned() const { return partitioned_; }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  /// 0 = not in the partition, 1 = side A, 2 = side B.
+  struct CompiledPhase {
+    std::size_t phase_index = 0;
+    std::vector<std::uint8_t> side;
+  };
+
+  sim::Engine& engine_;
+  std::size_t node_count_;
+  Rng rng_;
+  ChaosPlan plan_;
+  std::vector<CompiledPhase> partitions_;
+
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t partitioned_ = 0;
+  std::uint64_t decisions_ = 0;
+
+  // Cached instruments (null when telemetry is off) keep the per-send
+  // cost at a pointer check, like sim::Engine's event counters.
+  telemetry::Counter* dropped_counter_ = nullptr;
+  telemetry::Counter* duplicated_counter_ = nullptr;
+  telemetry::Counter* delayed_counter_ = nullptr;
+  telemetry::Counter* partitioned_counter_ = nullptr;
+};
+
+}  // namespace eslurm::net

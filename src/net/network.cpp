@@ -4,12 +4,21 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/chaos.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace eslurm::net {
 
 Network::Network(sim::Engine& engine, std::size_t node_count, LinkModel model, Rng rng)
-    : engine_(engine), model_(model), rng_(rng), nodes_(node_count) {}
+    : engine_(engine), model_(model), rng_(rng), nodes_(node_count) {
+  if (auto* t = engine_.telemetry()) {
+    messages_counter_ = &t->metrics.counter("net.messages_total");
+    bytes_counter_ = &t->metrics.counter("net.bytes_total");
+    failed_counter_ = &t->metrics.counter("net.failed_sends");
+    delivered_counter_ = &t->metrics.counter("net.messages_delivered");
+  }
+}
 
 void Network::set_liveness(std::function<bool(NodeId)> alive) { alive_ = std::move(alive); }
 
@@ -57,6 +66,18 @@ const TimeSeries& Network::socket_series(NodeId node) const {
   return nodes_.at(node).socket_ts;
 }
 
+void Network::fail_at_deadline(NodeId from, NodeId to, SimTime deadline,
+                               SendCallback on_complete) {
+  ++failed_sends_;
+  if (failed_counter_) failed_counter_->inc();
+  const SimTime fail_at = std::max(deadline, engine_.now());
+  engine_.schedule_at(fail_at, [this, from, to, on_complete = std::move(on_complete)] {
+    adjust_sockets(from, -1);
+    adjust_sockets(to, -1);
+    if (on_complete) on_complete(false);
+  });
+}
+
 void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
                    SendCallback on_complete) {
   if (from >= nodes_.size() || to >= nodes_.size())
@@ -67,6 +88,8 @@ void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
   msg.src = from;
   ++total_messages_;
   total_bytes_ += msg.bytes;
+  if (messages_counter_) messages_counter_->inc();
+  if (bytes_counter_) bytes_counter_->inc(static_cast<double>(msg.bytes));
 
   NodeState& sender = nodes_[from];
   ++sender.sent;
@@ -82,7 +105,12 @@ void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
       jittered(propagation(from, to) + model_.connection_setup) +
       static_cast<SimTime>(static_cast<double>(msg.bytes) /
                            model_.bandwidth_bytes_per_sec * 1e9);
-  const SimTime arrival = send_done + wire;
+
+  // Chaos verdict for the outbound leg (cheap no-op without an injector).
+  ChaosInjector::Decision verdict;
+  if (chaos_) verdict = chaos_->decide(from, to);
+
+  const SimTime arrival = send_done + wire + verdict.extra_delay;
 
   // The connection stays open from the start of the send until completion
   // (ack) or timeout; both endpoints hold a socket for that span.
@@ -91,18 +119,21 @@ void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
 
   const SimTime deadline = engine_.now() + timeout;
 
+  if (verdict.drop) {
+    // Lost in flight (random drop or partition): the receiver never sees
+    // the message and the sender observes a timeout, exactly as with a
+    // dead peer.
+    fail_at_deadline(from, to, deadline, std::move(on_complete));
+    return;
+  }
+
   // Failure path resolved at arrival time: if the receiver is dead (or
   // the sender died mid-flight), the sender blocks until its timeout.
   engine_.schedule_at(arrival, [this, from, to, msg = std::move(msg), deadline,
+                                duplicate = verdict.duplicate,
                                 on_complete = std::move(on_complete)]() mutable {
     if (!alive(to) || !alive(from)) {
-      ++failed_sends_;
-      const SimTime fail_at = std::max(deadline, engine_.now());
-      engine_.schedule_at(fail_at, [this, from, to, on_complete = std::move(on_complete)] {
-        adjust_sockets(from, -1);
-        adjust_sockets(to, -1);
-        if (on_complete) on_complete(false);
-      });
+      fail_at_deadline(from, to, deadline, std::move(on_complete));
       return;
     }
     // Receive-side serialization: one message at a time per node.
@@ -111,18 +142,53 @@ void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
     const SimTime recv_done = recv_start + recv_processing(to);
     receiver.recv_busy_until = recv_done;
 
-    engine_.schedule_at(recv_done, [this, from, to, msg = std::move(msg),
+    engine_.schedule_at(recv_done, [this, from, to, msg = std::move(msg), deadline,
+                                    duplicate,
                                     on_complete = std::move(on_complete)]() mutable {
       NodeState& r = nodes_[to];
       ++r.received;
+      if (delivered_counter_) delivered_counter_->inc();
       const auto it = r.handlers.find(msg.type);
       if (it != r.handlers.end()) {
         it->second(msg);
       } else {
         ESLURM_DEBUG("node ", to, " dropped message type ", msg.type, " from ", from);
       }
-      // Ack back to the sender: half a round trip of pure latency.
-      const SimTime ack_at = engine_.now() + jittered(propagation(to, from));
+
+      if (duplicate) {
+        // A second copy arrived on the wire: it queues behind this one in
+        // the receive serializer and hits the handler again with the same
+        // message id -- the receiver cannot tell it from a retransmit.
+        const SimTime dup_start = std::max(engine_.now(), r.recv_busy_until);
+        const SimTime dup_done = dup_start + recv_processing(to);
+        r.recv_busy_until = dup_done;
+        engine_.schedule_at(dup_done, [this, from, to, msg]() {
+          NodeState& rr = nodes_[to];
+          ++rr.received;
+          if (delivered_counter_) delivered_counter_->inc();
+          const auto dit = rr.handlers.find(msg.type);
+          if (dit != rr.handlers.end()) {
+            dit->second(msg);
+          } else {
+            ESLURM_DEBUG("node ", to, " dropped duplicate type ", msg.type,
+                         " from ", from);
+          }
+        });
+      }
+
+      // Ack back to the sender: half a round trip of pure latency.  The
+      // ack leg is subject to chaos too: a lost ack means the receiver
+      // *did* process the message while the sender observes a timeout --
+      // the classic at-least-once ambiguity the reliable transport's
+      // dedup window exists for.
+      ChaosInjector::Decision ack_verdict;
+      if (chaos_) ack_verdict = chaos_->decide(to, from);
+      if (ack_verdict.drop) {
+        fail_at_deadline(from, to, deadline, std::move(on_complete));
+        return;
+      }
+      const SimTime ack_at =
+          engine_.now() + jittered(propagation(to, from)) + ack_verdict.extra_delay;
       engine_.schedule_at(ack_at, [this, from, to, on_complete = std::move(on_complete)] {
         adjust_sockets(from, -1);
         adjust_sockets(to, -1);

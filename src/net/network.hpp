@@ -14,8 +14,13 @@
 // Reliability semantics: send() invokes `on_complete(true)` once the
 // receiver has accepted and processed the message (ack included), or
 // `on_complete(false)` after `timeout` when the receiver is dead (or dies
-// before processing).  There is no packet loss between live nodes; HPC
-// interconnects are lossless at this abstraction level.
+// before processing).  By default there is no packet loss between live
+// nodes; HPC interconnects are lossless at this abstraction level.  An
+// optional ChaosInjector (set_chaos) changes that: it can drop, duplicate
+// or delay individual message/ack legs and cut timed partitions -- see
+// net/chaos.hpp.  A dropped ack means the receiver processed the message
+// but the sender still observes a failure, which is exactly the ambiguity
+// the reliable transport (net/transport.hpp) resolves with dedup windows.
 #pragma once
 
 #include <functional>
@@ -29,7 +34,13 @@
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
+namespace eslurm::telemetry {
+class Counter;
+}  // namespace eslurm::telemetry
+
 namespace eslurm::net {
+
+class ChaosInjector;
 
 struct LinkModel {
   SimTime base_latency = microseconds(25);       ///< propagation + stack
@@ -65,6 +76,12 @@ class Network {
   /// restores the flat model.
   void set_topology(const Topology* topology) { topology_ = topology; }
   const Topology* topology() const { return topology_; }
+
+  /// Attaches a chaos injector: every message and ack leg consults it for
+  /// drop/duplicate/delay/partition verdicts.  The injector must outlive
+  /// the network; nullptr restores lossless behaviour.
+  void set_chaos(ChaosInjector* chaos) { chaos_ = chaos; }
+  ChaosInjector* chaos() const { return chaos_; }
 
   /// Registers/replaces the handler for one message type on one node.
   void register_handler(NodeId node, MessageType type, Handler handler);
@@ -129,17 +146,31 @@ class Network {
 
   SimTime propagation(NodeId from, NodeId to) const;
 
+  /// Resolves one leg as lost: sockets hold until the sender's deadline,
+  /// then the callback observes failure (shared by dead-peer, chaos-drop
+  /// and lost-ack paths).
+  void fail_at_deadline(NodeId from, NodeId to, SimTime deadline,
+                        SendCallback on_complete);
+
   sim::Engine& engine_;
   LinkModel model_;
   Rng rng_;
   std::function<bool(NodeId)> alive_;
   const Topology* topology_ = nullptr;
+  ChaosInjector* chaos_ = nullptr;
   std::vector<NodeState> nodes_;
   MessageType next_dynamic_type_ = kDynamicTypeBase;
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t failed_sends_ = 0;
+
+  // Cached telemetry instruments (null when telemetry is off); they
+  // mirror the struct-field stats so esprof sees the traffic volume.
+  telemetry::Counter* messages_counter_ = nullptr;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Counter* failed_counter_ = nullptr;
+  telemetry::Counter* delivered_counter_ = nullptr;
 };
 
 }  // namespace eslurm::net

@@ -1,0 +1,163 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace eslurm::net {
+
+namespace {
+
+/// Packs a (sender, receiver, type) channel into one map key.  Node ids
+/// stay well under 2^24 and message types under 2^16 for every world the
+/// simulator builds, so the fields cannot collide.
+std::uint64_t channel_key(NodeId from, NodeId to, MessageType type) {
+  return (static_cast<std::uint64_t>(from) << 40) |
+         (static_cast<std::uint64_t>(to) << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(type));
+}
+
+}  // namespace
+
+SimTime worst_case_send_time(const TransportOptions& options,
+                             SimTime per_attempt_timeout) {
+  double backoff_sum = 0.0;
+  double rto = static_cast<double>(options.rto_initial);
+  for (int i = 0; i < options.max_retries; ++i) {
+    backoff_sum += std::min(rto, static_cast<double>(options.rto_max));
+    rto *= options.backoff_factor;
+  }
+  backoff_sum *= 1.0 + options.jitter_frac;
+  return per_attempt_timeout * (options.max_retries + 1) +
+         static_cast<SimTime>(backoff_sum);
+}
+
+struct ReliableTransport::PendingSend {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Message frame;
+  SimTime timeout = 0;
+  SendCallback on_complete;
+  int attempt = 0;  ///< attempts started (1 = the initial send)
+};
+
+ReliableTransport::ReliableTransport(Network& network, Rng rng,
+                                     TransportOptions options, std::string name)
+    : network_(network),
+      rng_(std::move(rng)),
+      options_(options),
+      name_(std::move(name)) {
+  if (auto* t = network_.engine().telemetry()) {
+    sends_counter_ =
+        &t->metrics.counter("transport.sends", {{"transport", name_}});
+    retransmits_counter_ =
+        &t->metrics.counter("transport.retransmits", {{"transport", name_}});
+    failures_counter_ = &t->metrics.counter("transport.permanent_failures",
+                                            {{"transport", name_}});
+    duplicates_counter_ = &t->metrics.counter("transport.duplicates_suppressed",
+                                              {{"transport", name_}});
+  }
+}
+
+ReliableTransport::~ReliableTransport() {
+  for (const auto& [node, type] : registered_) {
+    network_.unregister_handler(node, type);
+  }
+}
+
+SimTime ReliableTransport::backoff_delay(int attempt) {
+  double rto = static_cast<double>(options_.rto_initial);
+  for (int i = 1; i < attempt; ++i) rto *= options_.backoff_factor;
+  rto = std::min(rto, static_cast<double>(options_.rto_max));
+  // Symmetric jitter desynchronizes retransmit storms; the draw only
+  // happens on a retransmit, so loss-free runs touch no rng state.
+  if (options_.jitter_frac > 0.0) {
+    rto *= 1.0 + options_.jitter_frac * (2.0 * rng_.next_double() - 1.0);
+  }
+  return std::max<SimTime>(1, static_cast<SimTime>(rto));
+}
+
+void ReliableTransport::attempt(std::shared_ptr<PendingSend> pending) {
+  ++pending->attempt;
+  Message copy = pending->frame;
+  network_.send(pending->from, pending->to, std::move(copy), pending->timeout,
+                [this, pending](bool ok) {
+                  if (ok) {
+                    if (pending->on_complete) pending->on_complete(true);
+                    return;
+                  }
+                  if (pending->attempt > options_.max_retries) {
+                    ++permanent_failures_;
+                    if (failures_counter_) failures_counter_->inc();
+                    if (pending->on_complete) pending->on_complete(false);
+                    return;
+                  }
+                  ++retransmits_;
+                  if (retransmits_counter_) retransmits_counter_->inc();
+                  network_.engine().schedule_after(
+                      backoff_delay(pending->attempt),
+                      [this, pending] { attempt(pending); });
+                });
+}
+
+void ReliableTransport::send(NodeId from, NodeId to, Message msg,
+                             SimTime timeout, SendCallback on_complete) {
+  ++sends_;
+  if (sends_counter_) sends_counter_->inc();
+
+  const std::uint64_t key = channel_key(from, to, msg.type);
+  Envelope envelope;
+  envelope.seq = next_seq_[key]++;
+  envelope.inner = std::move(msg.payload);
+
+  auto pending = std::make_shared<PendingSend>();
+  pending->from = from;
+  pending->to = to;
+  pending->frame = std::move(msg);
+  pending->frame.payload = std::move(envelope);
+  pending->frame.bytes += options_.header_bytes;
+  pending->timeout = timeout;
+  pending->on_complete = std::move(on_complete);
+  attempt(std::move(pending));
+}
+
+void ReliableTransport::register_handler(NodeId node, MessageType type,
+                                         Handler handler) {
+  network_.register_handler(
+      node, type, [this, node, type, handler = std::move(handler)](const Message& frame) {
+        const Envelope& envelope = frame.body<Envelope>();
+        const std::uint64_t key = channel_key(frame.src, node, type);
+        DedupWindow& window = windows_[key];
+        if (window.seen.count(envelope.seq)) {
+          // Retransmit after a lost ack, or a chaos duplicate: ack it
+          // (the network already does) but do not re-process.
+          ++duplicates_suppressed_;
+          if (duplicates_counter_) duplicates_counter_->inc();
+          return;
+        }
+        window.seen.insert(envelope.seq);
+        window.order.push_back(envelope.seq);
+        if (window.order.size() > options_.dedup_window) {
+          window.seen.erase(window.order.front());
+          window.order.pop_front();
+        }
+        Message inner = frame;
+        inner.payload = envelope.inner;
+        if (inner.bytes >= options_.header_bytes) {
+          inner.bytes -= options_.header_bytes;
+        }
+        handler(inner);
+      });
+  registered_.emplace_back(node, type);
+}
+
+void ReliableTransport::unregister_handler(NodeId node, MessageType type) {
+  network_.unregister_handler(node, type);
+  registered_.erase(
+      std::remove(registered_.begin(), registered_.end(),
+                  std::make_pair(node, type)),
+      registered_.end());
+}
+
+}  // namespace eslurm::net

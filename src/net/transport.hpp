@@ -1,0 +1,144 @@
+// At-least-once reliable channel layered on Network::send.
+//
+// Network::send gives a single attempt with an ambiguous failure: a
+// `false` completion means "no ack before the deadline", which covers a
+// dead peer, a dropped message, *and* a dropped ack (where the receiver
+// actually processed the message).  The ReliableTransport turns that into
+// a usable contract for RM control traffic:
+//
+//   * sender side: every logical message carries a per-channel sequence
+//     number and is retransmitted on failure with exponential backoff +
+//     jitter, up to a retry cap; only after the cap is exhausted does the
+//     caller observe a permanent failure (so transient loss is absorbed,
+//     while a genuinely dead satellite still surfaces as one).
+//   * receiver side: handlers registered through the transport sit behind
+//     a bounded dedup window keyed by (sender, channel, seq), so a
+//     retransmit-after-lost-ack or a chaos-duplicated frame is acked but
+//     not re-processed -- job-load, job-terminate and heartbeat messages
+//     become idempotent.
+//
+// The result is at-least-once delivery on the wire, exactly-once
+// processing at the handler (within the dedup window).  With no chaos
+// injector attached the first attempt always succeeds, no retransmit
+// timers fire and no extra rng draws happen, so existing runs stay
+// bit-identical when a subsystem migrates onto the transport.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace eslurm::telemetry {
+class Counter;
+}  // namespace eslurm::telemetry
+
+namespace eslurm::net {
+
+struct TransportOptions {
+  SimTime rto_initial = milliseconds(500);  ///< first retransmit timeout
+  double backoff_factor = 2.0;              ///< rto *= factor per attempt
+  SimTime rto_max = seconds(8);             ///< backoff ceiling
+  double jitter_frac = 0.25;                ///< +/- fraction on each rto
+  int max_retries = 6;                      ///< retransmits after attempt 1
+  std::size_t dedup_window = 128;           ///< seqs remembered per channel
+  /// Extra bytes the reliability header adds to each frame.  Defaults to
+  /// 0 so migrating a subsystem onto the transport does not perturb the
+  /// link-model timing of existing (chaos-free) experiments.
+  std::size_t header_bytes = 0;
+};
+
+/// Upper bound on one reliable send's duration before it reports a
+/// permanent failure: every attempt timing out plus the full
+/// (jitter-inflated) backoff schedule.  Watchdogs layered above the
+/// transport (tree completion, RM subtask) size themselves with this so
+/// they do not fire while the transport is still legitimately retrying.
+SimTime worst_case_send_time(const TransportOptions& options,
+                             SimTime per_attempt_timeout);
+
+/// Reliable sender/receiver endpoint pair multiplexed over one Network.
+/// One instance serves many (from, to, type) channels; subsystems
+/// typically own one transport and route all their control traffic
+/// through it.
+class ReliableTransport {
+ public:
+  /// `name` labels this transport's telemetry counters so several
+  /// instances (rm, frontend, a test) stay distinguishable.
+  ReliableTransport(Network& network, Rng rng, TransportOptions options = {},
+                    std::string name = "transport");
+  ~ReliableTransport();
+
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  Network& network() { return network_; }
+  const TransportOptions& options() const { return options_; }
+
+  /// Reliable counterpart of Network::send: retransmits on failure until
+  /// the retry cap, then reports `ok=false` (permanent failure).
+  /// `timeout` <= 0 uses the link-model default and bounds each attempt,
+  /// not the whole exchange.
+  void send(NodeId from, NodeId to, Message msg, SimTime timeout = 0,
+            SendCallback on_complete = {});
+
+  /// Registers `handler` for `type` on `node`, behind the dedup window.
+  /// Frames arriving through this transport are unwrapped, deduplicated
+  /// and handed to the handler with the original payload (msg.src / type
+  /// preserved; msg.id is the network id of the delivering frame).
+  void register_handler(NodeId node, MessageType type, Handler handler);
+  void unregister_handler(NodeId node, MessageType type);
+
+  std::uint64_t sends() const { return sends_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t permanent_failures() const { return permanent_failures_; }
+  std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
+ private:
+  /// Reliability header: the logical sequence number on its channel.
+  /// `channel` disambiguates (from, type) streams at one receiver; the
+  /// sender id comes from msg.src.
+  struct Envelope {
+    std::uint64_t seq = 0;
+    std::any inner;  ///< the caller's original payload
+  };
+
+  /// Bounded remembered-seq set per (receiver, sender, type): O(1)
+  /// membership plus FIFO eviction once `dedup_window` entries exist.
+  struct DedupWindow {
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::uint64_t> order;
+  };
+
+  struct PendingSend;
+
+  void attempt(std::shared_ptr<PendingSend> pending);
+  SimTime backoff_delay(int attempt);
+
+  Network& network_;
+  Rng rng_;
+  TransportOptions options_;
+  std::string name_;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> next_seq_;  ///< channel -> seq
+  std::unordered_map<std::uint64_t, DedupWindow> windows_;     ///< channel -> window
+  std::vector<std::pair<NodeId, MessageType>> registered_;
+
+  std::uint64_t sends_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t permanent_failures_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+
+  telemetry::Counter* sends_counter_ = nullptr;
+  telemetry::Counter* retransmits_counter_ = nullptr;
+  telemetry::Counter* failures_counter_ = nullptr;
+  telemetry::Counter* duplicates_counter_ = nullptr;
+};
+
+}  // namespace eslurm::net

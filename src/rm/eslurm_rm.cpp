@@ -51,17 +51,24 @@ EslurmRm::EslurmRm(sim::Engine& engine, net::Network& network,
     : ResourceManager(engine, network, cluster, std::move(profile),
                       std::move(deployment), config),
       predictor_(predictor) {
+  if (config_.use_reliable_transport) {
+    // Own seed stream: the transport draws rng only on retransmit
+    // backoffs, so loss-free runs stay bit-identical to raw sends.
+    transport_ = std::make_unique<net::ReliableTransport>(
+        net_, Rng(derive_seed(config_.seed, 0x7A7)), config_.transport, "rm");
+  }
   if (config_.use_fp_tree) {
     auto fp = std::make_unique<comm::FpTreeBroadcaster>(
         net_, predictor_ ? *predictor_ : static_cast<const cluster::FailurePredictor&>(
                                              null_predictor_),
-        "eslurm-fp-tree");
+        "eslurm-fp-tree", transport_.get());
     // Ground-truth instrumentation for the Section VII-A placement
     // metric: count genuinely-down nodes encountered during construction.
     fp->set_ground_truth([this](NodeId node) { return !cluster_.alive(node); });
     relay_ = std::move(fp);
   } else {
-    relay_ = std::make_unique<comm::TreeBroadcaster>(net_, "eslurm-tree");
+    relay_ = std::make_unique<comm::TreeBroadcaster>(net_, "eslurm-tree",
+                                                     transport_.get());
   }
 
   satellites_.resize(deployment_.satellites.size());
@@ -71,11 +78,33 @@ EslurmRm::EslurmRm(sim::Engine& engine, net::Network& network,
     sat.state = SatelliteState::Running;  // brought up with the RM
     sat.stats = std::make_unique<DaemonStats>(engine_, net_, sat.node,
                                               satellite_accounting());
-    net_.register_handler(sat.node, kMsgSatelliteTask,
-                          [this, i](const net::Message& m) { on_satellite_task(i, m); });
+    rm_register(sat.node, kMsgSatelliteTask,
+                [this, i](const net::Message& m) { on_satellite_task(i, m); });
+    // Heartbeats need no application handler (the network-level ack is
+    // the liveness signal), but registering one through the transport
+    // puts chaos-duplicated pings behind the dedup window so they show
+    // up as suppressed duplicates instead of vanishing silently.
+    rm_register(sat.node, kMsgSatelliteHeartbeat, [](const net::Message&) {});
   }
-  net_.register_handler(deployment_.master, kMsgSatelliteResult,
-                        [this](const net::Message& m) { on_satellite_result(m); });
+  rm_register(deployment_.master, kMsgSatelliteResult,
+              [this](const net::Message& m) { on_satellite_result(m); });
+}
+
+void EslurmRm::rm_send(NodeId from, NodeId to, net::Message msg, SimTime timeout,
+                       net::SendCallback on_complete) {
+  if (transport_) {
+    transport_->send(from, to, std::move(msg), timeout, std::move(on_complete));
+  } else {
+    net_.send(from, to, std::move(msg), timeout, std::move(on_complete));
+  }
+}
+
+void EslurmRm::rm_register(NodeId node, net::MessageType type, net::Handler handler) {
+  if (transport_) {
+    transport_->register_handler(node, type, std::move(handler));
+  } else {
+    net_.register_handler(node, type, std::move(handler));
+  }
 }
 
 void EslurmRm::start(SimTime horizon) {
@@ -132,7 +161,14 @@ std::size_t EslurmRm::pick_satellite() {
 SimTime EslurmRm::subtask_watchdog_delay(std::size_t list_size) const {
   const int depth =
       comm::tree_depth_estimate(list_size + 1, config_.bcast.tree_width);
-  return config_.bcast.timeout * (config_.bcast.retries + 1) * (depth + 3);
+  // With the reliable transport every tree contact may run a full
+  // retransmit schedule before failing, so the watchdog budgets that
+  // per-contact worst case instead of one raw timeout.
+  const SimTime contact =
+      transport_ ? net::worst_case_send_time(transport_->options(),
+                                             config_.bcast.timeout)
+                 : config_.bcast.timeout;
+  return contact * (config_.bcast.retries + 1) * (depth + 3);
 }
 
 void EslurmRm::dispatch(std::vector<NodeId> targets, std::size_t bytes,
@@ -219,8 +255,8 @@ void EslurmRm::assign_subtask(std::uint64_t dispatch_id, std::size_t subtask_ind
 
 void EslurmRm::send_task(NodeId sat_node, net::Message msg, std::uint64_t dispatch_id,
                          std::size_t subtask_index, std::size_t sat_index) {
-  net_.send(deployment_.master, sat_node, std::move(msg), config_.bcast.timeout,
-            [this, dispatch_id, subtask_index, sat_index](bool ok) {
+  rm_send(deployment_.master, sat_node, std::move(msg), config_.bcast.timeout,
+          [this, dispatch_id, subtask_index, sat_index](bool ok) {
               const auto it2 = dispatches_.find(dispatch_id);
               if (it2 == dispatches_.end()) return;
               Subtask& st = it2->second->subtasks[subtask_index];
@@ -308,8 +344,8 @@ void EslurmRm::start_relay(std::uint64_t dispatch_id, std::uint32_t subtask_inde
         reply.type = kMsgSatelliteResult;
         reply.bytes = 128;
         reply.payload = ResultBody{dispatch_id, subtask_index, result};
-        net_.send(sat_node, deployment_.master, std::move(reply),
-                  config_.bcast.timeout);
+        rm_send(sat_node, deployment_.master, std::move(reply),
+                config_.bcast.timeout);
       });
 }
 
@@ -401,8 +437,8 @@ void EslurmRm::heartbeat_satellites() {
     ping.bytes = 64;
     if (auto* t = telemetry_)
       t->metrics.counter("rm.heartbeats_sent").inc();
-    net_.send(deployment_.master, sat.node, std::move(ping), config_.bcast.timeout,
-              [this, i](bool ok) {
+    rm_send(deployment_.master, sat.node, std::move(ping), config_.bcast.timeout,
+            [this, i](bool ok) {
                 if (auto* t = telemetry_)
                   t->metrics
                       .counter("rm.heartbeat_results",

@@ -69,6 +69,10 @@ class EslurmRm final : public ResourceManager {
   /// tree width w and m available satellites.
   static std::size_t satellites_for(std::size_t s, int w, std::size_t m);
 
+  /// The RM's reliable channel (nullptr when use_reliable_transport is
+  /// off).  Tests read its retransmit/dedup counters.
+  const net::ReliableTransport* transport() const { return transport_.get(); }
+
  protected:
   void dispatch(std::vector<NodeId> targets, std::size_t bytes,
                 comm::Broadcaster::Callback done) override;
@@ -115,8 +119,16 @@ class EslurmRm final : public ResourceManager {
   void heartbeat_satellites();
   SimTime subtask_watchdog_delay(std::size_t list_size) const;
 
+  /// Control-plane send / handler registration, routed through the
+  /// reliable transport when enabled, raw Network::send otherwise.
+  void rm_send(NodeId from, NodeId to, net::Message msg, SimTime timeout,
+               net::SendCallback on_complete = {});
+  void rm_register(NodeId node, net::MessageType type, net::Handler handler);
+
   const cluster::FailurePredictor* predictor_;
   cluster::NullFailurePredictor null_predictor_;
+  /// Constructed before relay_ so the broadcaster can route through it.
+  std::unique_ptr<net::ReliableTransport> transport_;
   std::unique_ptr<comm::TreeBroadcaster> relay_;  ///< FP-Tree or plain tree
 
   std::vector<Satellite> satellites_;

@@ -56,6 +56,14 @@ struct RmRuntimeConfig {
   bool enforce_limits = true;     ///< kill jobs at their wall limit
   bool use_runtime_estimation = false;          ///< ESLURM's Section V
   bool use_fp_tree = true;                      ///< ablation switch
+  /// Routes master<->satellite control traffic (subtask loads, result
+  /// reports, heartbeats) and the relay tree through a ReliableTransport:
+  /// transient message loss is retried with backoff instead of instantly
+  /// counting as a BT/HB failure, and retransmitted subtask loads are
+  /// deduplicated so a job is never launched twice.  With no chaos
+  /// injector attached behaviour is bit-identical to raw sends.
+  bool use_reliable_transport = true;
+  net::TransportOptions transport;
   predict::EstimatorConfig estimator;
   std::uint64_t seed = 1;
 };

@@ -1,0 +1,222 @@
+// Behavioural tests of the reliable transport: retry/backoff, permanent
+// failure, the dedup window, and timing-neutrality without chaos.
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/chaos.hpp"
+
+namespace eslurm::net {
+namespace {
+
+struct TransportFixture : ::testing::Test {
+  sim::Engine engine;
+  LinkModel model;
+  TransportFixture() { model.jitter_frac = 0.0; }  // exact timing in tests
+
+  Network make(std::size_t n) { return Network(engine, n, model, Rng(1)); }
+
+  /// Deterministic retransmit schedule for timing assertions.
+  static TransportOptions exact_options() {
+    TransportOptions opts;
+    opts.jitter_frac = 0.0;
+    return opts;
+  }
+};
+
+TEST_F(TransportFixture, DeliversPayloadAndAcks) {
+  Network net = make(2);
+  ReliableTransport transport(net, Rng(9));
+  int got = 0;
+  bool ok = false;
+  transport.register_handler(1, 7, [&](const Message& m) {
+    EXPECT_EQ(m.src, 0u);
+    EXPECT_EQ(m.type, 7);
+    EXPECT_EQ(m.body<int>(), 41);
+    ++got;
+  });
+  Message msg;
+  msg.type = 7;
+  msg.payload = 41;
+  transport.send(0, 1, std::move(msg), 0, [&](bool result) { ok = result; });
+  engine.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(transport.sends(), 1u);
+  EXPECT_EQ(transport.retransmits(), 0u);
+  EXPECT_EQ(transport.permanent_failures(), 0u);
+  EXPECT_EQ(transport.duplicates_suppressed(), 0u);
+}
+
+TEST_F(TransportFixture, NoChaosTimingMatchesRawSend) {
+  // The bit-identity contract that let the RM migrate with transport on
+  // by default: with jitter enabled and no chaos, a transport send acks
+  // at exactly the time the raw send would (header_bytes defaults to 0,
+  // no retransmit timers, no extra rng draws).
+  LinkModel jittery;  // default jitter_frac > 0
+  auto run_raw = [&] {
+    sim::Engine world;
+    Network net(world, 2, jittery, Rng(1));
+    SimTime done = 0;
+    net.send(0, 1, Message{.type = 7}, 0, [&](bool) { done = world.now(); });
+    world.run();
+    return done;
+  };
+  auto run_transport = [&] {
+    sim::Engine world;
+    Network net(world, 2, jittery, Rng(1));
+    ReliableTransport transport(net, Rng(9));
+    SimTime done = 0;
+    transport.send(0, 1, Message{.type = 7}, 0,
+                   [&](bool) { done = world.now(); });
+    world.run();
+    return done;
+  };
+  EXPECT_EQ(run_raw(), run_transport());
+}
+
+TEST_F(TransportFixture, RetriesUntilAFlakyPeerComesBack) {
+  Network net = make(2);
+  std::vector<bool> up{true, false};
+  net.set_liveness([&](NodeId id) { return up[id]; });
+  ReliableTransport transport(net, Rng(9), exact_options());
+  engine.schedule_at(seconds(2), [&] { up[1] = true; });
+  int got = 0;
+  bool ok = false;
+  transport.register_handler(1, 7, [&](const Message&) { ++got; });
+  transport.send(0, 1, Message{.type = 7}, seconds(1),
+                 [&](bool result) { ok = result; });
+  engine.run();
+  // Attempt 1 at t=0 fails at 1.0; attempt 2 at 1.5 fails at 2.5 (the
+  // node was still down when the frame arrived); attempt 3 at 3.5 lands.
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(transport.retransmits(), 2u);
+  EXPECT_EQ(transport.permanent_failures(), 0u);
+}
+
+TEST_F(TransportFixture, PermanentFailureAfterRetryCapAtWorstCaseTime) {
+  Network net = make(2);
+  net.set_liveness([](NodeId id) { return id != 1; });
+  TransportOptions opts = exact_options();
+  opts.max_retries = 2;
+  ReliableTransport transport(net, Rng(9), opts);
+  bool ok = true;
+  SimTime completed_at = 0;
+  transport.send(0, 1, Message{.type = 7}, seconds(1), [&](bool result) {
+    ok = result;
+    completed_at = engine.now();
+  });
+  engine.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(transport.retransmits(), 2u);
+  EXPECT_EQ(transport.permanent_failures(), 1u);
+  // 3 attempts x 1s timeout + backoffs 0.5s + 1.0s = 4.5s, which is
+  // exactly what worst_case_send_time promises watchdog layers.
+  EXPECT_EQ(completed_at, worst_case_send_time(opts, seconds(1)));
+}
+
+TEST_F(TransportFixture, WorstCaseSendTimeBoundsTheSchedule) {
+  TransportOptions opts;  // jittered defaults
+  const SimTime worst = worst_case_send_time(opts, seconds(1));
+  EXPECT_GE(worst, seconds(1) * (opts.max_retries + 1));
+  TransportOptions more = opts;
+  more.max_retries = opts.max_retries + 3;
+  EXPECT_GT(worst_case_send_time(more, seconds(1)), worst);
+}
+
+TEST_F(TransportFixture, DedupSuppressesChaosDuplicates) {
+  Network net = make(2);
+  ChaosInjector chaos(engine, 2, Rng(7));
+  ChaosPlan plan;
+  plan.ambient(0.0, /*duplicate=*/1.0);
+  chaos.set_plan(std::move(plan));
+  net.set_chaos(&chaos);
+  ReliableTransport transport(net, Rng(9));
+  int got = 0;
+  transport.register_handler(1, 7, [&](const Message&) { ++got; });
+  for (int i = 0; i < 3; ++i) transport.send(0, 1, Message{.type = 7});
+  engine.run();
+  // Every frame reached the receiver twice; the handler saw each once.
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(transport.duplicates_suppressed(), 3u);
+}
+
+TEST_F(TransportFixture, ExactlyOnceProcessingUnderHeavyLoss) {
+  // 50% drop on every leg: messages are lost, acks are lost (so frames
+  // the receiver already processed get retransmitted), yet each logical
+  // send must be processed exactly once and eventually succeed.
+  Network net = make(2);
+  ChaosInjector chaos(engine, 2, Rng(7));
+  ChaosPlan plan;
+  plan.ambient(0.5);
+  chaos.set_plan(std::move(plan));
+  net.set_chaos(&chaos);
+  TransportOptions opts;
+  // An attempt fails when its message leg or its ack leg is dropped
+  // (p = 0.75 here); 40 retries push permanent-failure odds below 1e-5.
+  opts.max_retries = 40;
+  ReliableTransport transport(net, Rng(9), opts);
+  constexpr int kMessages = 50;
+  std::map<int, int> seen;
+  int completions = 0;
+  transport.register_handler(1, 7,
+                             [&](const Message& m) { ++seen[m.body<int>()]; });
+  for (int i = 0; i < kMessages; ++i) {
+    Message msg;
+    msg.type = 7;
+    msg.payload = i;
+    transport.send(0, 1, std::move(msg), seconds(1), [&](bool ok) {
+      EXPECT_TRUE(ok);
+      ++completions;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completions, kMessages);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kMessages));
+  for (const auto& [id, count] : seen)
+    EXPECT_EQ(count, 1) << "message " << id << " processed " << count << "x";
+  EXPECT_GT(transport.retransmits(), 0u);
+  // A retransmit after a lost ack re-delivers a processed frame; at 50%
+  // loss over 50 messages that case occurs and must be suppressed.
+  EXPECT_GT(transport.duplicates_suppressed(), 0u);
+  EXPECT_EQ(transport.permanent_failures(), 0u);
+}
+
+TEST_F(TransportFixture, ChannelsKeepIndependentSequenceSpaces) {
+  // Same seq numbers flow on (0->1, type 7), (0->1, type 8) and
+  // (2->1, type 7); the per-channel dedup windows must not cross-talk.
+  Network net = make(3);
+  ReliableTransport transport(net, Rng(9));
+  int type7 = 0, type8 = 0;
+  transport.register_handler(1, 7, [&](const Message&) { ++type7; });
+  transport.register_handler(1, 8, [&](const Message&) { ++type8; });
+  for (int i = 0; i < 4; ++i) {
+    transport.send(0, 1, Message{.type = 7});
+    transport.send(0, 1, Message{.type = 8});
+    transport.send(2, 1, Message{.type = 7});
+  }
+  engine.run();
+  EXPECT_EQ(type7, 8);  // 4 from node 0 + 4 from node 2
+  EXPECT_EQ(type8, 4);
+  EXPECT_EQ(transport.duplicates_suppressed(), 0u);
+}
+
+TEST_F(TransportFixture, UnregisterStopsDelivery) {
+  Network net = make(2);
+  ReliableTransport transport(net, Rng(9));
+  int got = 0;
+  transport.register_handler(1, 7, [&](const Message&) { ++got; });
+  transport.unregister_handler(1, 7);
+  bool ok = false;
+  transport.send(0, 1, Message{.type = 7}, 0, [&](bool result) { ok = result; });
+  engine.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_TRUE(ok);  // unregistered types are dropped but still acked
+}
+
+}  // namespace
+}  // namespace eslurm::net

@@ -36,6 +36,14 @@ int main(int argc, char** argv) {
   args.add_option("acct", "write the accounting database to this file");
   args.add_flag("estimation", "enable the runtime-estimation framework");
   args.add_flag("failures", "enable failure injection");
+  args.add_option("chaos-drop", "message drop probability (0-1)", "0");
+  args.add_option("chaos-dup", "message duplication probability (0-1)", "0");
+  args.add_option("chaos-delay", "delay-spike probability (0-1)", "0");
+  args.add_option("chaos-delay-ms", "mean delay-spike size in ms", "250");
+  args.add_option("chaos-partition",
+                  "master<->satellite partition as start:duration seconds");
+  args.add_flag("no-reliable-transport",
+                "raw sends for RM control traffic (no retry/backoff/dedup)");
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "esim: %s\n", args.error().c_str());
     return 2;
@@ -67,6 +75,27 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   if (args.has_flag("estimation")) config.rm_config.use_runtime_estimation = true;
   if (args.has_flag("failures")) config.enable_failures = true;
+  config.chaos.drop_prob = args.get_double("chaos-drop", config.chaos.drop_prob);
+  config.chaos.duplicate_prob =
+      args.get_double("chaos-dup", config.chaos.duplicate_prob);
+  config.chaos.delay_spike_prob =
+      args.get_double("chaos-delay", config.chaos.delay_spike_prob);
+  config.chaos.delay_spike_ms =
+      args.get_double("chaos-delay-ms", config.chaos.delay_spike_ms);
+  if (const auto partition = args.get("chaos-partition");
+      partition && !partition->empty()) {
+    const auto colon = partition->find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "esim: --chaos-partition wants start:duration\n");
+      return 2;
+    }
+    config.chaos.partition_start_s = std::stod(partition->substr(0, colon));
+    config.chaos.partition_duration_s = std::stod(partition->substr(colon + 1));
+  }
+  if (args.has_flag("no-reliable-transport")) {
+    config.rm_config.use_reliable_transport = false;
+    config.frontend.gateway.reliable_responses = false;
+  }
 
   // Workload: trace file or generated.
   std::vector<sched::Job> jobs;
@@ -126,6 +155,15 @@ int main(int argc, char** argv) {
                      format_double(sat.avg_nodes_per_task, 4),
                      format_double(sat.rss_mb, 4)});
     table.print();
+  }
+
+  if (auto* chaos = experiment.chaos()) {
+    std::printf("\n=== network chaos ===\n");
+    std::printf("dropped %llu (partitioned %llu) | duplicated %llu | delayed %llu\n",
+                (unsigned long long)chaos->dropped(),
+                (unsigned long long)chaos->partitioned(),
+                (unsigned long long)chaos->duplicated(),
+                (unsigned long long)chaos->delayed());
   }
 
   if (const auto path = args.get("acct")) {
