@@ -38,7 +38,8 @@ struct Cell {
   double dup_suppressed = 0.0;
 };
 
-void run_cell(Cell& cell, std::size_t nodes, telemetry::Telemetry* telemetry) {
+void run_cell(bench::Harness& harness, Cell& cell, std::size_t nodes,
+              telemetry::Telemetry* telemetry) {
   sim::Engine engine(telemetry);
   net::LinkModel link;
   net::Network net(engine, nodes + 1, link, Rng(1));
@@ -78,6 +79,7 @@ void run_cell(Cell& cell, std::size_t nodes, telemetry::Telemetry* telemetry) {
   b->broadcast(0, std::move(targets), opts,
                [&](const comm::BroadcastResult& r) { result = r; });
   engine.run();
+  harness.record_events(engine.executed_events());
 
   cell.elapsed_s = result ? to_seconds(result->elapsed()) : -1.0;
   cell.delivered = result ? static_cast<double>(result->delivered) : 0.0;
@@ -106,8 +108,9 @@ int main(int argc, char** argv) {
         cells.push_back({drop, structure, reliable});
 
   telemetry::Telemetry* telemetry = harness.telemetry();
-  core::parallel_for(cells.size(), harness.jobs(),
-                     [&](std::size_t i) { run_cell(cells[i], nodes, telemetry); });
+  core::parallel_for(cells.size(), harness.jobs(), [&](std::size_t i) {
+    run_cell(harness, cells[i], nodes, telemetry);
+  });
 
   std::printf("\nbroadcast under uniform drop (%zu nodes, 2%% duplication)\n",
               nodes);

@@ -12,16 +12,29 @@
 //   --telemetry-out FILE single combined trace+metrics artifact
 //   --telemetry-dir DIR  one telemetry artifact per sweep point
 //
-// The BENCH JSON schema ("eslurm-bench-v1"):
-//   { "schema": "eslurm-bench-v1", "bench": "<name>", "smoke": bool,
+// The BENCH JSON schema ("eslurm-bench-v2"):
+//   { "schema": "eslurm-bench-v2", "bench": "<name>", "smoke": bool,
 //     "jobs": N, "replicas": N,
+//     "wall_seconds": s, "total_events": N,
+//     "events_per_sec": N|null, "peak_rss_bytes": N,
 //     "points": [ { "label": "...", "params": {"k": "v", ...},
 //                   "metrics": {"m": {"mean","stddev","min","max","n"}},
 //                   "replicas": [ {"m": value, ...}, ... ] } ] }
 // Per-replica raw values make cross-run bit-identity checkable with a
 // plain diff; aggregate stats feed the perf-trajectory tooling.
+//
+// v2 (PR 5) adds the run-level performance envelope: every bench that
+// drives sim::Engine worlds calls record_events() with each world's
+// executed-event count (thread-safe; sweeps run on worker threads), and
+// the artifact reports simulated events per wall-clock second plus the
+// process's peak RSS -- the two axes the zero-allocation event core is
+// measured on.  `events_per_sec` is null for benches with no simulated
+// events (pure ML / trace-statistics benches).  `tools/esprof` diffs
+// these fields across artifacts.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +43,10 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
@@ -129,6 +146,22 @@ inline std::string json_number(double v) {
   return buf;
 }
 
+/// Peak resident-set size of this process, in bytes (0 when the platform
+/// has no getrusage).  ru_maxrss is KiB on Linux, bytes on macOS.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
 }  // namespace detail
 
 /// Uniform flag parsing + result recording for a bench harness.
@@ -209,6 +242,13 @@ class Harness {
     points_.insert(points_.end(), outcomes.begin(), outcomes.end());
   }
 
+  /// Accumulates executed simulated events into the run-level
+  /// events-per-sec figure (schema v2).  Thread-safe: sweep workers call
+  /// this from their own threads, once per finished world.
+  void record_events(std::uint64_t executed) {
+    total_events_.fetch_add(executed, std::memory_order_relaxed);
+  }
+
   /// Records one standalone point (single replica, n = 1 aggregates) --
   /// for benches whose points are not Experiment sweeps.
   void record_point(std::string label,
@@ -244,9 +284,19 @@ class Harness {
     }
     using detail::json_escape;
     using detail::json_number;
-    os << "{\n  \"schema\": \"eslurm-bench-v1\",\n  \"bench\": \""
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    const std::uint64_t events = total_events_.load(std::memory_order_relaxed);
+    os << "{\n  \"schema\": \"eslurm-bench-v2\",\n  \"bench\": \""
        << json_escape(name_) << "\",\n  \"smoke\": " << (smoke_ ? "true" : "false")
        << ",\n  \"jobs\": " << jobs_ << ",\n  \"replicas\": " << replicas_
+       << ",\n  \"wall_seconds\": " << json_number(wall)
+       << ",\n  \"total_events\": " << events << ",\n  \"events_per_sec\": "
+       << (events > 0 && wall > 0.0
+               ? json_number(static_cast<double>(events) / wall)
+               : "null")
+       << ",\n  \"peak_rss_bytes\": " << detail::peak_rss_bytes()
        << ",\n  \"points\": [";
     for (std::size_t p = 0; p < points_.size(); ++p) {
       const core::PointOutcome& point = points_[p];
@@ -292,6 +342,8 @@ class Harness {
   std::string telemetry_dir_;
   bool warned_parallel_telemetry_ = false;
   std::vector<core::PointOutcome> points_;
+  std::atomic<std::uint64_t> total_events_{0};
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
 /// Aggregate lookup on a sweep outcome (nullptr when absent).

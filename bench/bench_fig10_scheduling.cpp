@@ -81,7 +81,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto outcomes = core::run_sweep(spec, [horizon](const core::SweepTask& task) {
+  const auto outcomes = core::run_sweep(spec, [horizon,
+                                               &harness](const core::SweepTask& task) {
     // Offered load just under capacity: queues form during diurnal peaks
     // (so backfill quality matters) but the machine is not saturated --
     // the regime where scheduling efficiency differentiates RMs.  The
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
     core::Experiment experiment(task.config);
     experiment.submit_trace(jobs);
     experiment.run();
+    harness.record_events(experiment.engine().executed_events());
     core::MetricRow row = core::metrics_from_report(experiment.report());
     row.emplace_back("crashes",
                      static_cast<double>(experiment.manager().crash_count()));

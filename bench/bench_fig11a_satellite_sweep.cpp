@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     spec.points.push_back(std::move(point));
   }
 
-  const auto outcomes = core::run_sweep(spec, [nodes](const core::SweepTask& task) {
+  const auto outcomes = core::run_sweep(spec, [nodes,
+                                               &harness](const core::SweepTask& task) {
     core::Experiment experiment(task.config);
     // Time explicit full-cluster heartbeat rounds: submit a full-width
     // job whose launch broadcast covers every compute node, five times.
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
     }
     experiment.submit_trace(jobs);
     experiment.run();
+    harness.record_events(experiment.engine().executed_events());
     return core::MetricRow{
         {"launch_bcast_mean_s",
          experiment.manager().launch_broadcast_seconds().mean()},

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto outcomes = core::run_sweep(spec, [](const core::SweepTask& task) {
+  const auto outcomes = core::run_sweep(spec, [&harness](const core::SweepTask& task) {
     const int job_nodes = std::atoi(task.point->params[0].second.c_str());
     core::Experiment experiment(task.config);
     // Three identical jobs back to back; report the mean occupation.
@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
     }
     experiment.submit_trace(jobs);
     experiment.run();
+    harness.record_events(experiment.engine().executed_events());
     return core::MetricRow{
         {"occupation_s", experiment.manager().occupation_seconds().mean()}};
   });

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
         core::Experiment experiment(task.config);
         experiment.submit_trace(jobs);
         experiment.run();
+        harness.record_events(experiment.engine().executed_events());
 
         const auto& stats = experiment.manager().master_stats();
         core::MetricRow row{

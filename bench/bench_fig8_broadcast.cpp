@@ -63,8 +63,9 @@ struct World {
 
 /// Average dispatch time over several rounds for one RM flavour under
 /// ~2% failures (predicted by a perfect monitoring view for the FP case).
-double fig8a_time(const std::string& flavour, std::size_t nodes, std::size_t bytes,
-                  std::uint64_t seed, int rounds, telemetry::Telemetry* telemetry) {
+double fig8a_time(bench::Harness& harness, const std::string& flavour,
+                  std::size_t nodes, std::size_t bytes, std::uint64_t seed,
+                  int rounds, telemetry::Telemetry* telemetry) {
   // Average over independent rounds, each with its own 2% failure draw
   // (timeout quantization would otherwise dominate a single draw).
   RunningStats elapsed;
@@ -81,6 +82,7 @@ double fig8a_time(const std::string& flavour, std::size_t nodes, std::size_t byt
     if (flavour == "slurm") {
       comm::TreeBroadcaster tree(*world.net);
       elapsed.add(world.run_one(tree, opts));
+      harness.record_events(world.engine.executed_events());
       continue;
     }
     // ESLURM: two satellites each relay half the list.  Model the
@@ -99,6 +101,7 @@ double fig8a_time(const std::string& flavour, std::size_t nodes, std::size_t byt
     relay->broadcast(0, first, opts, [&](const comm::BroadcastResult& r) { r1 = r; });
     relay->broadcast(0, second, opts, [&](const comm::BroadcastResult& r) { r2 = r; });
     world.engine.run();
+    harness.record_events(world.engine.executed_events());
     const SimTime finish = std::max(r1->finished, r2->finished);
     elapsed.add(to_seconds(finish - std::min(r1->started, r2->started)));
   }
@@ -121,8 +124,8 @@ void fig8a(bench::Harness& harness, std::size_t nodes, int rounds) {
   telemetry::Telemetry* telemetry = harness.telemetry();
   core::parallel_for(cells.size(), harness.jobs(), [&](std::size_t i) {
     Cell& cell = cells[i];
-    cell.elapsed = fig8a_time(cell.flavour, nodes, cell.bytes, cell.seed, rounds,
-                              telemetry);
+    cell.elapsed = fig8a_time(harness, cell.flavour, nodes, cell.bytes, cell.seed,
+                              rounds, telemetry);
   });
   for (const Cell& cell : cells) {
     harness.record_point(std::string(cell.flavour) + "/" + cell.msg,
@@ -182,6 +185,7 @@ void fig8b(bench::Harness& harness, std::size_t nodes) {
       comm::FpTreeBroadcaster b(*world.net, predictor);
       elapsed[i] = world.run_one(b, opts);
     }
+    harness.record_events(world.engine.executed_events());
   });
   Table table({"failure %", "ring", "star", "shared-mem", "tree", "FP-Tree"});
   for (std::size_t r = 0; r < ratios.size(); ++r) {

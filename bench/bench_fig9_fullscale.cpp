@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     core::Experiment experiment(task.config);
     experiment.submit_trace(jobs);
     experiment.run();
+    harness.record_events(experiment.engine().executed_events());
     core::MetricRow row = collect("", experiment.manager().master_stats());
     row.emplace_back("jobs_submitted", static_cast<double>(jobs.size()));
     if (auto* eslurm_rm = experiment.eslurm()) {

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
       nodes, horizon, harness.smoke() ? 2000 : 12000, trace::tianhe2a_profile(), 8);
   experiment.submit_trace(jobs);
   experiment.run();
+  harness.record_events(experiment.engine().executed_events());
 
   const auto* stats = experiment.eslurm()->fp_tree_stats();
   const auto trees = experiment.eslurm()->fp_trees_constructed();

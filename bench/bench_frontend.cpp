@@ -16,13 +16,15 @@ using namespace eslurm;
 
 namespace {
 
-core::MetricRow frontend_metrics(const core::SweepTask& task) {
+core::MetricRow frontend_metrics(bench::Harness& harness,
+                                 const core::SweepTask& task) {
   core::Experiment experiment(task.config);
   // Background job load so the master is also scheduling and dispatching.
   experiment.submit_trace(bench::workload_count_for(
       task.config.compute_nodes, task.config.horizon, 300,
       trace::tianhe2a_profile(), 5));
   experiment.run();
+  harness.record_events(experiment.engine().executed_events());
 
   const auto* fe = experiment.frontend();
   const auto& clients = fe->clients();
@@ -115,7 +117,10 @@ int main(int argc, char** argv) {
     spec.points.push_back(std::move(point));
   }
 
-  const auto outcomes = core::run_sweep(spec, frontend_metrics);
+  const auto outcomes =
+      core::run_sweep(spec, [&harness](const core::SweepTask& task) {
+        return frontend_metrics(harness, task);
+      });
   auto cell = [&](const core::PointOutcome& o, const char* key, int precision) {
     return format_double(bench::metric_mean(o, key), precision);
   };

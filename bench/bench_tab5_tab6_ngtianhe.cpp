@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     core::Experiment experiment(task.config);
     experiment.submit_trace(jobs);
     experiment.run();
+    harness.record_events(experiment.engine().executed_events());
 
     const auto& master = experiment.manager().master_stats();
     // Average over the satellite pool (Table VI reports pool averages).

@@ -32,11 +32,21 @@ SimTime Network::recv_processing(NodeId node) const {
 }
 
 void Network::register_handler(NodeId node, MessageType type, Handler handler) {
-  nodes_.at(node).handlers[type] = std::move(handler);
+  if (node >= nodes_.size() || type < 0)
+    throw std::out_of_range("Network::register_handler: bad node or type");
+  if (static_cast<std::size_t>(type) >= handlers_by_type_.size())
+    handlers_by_type_.resize(static_cast<std::size_t>(type) + 1);
+  auto& row = handlers_by_type_[static_cast<std::size_t>(type)];
+  if (row.empty()) row.resize(nodes_.size());
+  row[node] = std::move(handler);
 }
 
 void Network::unregister_handler(NodeId node, MessageType type) {
-  nodes_.at(node).handlers.erase(type);
+  if (node >= nodes_.size() || type < 0)
+    throw std::out_of_range("Network::unregister_handler: bad node or type");
+  if (static_cast<std::size_t>(type) >= handlers_by_type_.size()) return;
+  auto& row = handlers_by_type_[static_cast<std::size_t>(type)];
+  if (!row.empty()) row[node] = nullptr;
 }
 
 SimTime Network::propagation(NodeId from, NodeId to) const {
@@ -66,16 +76,107 @@ const TimeSeries& Network::socket_series(NodeId node) const {
   return nodes_.at(node).socket_ts;
 }
 
-void Network::fail_at_deadline(NodeId from, NodeId to, SimTime deadline,
-                               SendCallback on_complete) {
+void Network::fail_at_deadline(std::uint32_t op) {
   ++failed_sends_;
   if (failed_counter_) failed_counter_->inc();
-  const SimTime fail_at = std::max(deadline, engine_.now());
-  engine_.schedule_at(fail_at, [this, from, to, on_complete = std::move(on_complete)] {
-    adjust_sockets(from, -1);
-    adjust_sockets(to, -1);
-    if (on_complete) on_complete(false);
-  });
+  const SimTime fail_at = std::max(send_ops_[op].deadline, engine_.now());
+  engine_.schedule_at(fail_at, [this, op] { complete(op, false); });
+}
+
+void Network::release_op(std::uint32_t op) {
+  SendOp& state = send_ops_[op];
+  if (--state.refs > 0) return;
+  // Drop the payload and callback now so a parked free slot does not pin
+  // user resources until its next reuse.
+  state.msg.payload.reset();
+  state.on_complete = nullptr;
+  send_ops_.release(op);
+}
+
+void Network::complete(std::uint32_t op, bool ok) {
+  SendOp& state = send_ops_[op];
+  adjust_sockets(state.from, -1);
+  adjust_sockets(state.to, -1);
+  // Move the callback out before releasing: it may send() reentrantly,
+  // which can reuse this very slot.
+  SendCallback cb = std::move(state.on_complete);
+  release_op(op);
+  if (cb) cb(ok);
+}
+
+void Network::dispatch(NodeId to, const Message& msg, bool duplicate) {
+  NodeState& r = nodes_[to];
+  ++r.received;
+  if (delivered_counter_) delivered_counter_->inc();
+  if (static_cast<std::size_t>(msg.type) < handlers_by_type_.size()) {
+    const auto& row = handlers_by_type_[static_cast<std::size_t>(msg.type)];
+    if (!row.empty()) {
+      const Handler& handler = row[to];
+      if (handler) {
+        handler(msg);
+        return;
+      }
+    }
+  }
+  ESLURM_DEBUG("node ", to, duplicate ? " dropped duplicate type " : " dropped message type ",
+               msg.type, " from ", msg.src);
+}
+
+void Network::arrival_step(std::uint32_t op) {
+  // Failure path resolved at arrival time: if the receiver is dead (or
+  // the sender died mid-flight), the sender blocks until its timeout.
+  SendOp& state = send_ops_[op];
+  if (!alive(state.to) || !alive(state.from)) {
+    fail_at_deadline(op);
+    return;
+  }
+  // Receive-side serialization: one message at a time per node.
+  NodeState& receiver = nodes_[state.to];
+  const SimTime recv_start = std::max(engine_.now(), receiver.recv_busy_until);
+  const SimTime recv_done = recv_start + recv_processing(state.to);
+  receiver.recv_busy_until = recv_done;
+  engine_.schedule_at(recv_done, [this, op] { deliver_step(op); });
+}
+
+void Network::deliver_step(std::uint32_t op) {
+  // `state` stays valid across the handler call: the pool is deque-backed
+  // and this op holds a reference, so reentrant sends cannot move or
+  // reuse the slot.
+  SendOp& state = send_ops_[op];
+  dispatch(state.to, state.msg, /*duplicate=*/false);
+
+  if (state.duplicate) {
+    // A second copy arrived on the wire: it queues behind this one in
+    // the receive serializer and hits the handler again with the same
+    // message id -- the receiver cannot tell it from a retransmit.
+    NodeState& r = nodes_[state.to];
+    const SimTime dup_start = std::max(engine_.now(), r.recv_busy_until);
+    const SimTime dup_done = dup_start + recv_processing(state.to);
+    r.recv_busy_until = dup_done;
+    ++state.refs;
+    engine_.schedule_at(dup_done, [this, op] { deliver_duplicate(op); });
+  }
+
+  // Ack back to the sender: half a round trip of pure latency.  The
+  // ack leg is subject to chaos too: a lost ack means the receiver
+  // *did* process the message while the sender observes a timeout --
+  // the classic at-least-once ambiguity the reliable transport's
+  // dedup window exists for.
+  ChaosInjector::Decision ack_verdict;
+  if (chaos_) ack_verdict = chaos_->decide(state.to, state.from);
+  if (ack_verdict.drop) {
+    fail_at_deadline(op);
+    return;
+  }
+  const SimTime ack_at =
+      engine_.now() + jittered(propagation(state.to, state.from)) + ack_verdict.extra_delay;
+  engine_.schedule_at(ack_at, [this, op] { complete(op, true); });
+}
+
+void Network::deliver_duplicate(std::uint32_t op) {
+  SendOp& state = send_ops_[op];
+  dispatch(state.to, state.msg, /*duplicate=*/true);
+  release_op(op);
 }
 
 void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
@@ -117,85 +218,26 @@ void Network::send(NodeId from, NodeId to, Message msg, SimTime timeout,
   adjust_sockets(from, +1);
   adjust_sockets(to, +1);
 
-  const SimTime deadline = engine_.now() + timeout;
+  // Park the exchange in the op pool; the initial reference belongs to
+  // the primary chain (arrival -> delivery -> ack, or the timeout event).
+  const std::uint32_t op = send_ops_.acquire();
+  SendOp& state = send_ops_[op];
+  state.msg = std::move(msg);
+  state.on_complete = std::move(on_complete);
+  state.deadline = engine_.now() + timeout;
+  state.from = from;
+  state.to = to;
+  state.duplicate = verdict.duplicate;
+  state.refs = 1;
 
   if (verdict.drop) {
     // Lost in flight (random drop or partition): the receiver never sees
     // the message and the sender observes a timeout, exactly as with a
     // dead peer.
-    fail_at_deadline(from, to, deadline, std::move(on_complete));
+    fail_at_deadline(op);
     return;
   }
-
-  // Failure path resolved at arrival time: if the receiver is dead (or
-  // the sender died mid-flight), the sender blocks until its timeout.
-  engine_.schedule_at(arrival, [this, from, to, msg = std::move(msg), deadline,
-                                duplicate = verdict.duplicate,
-                                on_complete = std::move(on_complete)]() mutable {
-    if (!alive(to) || !alive(from)) {
-      fail_at_deadline(from, to, deadline, std::move(on_complete));
-      return;
-    }
-    // Receive-side serialization: one message at a time per node.
-    NodeState& receiver = nodes_[to];
-    const SimTime recv_start = std::max(engine_.now(), receiver.recv_busy_until);
-    const SimTime recv_done = recv_start + recv_processing(to);
-    receiver.recv_busy_until = recv_done;
-
-    engine_.schedule_at(recv_done, [this, from, to, msg = std::move(msg), deadline,
-                                    duplicate,
-                                    on_complete = std::move(on_complete)]() mutable {
-      NodeState& r = nodes_[to];
-      ++r.received;
-      if (delivered_counter_) delivered_counter_->inc();
-      const auto it = r.handlers.find(msg.type);
-      if (it != r.handlers.end()) {
-        it->second(msg);
-      } else {
-        ESLURM_DEBUG("node ", to, " dropped message type ", msg.type, " from ", from);
-      }
-
-      if (duplicate) {
-        // A second copy arrived on the wire: it queues behind this one in
-        // the receive serializer and hits the handler again with the same
-        // message id -- the receiver cannot tell it from a retransmit.
-        const SimTime dup_start = std::max(engine_.now(), r.recv_busy_until);
-        const SimTime dup_done = dup_start + recv_processing(to);
-        r.recv_busy_until = dup_done;
-        engine_.schedule_at(dup_done, [this, from, to, msg]() {
-          NodeState& rr = nodes_[to];
-          ++rr.received;
-          if (delivered_counter_) delivered_counter_->inc();
-          const auto dit = rr.handlers.find(msg.type);
-          if (dit != rr.handlers.end()) {
-            dit->second(msg);
-          } else {
-            ESLURM_DEBUG("node ", to, " dropped duplicate type ", msg.type,
-                         " from ", from);
-          }
-        });
-      }
-
-      // Ack back to the sender: half a round trip of pure latency.  The
-      // ack leg is subject to chaos too: a lost ack means the receiver
-      // *did* process the message while the sender observes a timeout --
-      // the classic at-least-once ambiguity the reliable transport's
-      // dedup window exists for.
-      ChaosInjector::Decision ack_verdict;
-      if (chaos_) ack_verdict = chaos_->decide(to, from);
-      if (ack_verdict.drop) {
-        fail_at_deadline(from, to, deadline, std::move(on_complete));
-        return;
-      }
-      const SimTime ack_at =
-          engine_.now() + jittered(propagation(to, from)) + ack_verdict.extra_delay;
-      engine_.schedule_at(ack_at, [this, from, to, on_complete = std::move(on_complete)] {
-        adjust_sockets(from, -1);
-        adjust_sockets(to, -1);
-        if (on_complete) on_complete(true);
-      });
-    });
-  });
+  engine_.schedule_at(arrival, [this, op] { arrival_step(op); });
 }
 
 }  // namespace eslurm::net

@@ -24,12 +24,12 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
@@ -122,6 +122,13 @@ class Network {
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t failed_sends() const { return failed_sends_; }
 
+  /// Sends whose exchange (message legs + ack/timeout) is still pending.
+  std::size_t in_flight_sends() const { return send_ops_.in_use(); }
+  /// High-water mark of concurrently pending sends; pool slots are
+  /// recycled, so steady-state traffic allocates nothing once this
+  /// plateaus.
+  std::size_t send_op_pool_capacity() const { return send_ops_.capacity(); }
+
   /// Messages processed by a given node (receive side); used to charge
   /// daemon CPU time in the RM resource accountant.
   std::uint64_t messages_received(NodeId node) const { return nodes_[node].received; }
@@ -135,9 +142,25 @@ class Network {
     int open_sockets = 0;
     std::uint64_t sent = 0;
     std::uint64_t received = 0;
-    std::unordered_map<MessageType, Handler> handlers;
     bool watched = false;
     TimeSeries socket_ts;
+  };
+
+  /// One in-flight send().  Every engine leg of the exchange -- arrival,
+  /// delivery, duplicate copy, ack, timeout -- shares this pooled record
+  /// and captures only {this, op-index}, so event captures stay inline
+  /// and a send's message is stored exactly once.  `refs` counts the
+  /// primary completion chain plus an optional duplicate-delivery leg;
+  /// ops are never cancelled and every pending leg holds a reference, so
+  /// no generation tag is needed.
+  struct SendOp {
+    Message msg;
+    SendCallback on_complete;
+    SimTime deadline = 0;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    bool duplicate = false;
+    std::uint32_t refs = 0;
   };
 
   bool alive(NodeId node) const { return alive_ ? alive_(node) : true; }
@@ -146,11 +169,19 @@ class Network {
 
   SimTime propagation(NodeId from, NodeId to) const;
 
-  /// Resolves one leg as lost: sockets hold until the sender's deadline,
-  /// then the callback observes failure (shared by dead-peer, chaos-drop
-  /// and lost-ack paths).
-  void fail_at_deadline(NodeId from, NodeId to, SimTime deadline,
-                        SendCallback on_complete);
+  /// Resolves the exchange as lost: sockets hold until the sender's
+  /// deadline, then the callback observes failure (shared by dead-peer,
+  /// chaos-drop and lost-ack paths).
+  void fail_at_deadline(std::uint32_t op);
+  /// Wire arrival: liveness check + receive serialization.
+  void arrival_step(std::uint32_t op);
+  /// Receive done: handler dispatch, duplicate leg, ack leg.
+  void deliver_step(std::uint32_t op);
+  void deliver_duplicate(std::uint32_t op);
+  /// Closes the exchange's sockets and invokes the completion callback.
+  void complete(std::uint32_t op, bool ok);
+  void release_op(std::uint32_t op);
+  void dispatch(NodeId to, const Message& msg, bool duplicate);
 
   sim::Engine& engine_;
   LinkModel model_;
@@ -159,6 +190,15 @@ class Network {
   const Topology* topology_ = nullptr;
   ChaosInjector* chaos_ = nullptr;
   std::vector<NodeState> nodes_;
+  /// Type-major handler tables: handlers_by_type_[type][node].  Rows are
+  /// created lazily on first registration of a type and sized to the node
+  /// count, so delivery is two vector indexes -- no hashing, no per-node
+  /// map churn.  Message types are small dense integers (see
+  /// net/message.hpp), which is what makes type-major flat tables cheap.
+  std::vector<std::vector<Handler>> handlers_by_type_;
+  /// Recycled send records; deque-backed so references stay stable while
+  /// handlers send reentrantly (which may grow the pool).
+  util::SlabPool<SendOp, /*StableStorage=*/true> send_ops_;
   MessageType next_dynamic_type_ = kDynamicTypeBase;
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t total_messages_ = 0;

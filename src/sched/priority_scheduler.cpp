@@ -25,7 +25,8 @@ double PriorityBackfillScheduler::priority_of(const Job& job, SimTime now) const
 
 std::vector<JobId> PriorityBackfillScheduler::schedule(const JobPool& pool,
                                                        int free_nodes, SimTime now) {
-  std::vector<std::pair<double, JobId>> ranked;
+  auto& ranked = ranked_scratch_;
+  ranked.clear();
   ranked.reserve(pool.pending().size());
   for (const JobId id : pool.pending()) {
     const Job& job = pool.get(id);
@@ -34,10 +35,12 @@ std::vector<JobId> PriorityBackfillScheduler::schedule(const JobPool& pool,
   }
   // Stable: equal priorities keep submission order (ids ascend with time).
   std::stable_sort(ranked.begin(), ranked.end());
-  std::vector<JobId> ordered;
+  auto& ordered = ordered_scratch_;
+  ordered.clear();
   ordered.reserve(ranked.size());
   for (const auto& [neg_priority, id] : ranked) ordered.push_back(id);
-  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_, telemetry_);
+  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_, telemetry_,
+                            &scratch_);
 }
 
 void PriorityBackfillScheduler::on_job_released(const Job& job, SimTime now) {

@@ -39,6 +39,9 @@ class PriorityBackfillScheduler final : public Scheduler {
   const PartitionSet* partitions_;
   std::uint64_t backfilled_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
+  std::vector<std::pair<double, JobId>> ranked_scratch_;
+  std::vector<JobId> ordered_scratch_;
+  BackfillScratch scratch_;
 };
 
 }  // namespace eslurm::sched

@@ -1,7 +1,6 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "telemetry/telemetry.hpp"
 
@@ -49,7 +48,10 @@ std::vector<JobId> easy_backfill_pass(const JobPool& pool,
                                       const std::vector<JobId>& ordered_pending,
                                       int free_nodes, SimTime now,
                                       std::uint64_t* backfilled_counter,
-                                      telemetry::Telemetry* telemetry) {
+                                      telemetry::Telemetry* telemetry,
+                                      BackfillScratch* scratch) {
+  BackfillScratch local;
+  BackfillScratch& work = scratch ? *scratch : local;
   std::vector<JobId> out;
   std::size_t cursor = 0;
 
@@ -68,7 +70,8 @@ std::vector<JobId> easy_backfill_pass(const JobPool& pool,
   // the head's reserved start time; `spare` is what is left over at that
   // moment after the head takes its share.
   const Job& head = pool.get(ordered_pending[cursor]);
-  std::vector<std::pair<SimTime, int>> releases;  // (expected end, nodes)
+  auto& releases = work.releases;  // (expected end, nodes)
+  releases.clear();
   releases.reserve(pool.active().size());
   for (const JobId id : pool.active()) {
     const Job& job = pool.get(id);
@@ -115,11 +118,12 @@ std::vector<JobId> easy_backfill_pass(const JobPool& pool,
 
 std::vector<JobId> EasyBackfillScheduler::schedule(const JobPool& pool, int free_nodes,
                                                    SimTime now) {
-  std::vector<JobId> ordered;
-  ordered.reserve(pool.pending().size());
+  ordered_scratch_.clear();
+  ordered_scratch_.reserve(pool.pending().size());
   for (const JobId id : pool.pending())
-    if (dependency_ready(pool, pool.get(id))) ordered.push_back(id);
-  return easy_backfill_pass(pool, ordered, free_nodes, now, &backfilled_, telemetry_);
+    if (dependency_ready(pool, pool.get(id))) ordered_scratch_.push_back(id);
+  return easy_backfill_pass(pool, ordered_scratch_, free_nodes, now, &backfilled_,
+                            telemetry_, &scratch_);
 }
 
 ConservativeBackfillScheduler::ConservativeBackfillScheduler(std::size_t planning_depth)
@@ -129,22 +133,39 @@ std::vector<JobId> ConservativeBackfillScheduler::schedule(const JobPool& pool,
                                                            int free_nodes,
                                                            SimTime now) {
   // Free-node timeline as a step function: time -> available nodes from
-  // that instant on, seeded by the expected ends of active jobs.
-  std::map<SimTime, int> avail;  // time -> free nodes from this time
-  avail[now] = free_nodes;
-  {
-    std::vector<std::pair<SimTime, int>> releases;
-    for (const JobId id : pool.active()) {
-      const Job& job = pool.get(id);
-      releases.emplace_back(expected_end(job, now), job.nodes);
-    }
-    std::sort(releases.begin(), releases.end());
-    int level = free_nodes;
-    for (const auto& [end, nodes] : releases) {
-      level += nodes;
-      avail[end] = level;
-    }
+  // that instant on, seeded by the expected ends of active jobs.  Both
+  // scratch vectors persist across cycles, so the steady state rebuilds
+  // in place without allocating.
+  releases_.clear();
+  for (const JobId id : pool.active()) {
+    const Job& job = pool.get(id);
+    releases_.emplace_back(expected_end(job, now), job.nodes);
   }
+  std::sort(releases_.begin(), releases_.end());
+
+  timeline_.clear();
+  timeline_.push_back({now, free_nodes});
+  int level = free_nodes;
+  for (const auto& [end, nodes] : releases_) {
+    level += nodes;
+    if (timeline_.back().time == end)
+      timeline_.back().level = level;  // coalesce simultaneous releases
+    else
+      timeline_.push_back({end, level});
+  }
+
+  // Splits the step function at t, returning the step's index.  t always
+  // lies at or after the timeline origin (reservations start >= now).
+  const auto ensure_step = [this](SimTime t) {
+    const auto pos = std::lower_bound(
+        timeline_.begin(), timeline_.end(), t,
+        [](const Step& step, SimTime value) { return step.time < value; });
+    if (pos != timeline_.end() && pos->time == t)
+      return static_cast<std::size_t>(pos - timeline_.begin());
+    const int carried = (pos - 1)->level;
+    return static_cast<std::size_t>(timeline_.insert(pos, {t, carried}) -
+                                    timeline_.begin());
+  };
 
   std::vector<JobId> out;
   std::size_t planned = 0;
@@ -158,12 +179,13 @@ std::vector<JobId> ConservativeBackfillScheduler::schedule(const JobPool& pool,
     // Earliest t where `nodes` are free across [t, t + est).
     SimTime start = now;
     bool placed = false;
-    for (auto scan = avail.begin(); scan != avail.end(); ++scan) {
-      start = scan->first;
+    for (std::size_t scan = 0; scan < timeline_.size(); ++scan) {
+      start = timeline_[scan].time;
       bool fits = true;
-      for (auto window = scan; window != avail.end() && window->first < start + est;
+      for (std::size_t window = scan;
+           window < timeline_.size() && timeline_[window].time < start + est;
            ++window) {
-        if (window->second < job.nodes) {
+        if (timeline_[window].level < job.nodes) {
           fits = false;
           break;
         }
@@ -180,15 +202,11 @@ std::vector<JobId> ConservativeBackfillScheduler::schedule(const JobPool& pool,
     // Reserve [start, start + est): split steps at the boundaries, then
     // subtract the job's width inside the window.
     const SimTime end = start + est;
-    auto at_or_before = [&](SimTime t) {
-      auto pos = avail.upper_bound(t);
-      --pos;
-      return pos->second;
-    };
-    avail.emplace(start, at_or_before(start));
-    avail.emplace(end, at_or_before(end));
-    for (auto window = avail.find(start); window->first < end; ++window)
-      window->second -= job.nodes;
+    const std::size_t first = ensure_step(start);
+    ensure_step(end);  // inserts after `first`; earlier indexes stay valid
+    for (std::size_t window = first;
+         window < timeline_.size() && timeline_[window].time < end; ++window)
+      timeline_[window].level -= job.nodes;
 
     if (start == now) out.push_back(id);
   }

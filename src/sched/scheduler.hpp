@@ -7,6 +7,7 @@
 // executes the decisions (allocation, launch broadcast...).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "sched/job_pool.hpp"
@@ -33,17 +34,27 @@ class FcfsScheduler final : public Scheduler {
   const char* name() const override { return "fcfs"; }
 };
 
+/// Reusable working set for a backfill pass.  Schedulers run every cycle
+/// over pools with hundreds of active jobs; holding the release list as
+/// scheduler state instead of a per-pass local keeps the steady-state
+/// cycle free of vector reallocations (capacity plateaus after the first
+/// few passes).
+struct BackfillScratch {
+  std::vector<std::pair<SimTime, int>> releases;  ///< (expected end, nodes)
+};
+
 /// Core EASY pass over an explicitly ordered candidate list: start jobs
 /// in order while they fit, reserve for the first blocked one, then
 /// backfill any candidate that cannot delay the reservation.  Shared by
 /// the submit-order and priority-order schedulers.  Schedulers have no
 /// engine, so the RM hands its telemetry context in explicitly (nullptr
-/// when off).
+/// when off).  `scratch` (optional) provides reusable buffers.
 std::vector<JobId> easy_backfill_pass(const JobPool& pool,
                                       const std::vector<JobId>& ordered_pending,
                                       int free_nodes, SimTime now,
                                       std::uint64_t* backfilled_counter = nullptr,
-                                      telemetry::Telemetry* telemetry = nullptr);
+                                      telemetry::Telemetry* telemetry = nullptr,
+                                      BackfillScratch* scratch = nullptr);
 
 /// EASY backfill: FCFS plus a reservation for the queue head; any later
 /// job may jump ahead if it fits the free nodes now and cannot delay the
@@ -63,6 +74,8 @@ class EasyBackfillScheduler final : public Scheduler {
  private:
   std::uint64_t backfilled_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
+  std::vector<JobId> ordered_scratch_;
+  BackfillScratch scratch_;
 };
 
 /// Conservative backfill: every queued job (up to a planning depth) gets
@@ -76,7 +89,19 @@ class ConservativeBackfillScheduler final : public Scheduler {
   const char* name() const override { return "conservative-backfill"; }
 
  private:
+  /// One step of the free-node timeline: `level` nodes are free from
+  /// `time` until the next step.  Kept as a flat sorted vector instead of
+  /// a std::map: the planning loop is scan-heavy (every candidate walks
+  /// its feasibility window), and contiguous steps make those scans
+  /// cache-linear while boundary inserts stay cheap at planning depths.
+  struct Step {
+    SimTime time;
+    int level;
+  };
+
   std::size_t planning_depth_;
+  std::vector<Step> timeline_;                     ///< reused across cycles
+  std::vector<std::pair<SimTime, int>> releases_;  ///< reused across cycles
 };
 
 /// Remaining-runtime helper: expected end of an active job based on the

@@ -35,21 +35,15 @@ Engine::~Engine() {
   if (telemetry_) telemetry_->tracer.clear_clock(this);
 }
 
-EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
-  const EventId id = next_id_++;
-  queue_.push(QueueEntry{t, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
-}
-
-EventId Engine::schedule_after(SimTime delay, std::function<void()> fn) {
-  if (delay < 0) throw std::invalid_argument("Engine::schedule_after: negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
 bool Engine::cancel(EventId id) {
-  if (handlers_.erase(id) == 0) return false;
+  const auto index = static_cast<std::uint32_t>(id & ((1u << kSlotBits) - 1));
+  const std::uint64_t seq = id >> kSlotBits;
+  if (seq == 0 || index >= pool_.capacity()) return false;
+  EventSlot& slot = pool_[index];
+  if (!slot.live || slot.seq != seq) return false;
+  slot.fn.reset();  // destroy the capture now, not at slot reuse
+  slot.live = false;
+  pool_.release(index);
   maybe_compact();
   return true;
 }
@@ -62,9 +56,8 @@ void Engine::maybe_compact() {
   if (queue_.size() < kCompactionMinQueue) return;
   if (stale_entries() * 2 <= queue_.size()) return;
   auto& entries = queue_.container();
-  std::erase_if(entries,
-                [this](const QueueEntry& e) { return !handlers_.contains(e.id); });
-  std::make_heap(entries.begin(), entries.end(), std::greater<>{});
+  std::erase_if(entries, [this](const QueueEntry& e) { return !entry_live(e); });
+  queue_.rebuild();
   ++compactions_;
   if (compaction_counter_) {
     compaction_counter_->inc();
@@ -82,18 +75,25 @@ bool Engine::step() {
   while (!queue_.empty()) {
     const QueueEntry top = queue_.top();
     queue_.pop();
-    const auto it = handlers_.find(top.id);
-    if (it == handlers_.end()) continue;  // cancelled
-    // Move the handler out before invoking: the callback may schedule or
-    // cancel events, invalidating iterators.
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = top.time;
+    if (!entry_live(top)) continue;  // cancelled
+    // The callable is invoked in place: pool storage is stable (deque),
+    // so a callback that schedules events may grow the pool under us.
+    // The slot is marked dead before the call (cancelling the executing
+    // event is a no-op) but released only after it, so a reentrant
+    // schedule can never overwrite the capture mid-execution.
+    const std::uint64_t key = entry_key(top);
+    const auto index = static_cast<std::uint32_t>(key & ((1u << kSlotBits) - 1));
+    EventSlot& slot = pool_[index];
+    slot.live = false;
+    now_ = entry_time(top);
     ++executed_;
+    if (observer_) observer_(observer_ctx_, now_, key >> kSlotBits);
     // Periodic gauge refresh; the modulo keeps the disabled/enabled cost
     // out of the per-event budget.
     if (depth_gauge_ && (executed_ & 0xFFF) == 0) publish_telemetry();
-    fn();
+    slot.fn();
+    slot.fn.reset();  // destroy the capture now, not at slot reuse
+    pool_.release(index);
     return true;
   }
   return false;
@@ -102,12 +102,11 @@ bool Engine::step() {
 void Engine::run_until(SimTime horizon) {
   while (!queue_.empty()) {
     // Skip cancelled entries without advancing time.
-    const auto it = handlers_.find(queue_.top().id);
-    if (it == handlers_.end()) {
+    if (!entry_live(queue_.top())) {
       queue_.pop();
       continue;
     }
-    if (queue_.top().time > horizon) break;
+    if (entry_time(queue_.top()) > horizon) break;
     step();
   }
   if (now_ < horizon) now_ = horizon;

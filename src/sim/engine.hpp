@@ -5,14 +5,26 @@
 // schedule callbacks here.  Events with equal timestamps execute in
 // scheduling order (FIFO tie-break), which makes whole-cluster runs
 // bit-reproducible.
+//
+// Hot-path design (PR 5, "zero-allocation event core"): events live in a
+// slab pool of fixed-size slots, each holding the callable inline in an
+// InplaceFunction (heap fallback only for oversized captures, counted by
+// heap_fallback_events()).  An EventId is the slot index plus a per-slot
+// generation, so cancel() is an O(1) generation check -- no hash map, no
+// per-event allocation -- and a recycled slot can never be cancelled
+// through a stale handle (ABA safety).  Execution order is decided only
+// by the (time, seq) pair where `seq` is the monotonically increasing
+// scheduling sequence number; pooling therefore cannot perturb event
+// order, which the golden-sequence test pins bit-for-bit.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <stdexcept>
 #include <vector>
 
+#include "util/inplace_function.hpp"
+#include "util/pool.hpp"
 #include "util/time.hpp"
 
 namespace eslurm::telemetry {
@@ -23,9 +35,25 @@ struct Telemetry;
 
 namespace eslurm::sim {
 
-/// Handle for a scheduled event; can be used to cancel it.
+/// Handle for a scheduled event; can be used to cancel it.  Packs the
+/// pool slot (low 24 bits) and the event's scheduling sequence number
+/// (high 40 bits).  The sequence number is globally unique per schedule,
+/// so it doubles as the slot's generation: a recycled slot never matches
+/// a stale handle (ABA safety).  Sequence numbers start at 1, so a valid
+/// id is never 0; the packing caps a single engine at 2^24 concurrently
+/// pending events and 2^40 total schedules (~10^12, years of sim work).
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
+
+/// Inline capture budget for one event.  Sized so the common captures --
+/// a subsystem pointer plus a few ids, a pooled-send handle, a small
+/// struct -- stay inline; larger captures fall back to one heap
+/// allocation and are counted (Engine::heap_fallback_events).
+inline constexpr std::size_t kEventInlineBytes = 104;
+
+/// The engine's event callable: one-shot, move-only, small-buffer.
+/// Lambdas convert implicitly, exactly as with std::function.
+using EventFn = util::InplaceFunction<void(), kEventInlineBytes>;
 
 class Engine {
  public:
@@ -45,18 +73,44 @@ class Engine {
   /// `if (auto* t = engine.telemetry()) ...` -- one pointer check.
   telemetry::Telemetry* telemetry() const { return telemetry_; }
 
-  /// Schedules `fn` at absolute simulated time `t` (>= now).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` at absolute simulated time `t` (>= now).  A template
+  /// so the capture is constructed directly in its pool slot -- the
+  /// zero-allocation fill path has no intermediate wrapper and no
+  /// relocation.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    if (t < now_)
+      throw std::invalid_argument("Engine::schedule_at: time in the past");
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+      if (!fn.is_inline()) ++heap_fallbacks_;
+    } else if constexpr (!EventFn::stores_inline_v<F>) {
+      ++heap_fallbacks_;
+    }
+    const std::uint32_t index = pool_.acquire();
+    EventSlot& slot = pool_[index];
+    const std::uint64_t seq = next_seq_++ & kSeqMask;
+    slot.seq = seq;  // recycled handles to this slot die here (ABA safety)
+    slot.live = true;
+    slot.fn = std::forward<F>(fn);
+    const EventId id = (seq << kSlotBits) | index;
+    queue_.push(make_entry(t, id));
+    return id;
+  }
 
   /// Schedules `fn` after `delay` (>= 0) from now.
-  EventId schedule_after(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    if (delay < 0)
+      throw std::invalid_argument("Engine::schedule_after: negative delay");
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event.  Returns false if it already ran, was
   /// already cancelled, or the id is unknown.
   bool cancel(EventId id);
 
-  bool has_pending() const { return !handlers_.empty(); }
-  std::size_t pending_count() const { return handlers_.size(); }
+  bool has_pending() const { return pool_.in_use() > 0; }
+  std::size_t pending_count() const { return pool_.in_use(); }
 
   /// Executes the next event.  Returns false if the queue is empty.
   bool step();
@@ -72,13 +126,23 @@ class Engine {
   /// Total number of executed events (for sanity checks / reports).
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Test/verification hook: invoked for every executed event with the
+  /// event's execution time and its monotonic scheduling sequence number
+  /// (the FIFO tie-break key).  The golden-sequence determinism test
+  /// hashes this stream; a null observer costs one branch per event.
+  using ExecObserver = void (*)(void* ctx, SimTime time, std::uint64_t seq);
+  void set_exec_observer(ExecObserver observer, void* ctx) {
+    observer_ = observer;
+    observer_ctx_ = ctx;
+  }
+
   // --- queue hygiene ---------------------------------------------------
   /// Total priority-queue entries, live plus cancelled-but-unpopped.
   std::size_t queue_size() const { return queue_.size(); }
   /// Cancelled entries still occupying queue slots.  `cancel()` only
-  /// erases the handler; the entry stays queued until its timestamp is
+  /// frees the event slot; the entry stays queued until its timestamp is
   /// reached or a compaction sweeps it.
-  std::size_t stale_entries() const { return queue_.size() - handlers_.size(); }
+  std::size_t stale_entries() const { return queue_.size() - pool_.in_use(); }
   /// Stale fraction of the queue (0 when empty).
   double stale_ratio() const {
     return queue_.empty() ? 0.0
@@ -91,31 +155,170 @@ class Engine {
   /// until the cancelled timestamps were reached.
   std::uint64_t compactions() const { return compactions_; }
 
+  // --- pool introspection ----------------------------------------------
+  /// Event slots ever created (the pool's high-water mark); steady-state
+  /// workloads stop growing this once warmed up.
+  std::size_t event_pool_capacity() const { return pool_.capacity(); }
+  /// Events whose captures exceeded kEventInlineBytes and took the heap
+  /// fallback.  Keep this at 0 on hot paths.
+  std::uint64_t heap_fallback_events() const { return heap_fallbacks_; }
+
  private:
-  struct QueueEntry {
-    SimTime time;
-    EventId id;
-    bool operator>(const QueueEntry& o) const {
-      return time != o.time ? time > o.time : id > o.id;
-    }
+  /// EventId packing: high 40 bits scheduling sequence, low 24 bits slot.
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSeqMask = (1ull << 40) - 1;
+
+  struct EventSlot {
+    EventFn fn;
+    std::uint64_t seq = 0;  ///< sequence of the pending event in this slot
+    bool live = false;      ///< false once executed or cancelled
   };
-  /// priority_queue with access to the underlying vector for compaction.
-  class Queue : public std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                                           std::greater<>> {
+
+  /// One queue entry, packed into a single 128-bit integer: execution
+  /// time in the high 64 bits, the EventId key in the low 64.  The key's
+  /// high bits are the scheduling sequence number, so one unsigned
+  /// 128-bit compare IS the (time, FIFO tie-break) order -- two ALU
+  /// instructions, no branches -- and the order is total (sequence
+  /// numbers are unique).  SimTime is never negative (schedule_at
+  /// enforces t >= now >= 0), so the unsigned compare is exact.
+  using QueueEntry = unsigned __int128;
+  static constexpr QueueEntry make_entry(SimTime time, std::uint64_t key) {
+    return (static_cast<QueueEntry>(static_cast<std::uint64_t>(time)) << 64) |
+           key;
+  }
+  static constexpr SimTime entry_time(QueueEntry e) {
+    return static_cast<SimTime>(static_cast<std::uint64_t>(e >> 64));
+  }
+  static constexpr std::uint64_t entry_key(QueueEntry e) {
+    return static_cast<std::uint64_t>(e);
+  }
+
+  /// Min-heap of queue entries, 4-ary instead of binary: half the levels
+  /// of a binary heap, and each node's children are 4 consecutive
+  /// 16-byte entries -- one cache line -- so the pop-side sift-down (the
+  /// hot operation: every executed event pops) touches ~log4(n) lines.
+  /// Any correct heap pops the same sequence under the total entry
+  /// order, so the heap shape cannot perturb event order.
+  class EventHeap {
    public:
-    std::vector<QueueEntry>& container() { return c; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    QueueEntry top() const { return entries_.front(); }
+
+    void push(QueueEntry entry) {
+      std::size_t i = entries_.size();
+      entries_.push_back(entry);
+      while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (entry >= entries_[parent]) break;
+        entries_[i] = entries_[parent];
+        i = parent;
+      }
+      entries_[i] = entry;
+    }
+
+    void pop() {
+      const QueueEntry last = entries_.back();
+      entries_.pop_back();
+      const std::size_t n = entries_.size();
+      if (n == 0) return;
+      // Two sift strategies, picked adaptively per workload phase (the
+      // choice only affects layout, never which entry is the min, so it
+      // cannot perturb event order):
+      //  * bottom-up (Wegener): walk the root hole to a leaf with
+      //    child-min compares only, then bubble `last` up.  Optimal when
+      //    the replacement belongs near the bottom -- steady rescheduling
+      //    churn, where the newest entry is among the largest.
+      //  * standard sift-down with an exit test per level.  Optimal when
+      //    the replacement belongs near the top -- draining a burst of
+      //    near-equal times, where bottom-up would bubble most of the
+      //    way back.
+      if (bottom_up_) {
+        std::size_t i = 0;
+        for (;;) {
+          const std::size_t first = 4 * i + 1;
+          if (first >= n) break;
+          const std::size_t end = first + 4 < n ? first + 4 : n;
+          std::size_t best = first;
+          for (std::size_t c = first + 1; c < end; ++c)
+            if (entries_[c] < entries_[best]) best = c;
+          entries_[i] = entries_[best];
+          i = best;
+        }
+        std::size_t rose = 0;
+        while (i > 0) {
+          const std::size_t parent = (i - 1) >> 2;
+          if (last >= entries_[parent]) break;
+          entries_[i] = entries_[parent];
+          i = parent;
+          ++rose;
+        }
+        entries_[i] = last;
+        bottom_up_ = rose <= 1;
+      } else {
+        const std::size_t i = sift_down(0, last);
+        entries_[i] = last;
+        bottom_up_ = 4 * i + 1 >= n;  // landed on a leaf: bottom-up is cheaper
+      }
+    }
+
+    /// Direct access for compaction sweeps; call rebuild() afterwards.
+    std::vector<QueueEntry>& container() { return entries_; }
+
+    /// Restores the heap property after the container was edited.
+    void rebuild() {
+      if (entries_.size() < 2) return;
+      for (std::size_t i = (entries_.size() - 2) >> 2; i + 1 > 0; --i) {
+        const QueueEntry value = entries_[i];
+        entries_[sift_down(i, value)] = value;
+      }
+    }
+
+   private:
+    /// Sifts the hole at `i` down until `value` fits; returns the hole's
+    /// final index (the caller stores `value` there).
+    std::size_t sift_down(std::size_t i, QueueEntry value) {
+      const std::size_t n = entries_.size();
+      for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c)
+          if (entries_[c] < entries_[best]) best = c;
+        if (entries_[best] >= value) break;
+        entries_[i] = entries_[best];
+        i = best;
+      }
+      return i;
+    }
+
+    std::vector<QueueEntry> entries_;
+    bool bottom_up_ = true;
   };
+
+  bool live_key(std::uint64_t key) const {
+    const EventSlot& slot = pool_[key & ((1u << kSlotBits) - 1)];
+    return slot.live && slot.seq == key >> kSlotBits;
+  }
+  bool entry_live(QueueEntry entry) const { return live_key(entry_key(entry)); }
 
   void maybe_compact();
   void publish_telemetry();
 
   telemetry::Telemetry* telemetry_ = nullptr;
+  ExecObserver observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t compactions_ = 0;
-  Queue queue_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::uint64_t heap_fallbacks_ = 0;
+  EventHeap queue_;
+  /// Stable storage (deque-backed): step() invokes the callable in place,
+  /// and a callback that schedules new events may grow the pool without
+  /// relocating the storage the executing callable lives in.
+  util::SlabPool<EventSlot, /*StableStorage=*/true> pool_;
 
   // Cached instruments (null when telemetry was disabled at construction
   // time) keep the per-event overhead to a pointer check.

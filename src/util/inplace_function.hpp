@@ -1,0 +1,187 @@
+// Small-buffer, move-only callable wrapper for the event hot path.
+//
+// std::function heap-allocates any capture larger than its tiny SBO
+// (two pointers on libstdc++) and drags copy-ability requirements along.
+// Simulation events are one-shot, move-only and overwhelmingly small --
+// a subsystem pointer plus a couple of ids -- so the engine stores them
+// in a fixed-size inline buffer inside its event pool instead.  Captures
+// that do not fit fall back to a single heap allocation (and the engine
+// counts them, so oversized events are visible instead of silently slow).
+//
+// Differences from std::function, on purpose:
+//   * move-only: events are consumed exactly once, and move-only
+//     captures (unique_ptr and friends) are allowed;
+//   * invoking an empty function is a programming error (assert), not a
+//     bad_function_call -- the engine never stores empty handlers;
+//   * relocation (move + destroy source) is a single vtable call, which
+//     is what the event pool does when it hands a callable to step().
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace eslurm::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+  static_assert(Capacity >= sizeof(void*),
+                "capacity must at least hold the heap-fallback pointer");
+
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  /// True when callables of type F live in the inline buffer (the
+  /// zero-allocation path); false when they take the heap fallback.
+  template <typename F>
+  static constexpr bool stores_inline_v =
+      sizeof(std::decay_t<F>) <= Capacity &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& callable) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(callable));
+  }
+
+  /// Assigning a callable constructs it directly in this buffer -- no
+  /// intermediate InplaceFunction, no relocation.  This is the event
+  /// pool's fill path: `slot.fn = lambda` builds the capture in place.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction& operator=(F&& callable) {
+    reset();
+    construct(std::forward<F>(callable));
+    return *this;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { take(other); }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// False only for engaged callables that took the heap fallback.
+  bool is_inline() const noexcept { return !vtable_ || vtable_->inline_storage; }
+
+  R operator()(Args... args) {
+    assert(vtable_ && "invoking an empty InplaceFunction");
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (vtable_) {
+      if (vtable_->destroy) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  template <typename F, typename D = std::decay_t<F>>
+  void construct(F&& callable) {
+    if constexpr (stores_inline_v<F>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(callable));
+      vtable_ = inline_vtable<D>();
+    } else {
+      D* heap = new D(std::forward<F>(callable));
+      std::memcpy(storage_, &heap, sizeof(heap));
+      vtable_ = heap_vtable<D>();
+    }
+  }
+
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct into dst from src, then destroy src's object.
+    /// nullptr means "memcpy the whole buffer" -- the fast path for
+    /// trivially copyable captures and for the heap fallback (whose
+    /// buffer holds only the owning pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// nullptr for trivially destructible inline captures (no-op).
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr bool trivially_relocatable_v =
+      std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>;
+
+  template <typename D>
+  static const VTable* inline_vtable() noexcept {
+    static constexpr VTable table{
+        [](void* object, Args&&... args) -> R {
+          return (*std::launder(reinterpret_cast<D*>(object)))(
+              std::forward<Args>(args)...);
+        },
+        trivially_relocatable_v<D>
+            ? nullptr
+            : +[](void* dst, void* src) noexcept {
+                D* source = std::launder(reinterpret_cast<D*>(src));
+                ::new (dst) D(std::move(*source));
+                source->~D();
+              },
+        std::is_trivially_destructible_v<D>
+            ? nullptr
+            : +[](void* object) noexcept {
+                std::launder(reinterpret_cast<D*>(object))->~D();
+              },
+        /*inline_storage=*/true};
+    return &table;
+  }
+
+  template <typename D>
+  static const VTable* heap_vtable() noexcept {
+    static constexpr VTable table{
+        [](void* object, Args&&... args) -> R {
+          D* heap;
+          std::memcpy(&heap, object, sizeof(heap));
+          return (*heap)(std::forward<Args>(args)...);
+        },
+        /*relocate=*/nullptr,  // buffer holds just the pointer; memcpy moves it
+        [](void* object) noexcept {
+          D* heap;
+          std::memcpy(&heap, object, sizeof(heap));
+          delete heap;
+        },
+        /*inline_storage=*/false};
+    return &table;
+  }
+
+  void take(InplaceFunction& other) noexcept {
+    if (!other.vtable_) return;
+    vtable_ = other.vtable_;
+    if (vtable_->relocate)
+      vtable_->relocate(storage_, other.storage_);
+    else
+      std::memcpy(storage_, other.storage_, Capacity);
+    other.vtable_ = nullptr;
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace eslurm::util

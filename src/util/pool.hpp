@@ -1,0 +1,92 @@
+// Index-handled slab pools for steady-state-zero-allocation hot paths.
+//
+// A SlabPool hands out 32-bit slot indices into a growable slab.  Freed
+// slots go on an intrusive LIFO free list and are *recycled as-is*:
+// release() never destroys the stored T, so buffers the slot accumulated
+// (std::any payloads, callback captures, vector capacity) survive into
+// the next acquire and the steady state allocates nothing.  Callers
+// overwrite the fields they use -- a recycled slot's old values are
+// stale data, not cleared state.
+//
+// The free list is LIFO and the slab grows append-only, so the sequence
+// of indices a deterministic caller observes is itself deterministic --
+// pools never introduce cross-run divergence.
+//
+// Storage flavours:
+//   * SlabPool<T>            -- vector-backed, contiguous, best cache
+//     behaviour.  Growth MOVES existing slots: never hold a T& across an
+//     acquire() (the sim engine moves the callable out of its slot
+//     before running it for exactly this reason).
+//   * SlabPool<T, true>      -- deque-backed, stable addresses.  For
+//     slots that must stay referenceable while arbitrary reentrant code
+//     runs (the network dispatches a handler while the send's slot is
+//     live, and the handler may send again).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <type_traits>
+#include <vector>
+
+namespace eslurm::util {
+
+template <typename T, bool StableStorage = false>
+class SlabPool {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kNone = UINT32_MAX;
+
+  /// Returns a slot index: a recycled slot (contents stale, not reset)
+  /// or a freshly default-constructed one appended to the slab.
+  Index acquire() {
+    if (free_head_ != kNone) {
+      const Index index = free_head_;
+      Slot& slot = slots_[index];
+      free_head_ = slot.next_free;
+      slot.next_free = kNone;
+      ++in_use_;
+      return index;
+    }
+    assert(slots_.size() < kNone);
+    slots_.emplace_back();
+    ++in_use_;
+    return static_cast<Index>(slots_.size() - 1);
+  }
+
+  /// Returns a slot to the free list.  The stored T is kept alive for
+  /// recycling; release heavyweight resources (payloads, callbacks)
+  /// before releasing the slot if prompt reclamation matters.
+  void release(Index index) {
+    assert(index < slots_.size());
+    assert(slots_[index].next_free == kNone && "double release");
+    slots_[index].next_free = free_head_;
+    free_head_ = index;
+    --in_use_;
+  }
+
+  T& operator[](Index index) { return slots_[index].value; }
+  const T& operator[](Index index) const { return slots_[index].value; }
+
+  /// Slots ever created (live + recyclable); the pool's high-water mark.
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t in_use() const { return in_use_; }
+
+  void reserve(std::size_t slots) {
+    if constexpr (!StableStorage) slots_.reserve(slots);
+  }
+
+ private:
+  struct Slot {
+    T value{};
+    Index next_free = kNone;
+  };
+  using Store =
+      std::conditional_t<StableStorage, std::deque<Slot>, std::vector<Slot>>;
+
+  Store slots_;
+  Index free_head_ = kNone;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace eslurm::util

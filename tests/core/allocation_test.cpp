@@ -1,0 +1,209 @@
+// Zero-allocation steady-state checks for the event core.
+//
+// This TU replaces the global operator new/delete with counting versions
+// (which is why it lives in its own test binary: the override is
+// process-wide).  Each test warms a workload up until every pool and
+// scratch buffer has reached its plateau, then turns the counter on and
+// asserts that the steady-state loop performs no heap allocation at all:
+//   * engine: pooled event slots + inline captures, so schedule/execute
+//     cycles touch no allocator;
+//   * network: recycled SendOp slots, flat handler tables and inline
+//     {this, op} event captures across all legs of a send.
+//
+// Under ASan/TSan the runtime owns operator new, so the hook is compiled
+// out and the tests skip (the sanitizer jobs cover memory correctness;
+// this binary covers allocation count in plain builds).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ESLURM_ALLOC_HOOK 0
+#endif
+#if !defined(ESLURM_ALLOC_HOOK) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ESLURM_ALLOC_HOOK 0
+#endif
+#endif
+#ifndef ESLURM_ALLOC_HOOK
+#define ESLURM_ALLOC_HOOK 1
+#endif
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+/// RAII window: allocations are counted only while one of these is live.
+class CountingScope {
+ public:
+  CountingScope() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~CountingScope() { g_counting.store(false, std::memory_order_relaxed); }
+  static std::uint64_t count() { return g_allocations.load(std::memory_order_relaxed); }
+};
+
+}  // namespace
+
+#if ESLURM_ALLOC_HOOK
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // ESLURM_ALLOC_HOOK
+
+namespace eslurm {
+namespace {
+
+constexpr net::MessageType kPing = 7;
+
+TEST(ZeroAllocation, EngineSteadyStateChurn) {
+  if (!ESLURM_ALLOC_HOOK) GTEST_SKIP() << "allocation hook disabled under sanitizers";
+
+  sim::Engine engine;
+  // 64 self-rescheduling chains, the bench_engine churn shape.
+  struct Chain {
+    sim::Engine& engine;
+    SimTime period;
+    std::uint64_t fired = 0;
+    void fire() {
+      ++fired;
+      engine.schedule_after(period, [this] { fire(); });
+    }
+  };
+  std::vector<Chain> chains;
+  chains.reserve(64);
+  for (int c = 0; c < 64; ++c)
+    chains.push_back(Chain{engine, microseconds(10 + c)});
+  for (auto& chain : chains) chain.fire();
+
+  engine.run_until(milliseconds(10));  // warm-up: pool + heap reach capacity
+  const std::size_t warm_capacity = engine.event_pool_capacity();
+
+  std::uint64_t allocated;
+  {
+    CountingScope scope;
+    engine.run_until(milliseconds(200));
+    allocated = CountingScope::count();
+  }
+  EXPECT_EQ(allocated, 0u) << "engine steady state must not touch the allocator";
+  EXPECT_EQ(engine.event_pool_capacity(), warm_capacity);
+  EXPECT_EQ(engine.heap_fallback_events(), 0u)
+      << "all engine-internal captures must fit the inline buffer";
+  EXPECT_GT(engine.executed_events(), 10'000u);  // the loop actually ran
+}
+
+TEST(ZeroAllocation, EngineCancelRecyclesSlots) {
+  if (!ESLURM_ALLOC_HOOK) GTEST_SKIP() << "allocation hook disabled under sanitizers";
+
+  sim::Engine engine;
+  // Watchdog shape: arm far in the future, cancel, re-arm every cycle.
+  struct Watchdog {
+    sim::Engine& engine;
+    sim::EventId pending = sim::kInvalidEvent;
+    void cycle() {
+      if (pending != sim::kInvalidEvent) engine.cancel(pending);
+      pending = engine.schedule_after(hours(10), [] {});
+      engine.schedule_after(microseconds(25), [this] { cycle(); });
+    }
+  };
+  Watchdog dog{engine};
+  dog.cycle();
+  engine.run_until(milliseconds(5));
+
+  std::uint64_t allocated;
+  {
+    CountingScope scope;
+    engine.run_until(milliseconds(100));
+    allocated = CountingScope::count();
+  }
+  EXPECT_EQ(allocated, 0u) << "arm/cancel cycles must recycle slots, not allocate";
+}
+
+TEST(ZeroAllocation, NetworkSteadyStatePingPong) {
+  if (!ESLURM_ALLOC_HOOK) GTEST_SKIP() << "allocation hook disabled under sanitizers";
+
+  sim::Engine engine;
+  net::Network network(engine, 4, net::LinkModel{}, Rng(42));
+  network.register_handler(1, kPing, [](const net::Message&) {});
+
+  // Completion-driven ping chain: each ack immediately launches the next
+  // send, so the op pool and event pool stay at their plateau.
+  struct Pinger {
+    net::Network& network;
+    std::uint64_t sent = 0;
+    void fire() {
+      ++sent;
+      net::Message msg;
+      msg.type = kPing;
+      msg.bytes = 64;
+      network.send(0, 1, std::move(msg), /*timeout=*/0, [this](bool) { fire(); });
+    }
+  };
+  Pinger pinger{network};
+  pinger.fire();
+  engine.run_until(milliseconds(50));  // warm-up
+  const std::size_t warm_ops = network.send_op_pool_capacity();
+  const std::uint64_t warm_sent = pinger.sent;
+
+  std::uint64_t allocated;
+  {
+    CountingScope scope;
+    engine.run_until(seconds(1));
+    allocated = CountingScope::count();
+  }
+  EXPECT_EQ(allocated, 0u) << "a full send/deliver/ack exchange must recycle "
+                              "its op slot and event slots";
+  EXPECT_EQ(network.send_op_pool_capacity(), warm_ops);
+  EXPECT_EQ(engine.heap_fallback_events(), 0u);
+  EXPECT_GT(pinger.sent, warm_sent + 100);  // traffic actually flowed
+  EXPECT_EQ(network.failed_sends(), 0u);
+}
+
+}  // namespace
+}  // namespace eslurm

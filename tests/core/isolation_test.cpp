@@ -1,0 +1,128 @@
+// Experiment isolation: worlds are built strictly from their
+// ExperimentConfig, so co-resident Experiments (sequential or on
+// concurrent threads) must produce bit-identical results to solo runs,
+// and per-experiment telemetry contexts must not cross-contaminate.
+// This is the property the parallel sweep runner rests on.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/generator.hpp"
+
+namespace eslurm::core {
+namespace {
+
+struct Fingerprint {
+  std::size_t finished;
+  double utilization;
+  double avg_wait;
+  double master_cpu;
+  std::uint64_t events;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+ExperimentConfig config_for(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.rm = "eslurm";
+  config.compute_nodes = 96;
+  config.satellite_count = 2;
+  config.horizon = hours(6);
+  config.seed = seed;
+  config.enable_failures = true;
+  config.failure_params.node_mtbf_hours = 200.0;
+  config.rm_config.use_runtime_estimation = true;
+  config.rm_config.estimator.min_history = 20;
+  return config;
+}
+
+std::vector<sched::Job> workload() {
+  trace::WorkloadProfile profile = trace::tianhe2a_profile();
+  profile.jobs_per_hour = 12;
+  profile.max_nodes_per_job = 48;
+  profile.seed = 0xABC;
+  trace::TraceGenerator generator(profile);
+  return generator.generate(hours(5));
+}
+
+Fingerprint run_world(std::uint64_t seed, telemetry::Telemetry* telemetry = nullptr) {
+  ExperimentConfig config = config_for(seed);
+  config.telemetry = telemetry;
+  Experiment experiment(config);
+  experiment.submit_trace(workload());
+  experiment.run();
+  const auto report = experiment.report();
+  return Fingerprint{report.jobs_finished, report.system_utilization,
+                     report.avg_wait_seconds,
+                     experiment.manager().master_stats().cpu_seconds(),
+                     experiment.engine().executed_events()};
+}
+
+TEST(ExperimentIsolation, SequentialCoResidentRunsMatchSolo) {
+  // Reference fingerprints from solo runs.
+  const Fingerprint solo_a = run_world(1);
+  const Fingerprint solo_b = run_world(2);
+  ASSERT_NE(solo_a, solo_b);
+
+  // Two worlds built in the same scope, interleaved construction, run
+  // back to back.
+  Experiment first(config_for(1));
+  Experiment second(config_for(2));
+  first.submit_trace(workload());
+  second.submit_trace(workload());
+  first.run();
+  second.run();
+  const auto ra = first.report();
+  const auto rb = second.report();
+  EXPECT_EQ((Fingerprint{ra.jobs_finished, ra.system_utilization,
+                         ra.avg_wait_seconds,
+                         first.manager().master_stats().cpu_seconds(),
+                         first.engine().executed_events()}),
+            solo_a);
+  EXPECT_EQ((Fingerprint{rb.jobs_finished, rb.system_utilization,
+                         rb.avg_wait_seconds,
+                         second.manager().master_stats().cpu_seconds(),
+                         second.engine().executed_events()}),
+            solo_b);
+}
+
+TEST(ExperimentIsolation, ConcurrentRunsMatchSolo) {
+  const Fingerprint solo_a = run_world(1);
+  const Fingerprint solo_b = run_world(2);
+
+  Fingerprint threaded_a, threaded_b;
+  std::thread ta([&] { threaded_a = run_world(1); });
+  std::thread tb([&] { threaded_b = run_world(2); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(threaded_a, solo_a);
+  EXPECT_EQ(threaded_b, solo_b);
+}
+
+TEST(ExperimentIsolation, TelemetryContextsDoNotCrossContaminate) {
+  telemetry::Telemetry ctx_a, ctx_b;
+  ctx_a.enable();
+  ctx_b.enable();
+
+  Fingerprint with_a, with_b;
+  std::thread ta([&] { with_a = run_world(1, &ctx_a); });
+  std::thread tb([&] { with_b = run_world(2, &ctx_b); });
+  ta.join();
+  tb.join();
+
+  // Instrumentation must not perturb the simulation...
+  EXPECT_EQ(with_a, run_world(1));
+  EXPECT_EQ(with_b, run_world(2));
+  // ...and each context holds exactly its own world's event count.
+  EXPECT_DOUBLE_EQ(ctx_a.metrics.counter("sim.events_executed").value(),
+                   static_cast<double>(with_a.events));
+  EXPECT_DOUBLE_EQ(ctx_b.metrics.counter("sim.events_executed").value(),
+                   static_cast<double>(with_b.events));
+  EXPECT_NE(ctx_a.metrics.counter("sim.events_executed").value(),
+            ctx_b.metrics.counter("sim.events_executed").value());
+}
+
+}  // namespace
+}  // namespace eslurm::core

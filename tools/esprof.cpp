@@ -12,6 +12,12 @@
 //                                     # column per artifact, counters /
 //                                     # gauges / histogram means side by
 //                                     # side (e.g. a sweep's points)
+//   esprof BENCH_engine.json          # bench artifact (--json) summary
+//   esprof before/BENCH_engine.json after/BENCH_engine.json
+//                                     # bench diff: run-level envelope
+//                                     # (events/sec, wall, peak RSS) and
+//                                     # per-point metric means side by
+//                                     # side, with after/before ratios
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -259,6 +265,132 @@ void summarize_merged(const std::vector<Artifact>& artifacts) {
              }));
 }
 
+// --- bench artifacts (schema "eslurm-bench-v*", written by --json) ------
+
+bool is_bench_artifact(const JsonValue& document) {
+  const JsonValue* schema = document.find("schema");
+  return schema && schema->is_string() &&
+         schema->as_string().rfind("eslurm-bench", 0) == 0;
+}
+
+/// Run-level envelope fields, in display order.  events_per_sec may be
+/// JSON null (benches with no simulated events), surfaced as "-".
+constexpr const char* kBenchRunFields[] = {"wall_seconds", "total_events",
+                                           "events_per_sec", "peak_rss_bytes"};
+
+std::optional<double> bench_run_field(const JsonValue& document, const char* key) {
+  const JsonValue* value = document.find(key);
+  if (!value || !value->is_number()) return std::nullopt;
+  return value->as_number();
+}
+
+/// Per-point metric means, keyed "label :: metric" so artifacts line up
+/// across runs even when point order differs.
+std::map<std::string, double> bench_point_means(const JsonValue& document) {
+  std::map<std::string, double> out;
+  const JsonValue* points = document.find("points");
+  if (!points || !points->is_array()) return out;
+  for (const JsonValue& point : points->items()) {
+    if (!point.is_object()) continue;
+    const std::string label = member_string(point, "label");
+    const JsonValue* metrics = point.find("metrics");
+    if (!metrics || !metrics->is_object()) continue;
+    for (const auto& [name, stats] : metrics->members())
+      out[label + " :: " + name] = member_number(stats, "mean");
+  }
+  return out;
+}
+
+void summarize_bench(const Artifact& artifact) {
+  const JsonValue& document = artifact.document;
+  std::printf("bench artifact: %s (schema %s%s)\n\n",
+              member_string(document, "bench").c_str(),
+              member_string(document, "schema").c_str(),
+              document.find("smoke") && document.find("smoke")->is_bool() &&
+                      document.find("smoke")->as_bool()
+                  ? ", smoke"
+                  : "");
+  Table run({"run-level", "value"});
+  for (const char* field : kBenchRunFields) {
+    const auto value = bench_run_field(document, field);
+    run.add_row({field, value ? format_double(*value, 6) : "-"});
+  }
+  run.print();
+  std::printf("\n");
+  const auto means = bench_point_means(document);
+  if (means.empty()) return;
+  std::printf("point metric means\n");
+  Table table({"point :: metric", "mean"});
+  for (const auto& [key, mean] : means)
+    table.add_row({key, format_double(mean, 6)});
+  table.print();
+  std::printf("\n");
+}
+
+/// Diff mode: one column per artifact; with exactly two artifacts a
+/// last/first ratio column makes before/after perf comparisons one read
+/// (events_per_sec ratio > 1 means the second run is faster).
+void diff_bench(const std::vector<Artifact>& artifacts) {
+  std::printf("bench comparison of %zu artifacts\n\n", artifacts.size());
+  const bool ratio = artifacts.size() == 2;
+
+  std::vector<std::string> header{"run-level"};
+  for (const Artifact& artifact : artifacts) header.push_back(artifact.label);
+  if (ratio) header.push_back("ratio");
+  Table run(header);
+  {
+    std::vector<std::string> row{"bench"};
+    for (const Artifact& artifact : artifacts)
+      row.push_back(member_string(artifact.document, "bench"));
+    if (ratio) row.push_back("-");
+    run.add_row(std::move(row));
+  }
+  for (const char* field : kBenchRunFields) {
+    std::vector<std::string> row{field};
+    std::vector<std::optional<double>> values;
+    for (const Artifact& artifact : artifacts) {
+      values.push_back(bench_run_field(artifact.document, field));
+      row.push_back(values.back() ? format_double(*values.back(), 6) : "-");
+    }
+    if (ratio)
+      row.push_back(values[0] && values[1] && *values[0] != 0.0
+                        ? format_double(*values[1] / *values[0], 4)
+                        : "-");
+    run.add_row(std::move(row));
+  }
+  run.print();
+  std::printf("\n");
+
+  // Union of "label :: metric" rows across all artifacts.
+  std::map<std::string, std::vector<std::optional<double>>> rows;
+  for (std::size_t a = 0; a < artifacts.size(); ++a) {
+    for (const auto& [key, mean] : bench_point_means(artifacts[a].document)) {
+      auto& row = rows[key];
+      row.resize(artifacts.size());
+      row[a] = mean;
+    }
+  }
+  if (rows.empty()) return;
+  std::vector<std::string> point_header{"point :: metric"};
+  for (const Artifact& artifact : artifacts) point_header.push_back(artifact.label);
+  if (ratio) point_header.push_back("ratio");
+  std::printf("point metric means\n");
+  Table table(point_header);
+  for (auto& [key, values] : rows) {
+    values.resize(artifacts.size());
+    std::vector<std::string> cells{key};
+    for (const auto& value : values)
+      cells.push_back(value ? format_double(*value, 6) : "-");
+    if (ratio)
+      cells.push_back(values[0] && values[1] && *values[0] != 0.0
+                          ? format_double(*values[1] / *values[0], 4)
+                          : "-");
+    table.add_row(std::move(cells));
+  }
+  table.print();
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,10 +413,22 @@ int main(int argc, char** argv) {
 
   if (args.positional().size() > 1) {
     std::vector<Artifact> artifacts;
+    std::size_t bench_count = 0;
     for (const std::string& artifact_path : args.positional()) {
       auto artifact = load_artifact(artifact_path);
       if (!artifact) return 1;
+      if (is_bench_artifact(artifact->document)) ++bench_count;
       artifacts.push_back(std::move(*artifact));
+    }
+    if (bench_count == artifacts.size()) {
+      diff_bench(artifacts);
+      return 0;
+    }
+    if (bench_count > 0) {
+      std::fprintf(stderr,
+                   "esprof: cannot mix bench artifacts with telemetry traces "
+                   "in one comparison\n");
+      return 2;
     }
     summarize_merged(artifacts);
     return 0;
@@ -294,6 +438,10 @@ int main(int argc, char** argv) {
   const auto artifact = load_artifact(path);
   if (!artifact) return 1;
   const JsonValue& document = artifact->document;
+  if (is_bench_artifact(document)) {
+    summarize_bench(*artifact);
+    return 0;
+  }
 
   const bool only_spans = args.has_flag("spans");
   const bool only_metrics = args.has_flag("metrics");
