@@ -47,6 +47,8 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
                      from_seconds(config_.chaos.partition_duration_s),
                      {static_cast<net::NodeId>(0)}, std::move(side_b));
     }
+    if (config_.chaos.master_kill_s >= 0.0)
+      plan.kill_master(from_seconds(config_.chaos.master_kill_s));
     chaos_->set_plan(std::move(plan));
     network_->set_chaos(chaos_.get());
   }
@@ -109,6 +111,14 @@ void Experiment::run() {
   if (!started_) {
     started_ = true;
     manager_->start(config_.horizon);
+    // Master kills are read at start time so benches that install their
+    // own ChaosPlan after construction get their crash points scheduled.
+    if (chaos_) {
+      for (const SimTime at : chaos_->plan().master_kills) {
+        if (at >= config_.horizon) continue;
+        engine_->schedule_at(at, [this] { manager_->inject_master_crash(); });
+      }
+    }
     if (frontend_) frontend_->start(config_.horizon);
     if (config_.enable_failures) {
       failures_->start(config_.horizon);
@@ -168,6 +178,21 @@ ExperimentConfig Experiment::config_from_text(const std::string& text) {
       parsed.get_double("chaospartitionstarts", config.chaos.partition_start_s);
   config.chaos.partition_duration_s = parsed.get_double(
       "chaospartitiondurations", config.chaos.partition_duration_s);
+  config.chaos.master_kill_s =
+      parsed.get_double("chaosmasterkills", config.chaos.master_kill_s);
+  config.rm_config.ha.enabled =
+      parsed.get_bool("haenabled", config.rm_config.ha.enabled);
+  config.rm_config.ha.snapshot_interval = from_seconds(parsed.get_double(
+      "hasnapshotintervals", to_seconds(config.rm_config.ha.snapshot_interval)));
+  config.rm_config.ha.group_commit_interval = from_seconds(
+      parsed.get_double("hagroupcommitms",
+                        to_seconds(config.rm_config.ha.group_commit_interval) *
+                            1e3) /
+      1e3);
+  config.rm_config.ha.standby_hb_interval = from_seconds(parsed.get_double(
+      "haheartbeats", to_seconds(config.rm_config.ha.standby_hb_interval)));
+  config.rm_config.ha.hb_miss_threshold = static_cast<int>(parsed.get_int(
+      "haheartbeatmissthreshold", config.rm_config.ha.hb_miss_threshold));
   return config;
 }
 

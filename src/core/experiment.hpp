@@ -77,7 +77,9 @@ class Experiment {
   /// EstimatorWindow, EstimatorAlpha, EnableFailures, NodeMtbfHours,
   /// FrontendUsers, CacheTtlSeconds, UseReliableTransport, ChaosDropProb,
   /// ChaosDuplicateProb, ChaosDelayProb, ChaosDelayMs,
-  /// ChaosPartitionStartS, ChaosPartitionDurationS.
+  /// ChaosPartitionStartS, ChaosPartitionDurationS, ChaosMasterKillS,
+  /// HaEnabled, HaSnapshotIntervalS, HaGroupCommitMs, HaHeartbeatS,
+  /// HaHeartbeatMissThreshold.
   static ExperimentConfig config_from_text(const std::string& text);
 
   // --- world access ----------------------------------------------------

@@ -1,0 +1,80 @@
+#include "ha/failover.hpp"
+
+#include <utility>
+
+#include "ha/replication.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace eslurm::ha {
+
+FailoverDetector::FailoverDetector(sim::Engine& engine, net::Network& network,
+                                   HaOptions options)
+    : engine_(engine), net_(network), options_(options) {
+  if (auto* t = engine_.telemetry()) {
+    probes_counter_ = &t->metrics.counter("ha.failover.probes");
+    missed_counter_ = &t->metrics.counter("ha.failover.probe_misses");
+  }
+}
+
+void FailoverDetector::arm(net::NodeId standby, net::NodeId master,
+                           std::function<void()> on_dead) {
+  disarm();
+  standby_ = standby;
+  master_ = master;
+  on_dead_ = std::move(on_dead);
+  consecutive_ = 0;
+  fired_ = false;
+  task_ = std::make_unique<sim::PeriodicTask>(
+      engine_, options_.standby_hb_interval, [this] { tick(); });
+  task_->start(options_.standby_hb_interval);
+}
+
+void FailoverDetector::disarm() {
+  if (task_) task_->stop();
+  task_.reset();
+  ++epoch_;  // orphan in-flight probe callbacks
+  on_dead_ = nullptr;
+  consecutive_ = 0;
+}
+
+void FailoverDetector::tick() {
+  if (fired_) return;
+  ++probes_;
+  if (probes_counter_) probes_counter_->inc();
+  net::Message probe;
+  probe.type = kMsgStandbyHeartbeat;
+  probe.bytes = 64;
+  const std::uint64_t epoch = epoch_;
+  net_.send(standby_, master_, std::move(probe), options_.standby_hb_timeout,
+            [this, epoch](bool ok) {
+              if (epoch != epoch_ || fired_) return;
+              if (ok) {
+                consecutive_ = 0;
+                return;
+              }
+              ++missed_;
+              if (missed_counter_) missed_counter_->inc();
+              if (++consecutive_ < options_.hb_miss_threshold) return;
+              fired_ = true;
+              ++detections_;
+              if (task_) task_->stop();
+              if (on_dead_) on_dead_();
+            });
+}
+
+bool LaunchLedger::begin_launch(sched::JobId id, std::vector<net::NodeId> nodes,
+                                SimTime now) {
+  const auto [it, inserted] =
+      entries_.try_emplace(id, Entry{std::move(nodes), now});
+  (void)it;
+  if (!inserted) {
+    ++duplicates_;
+    return false;
+  }
+  ++launches_;
+  return true;
+}
+
+void LaunchLedger::complete(sched::JobId id) { entries_.erase(id); }
+
+}  // namespace eslurm::ha

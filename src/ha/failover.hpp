@@ -1,0 +1,107 @@
+// Master-death detection and launch idempotency bookkeeping.
+//
+// FailoverDetector: the standby probes the master with raw heartbeats
+// (no transport -- a liveness probe must fail fast, and raw sends keep
+// the rng surface minimal) and declares it dead after N consecutive
+// misses.  The declaration fires a callback exactly once per arming;
+// the promotion path re-arms the detector on the next standby.
+//
+// LaunchLedger: the compute plane's ground truth of which jobs are
+// physically running where.  An entry is created when a job's launch
+// actually takes effect (run timer armed) and removed when its
+// termination completes.  A second begin_launch for the same job is the
+// duplicate-launch event HA must never produce; the ledger counts it
+// and refuses, making `duplicate_launches == 0` a measured property
+// rather than an assumption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ha/options.hpp"
+#include "net/network.hpp"
+#include "sched/job.hpp"
+#include "sim/engine.hpp"
+
+namespace eslurm::telemetry {
+class Counter;
+}  // namespace eslurm::telemetry
+
+namespace eslurm::ha {
+
+class FailoverDetector {
+ public:
+  FailoverDetector(sim::Engine& engine, net::Network& network,
+                   HaOptions options);
+
+  /// Starts probing `master` from `standby`; `on_dead` fires once when
+  /// `hb_miss_threshold` consecutive probes fail.  Re-arming replaces
+  /// the previous probe loop.
+  void arm(net::NodeId standby, net::NodeId master,
+           std::function<void()> on_dead);
+  void disarm();
+  bool armed() const { return task_ != nullptr; }
+
+  std::uint64_t probes_sent() const { return probes_; }
+  std::uint64_t probes_missed() const { return missed_; }
+  int consecutive_misses() const { return consecutive_; }
+  std::uint64_t detections() const { return detections_; }
+
+ private:
+  void tick();
+
+  sim::Engine& engine_;
+  net::Network& net_;
+  HaOptions options_;
+  net::NodeId standby_ = net::kNoNode;
+  net::NodeId master_ = net::kNoNode;
+  std::function<void()> on_dead_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+  std::uint64_t epoch_ = 0;  ///< orphans probe callbacks across re-arms
+  int consecutive_ = 0;
+  bool fired_ = false;
+
+  std::uint64_t probes_ = 0;
+  std::uint64_t missed_ = 0;
+  std::uint64_t detections_ = 0;
+
+  telemetry::Counter* probes_counter_ = nullptr;
+  telemetry::Counter* missed_counter_ = nullptr;
+};
+
+class LaunchLedger {
+ public:
+  struct Entry {
+    std::vector<net::NodeId> nodes;
+    SimTime started = 0;
+  };
+
+  /// Registers a physical launch.  Returns false -- and counts a
+  /// duplicate -- if the job is already running; the caller must NOT
+  /// start it again.
+  bool begin_launch(sched::JobId id, std::vector<net::NodeId> nodes,
+                    SimTime now);
+  /// The job's resources were reclaimed; the id may legitimately launch
+  /// again only after this (which unique job ids never do).
+  void complete(sched::JobId id);
+  bool running(sched::JobId id) const { return entries_.count(id) > 0; }
+  const Entry* find(sched::JobId id) const {
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t active() const { return entries_.size(); }
+  std::uint64_t launches() const { return launches_; }
+  /// Duplicate physical launches refused -- the headline HA metric.
+  std::uint64_t duplicate_launches() const { return duplicates_; }
+
+ private:
+  std::unordered_map<sched::JobId, Entry> entries_;
+  std::uint64_t launches_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace eslurm::ha

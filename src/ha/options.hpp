@@ -1,0 +1,57 @@
+// Tunables of the HA master subsystem (write-ahead log, replicated
+// snapshots, standby-promoted failover).  All durations are simulated
+// time; the cost coefficients model the I/O and CPU work a real
+// controller would spend writing, shipping and replaying its state.
+//
+// `enabled` defaults to false and every HA code path is gated on it, so
+// a default-configured world schedules no extra events, draws no extra
+// rng and stays bit-identical to the pre-HA engine (the golden-sequence
+// test pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace eslurm::ha {
+
+struct HaOptions {
+  bool enabled = false;
+
+  // --- write-ahead log ---------------------------------------------------
+  /// Group-commit window: appended records are batched and flushed (then
+  /// replicated) at most this long after the first append in the batch.
+  SimTime group_commit_interval = milliseconds(50);
+  /// A batch reaching this many encoded bytes flushes immediately.
+  std::size_t group_commit_bytes = 64 * 1024;
+
+  // --- snapshots ---------------------------------------------------------
+  /// Cadence of full-state snapshots; each installed snapshot truncates
+  /// the WAL through its covered sequence number.
+  SimTime snapshot_interval = minutes(10);
+  /// Local snapshot write cost (serialize + fsync), per image byte.
+  double snapshot_write_us_per_byte = 0.002;  // ~500 MB/s
+  /// Snapshot load + parse cost at promotion, per image byte.
+  double snapshot_load_us_per_byte = 0.001;   // ~1 GB/s
+  /// Snapshot images stream to the standby in chunks of this size.
+  std::size_t snapshot_chunk_bytes = 256 * 1024;
+
+  // --- failover ----------------------------------------------------------
+  /// Standby -> master liveness probe cadence and per-probe timeout.
+  SimTime standby_hb_interval = seconds(2);
+  SimTime standby_hb_timeout = seconds(1);
+  /// Consecutive missed probes before the standby declares the master
+  /// dead and starts promotion.
+  int hb_miss_threshold = 3;
+  /// WAL replay cost during promotion, per record.
+  double replay_us_per_record = 4.0;
+  /// Fixed promotion overhead: fencing check, role switch, handler
+  /// re-registration bookkeeping.
+  SimTime promote_overhead = milliseconds(200);
+  /// Per-attempt timeout of a replication push (WAL batch or snapshot
+  /// chunk); the reliable transport retries within it.
+  SimTime replication_timeout = seconds(5);
+};
+
+}  // namespace eslurm::ha

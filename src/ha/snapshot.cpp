@@ -1,0 +1,211 @@
+#include "ha/snapshot.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace eslurm::ha {
+
+bool StateImage::operator==(const StateImage& other) const {
+  if (taken_at != other.taken_at || last_wal_seq != other.last_wal_seq ||
+      down != other.down || accounting != other.accounting ||
+      jobs.size() != other.jobs.size())
+    return false;
+  for (const auto& [id, entry] : jobs) {
+    const auto it = other.jobs.find(id);
+    if (it == other.jobs.end()) return false;
+    const sched::Job& a = entry.job;
+    const sched::Job& b = it->second.job;
+    if (a.id != b.id || a.user != b.user || a.name != b.name ||
+        a.partition != b.partition || a.nodes != b.nodes || a.cores != b.cores ||
+        a.depends_on != b.depends_on || a.submit_time != b.submit_time ||
+        a.actual_runtime != b.actual_runtime ||
+        a.user_estimate != b.user_estimate ||
+        a.estimate_used != b.estimate_used || a.state != b.state ||
+        entry.alloc != it->second.alloc)
+      return false;
+  }
+  return true;
+}
+
+std::string encode_job_line(const ImageJob& entry) {
+  const sched::Job& j = entry.job;
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRIu64 " %s %s %s %d %d %" PRIu64 " %" PRId64 " %" PRId64
+                " %" PRId64 " %" PRId64 " %u %zu",
+                j.id, j.user.empty() ? "-" : j.user.c_str(),
+                j.name.empty() ? "-" : j.name.c_str(),
+                j.partition.empty() ? "-" : j.partition.c_str(), j.nodes,
+                j.cores, j.depends_on, static_cast<std::int64_t>(j.submit_time),
+                static_cast<std::int64_t>(j.actual_runtime),
+                static_cast<std::int64_t>(j.user_estimate),
+                static_cast<std::int64_t>(j.estimate_used),
+                static_cast<unsigned>(j.state), entry.alloc.size());
+  std::string line(buf);
+  for (const net::NodeId node : entry.alloc) {
+    line.push_back(' ');
+    line.append(std::to_string(node));
+  }
+  return line;
+}
+
+bool decode_job_line(const std::string& line, ImageJob* out) {
+  std::istringstream fields(line);
+  sched::Job& j = out->job;
+  std::int64_t submit = 0, runtime = 0, user_est = 0, est_used = 0;
+  unsigned state = 0;
+  std::size_t alloc_count = 0;
+  if (!(fields >> j.id >> j.user >> j.name >> j.partition >> j.nodes >>
+        j.cores >> j.depends_on >> submit >> runtime >> user_est >> est_used >>
+        state >> alloc_count))
+    return false;
+  if (j.user == "-") j.user.clear();
+  if (j.name == "-") j.name.clear();
+  if (j.partition == "-") j.partition.clear();
+  j.submit_time = submit;
+  j.actual_runtime = runtime;
+  j.user_estimate = user_est;
+  j.estimate_used = est_used;
+  if (state > static_cast<unsigned>(sched::JobState::Cancelled)) return false;
+  j.state = static_cast<sched::JobState>(state);
+  out->alloc.clear();
+  out->alloc.reserve(alloc_count);
+  for (std::size_t i = 0; i < alloc_count; ++i) {
+    net::NodeId node = 0;
+    if (!(fields >> node)) return false;
+    out->alloc.push_back(node);
+  }
+  return true;
+}
+
+std::string serialize(const StateImage& image) {
+  std::string body = "# eslurm-ha-image v1\n";
+  char head[160];
+  std::snprintf(head, sizeof(head), "%" PRId64 " %" PRIu64 " %zu %zu %zu\n",
+                static_cast<std::int64_t>(image.taken_at), image.last_wal_seq,
+                image.jobs.size(), image.down.size(),
+                image.accounting.size());
+  body.append(head);
+  for (const auto& [id, entry] : image.jobs) {
+    (void)id;
+    body.append("J ");
+    body.append(encode_job_line(entry));
+    body.push_back('\n');
+  }
+  body.push_back('D');
+  for (const net::NodeId node : image.down) {
+    body.push_back(' ');
+    body.append(std::to_string(node));
+  }
+  body.push_back('\n');
+  body.append(image.accounting);
+
+  char trailer[32];
+  std::snprintf(trailer, sizeof(trailer), "crc %" PRIu32 "\n",
+                crc32(body.data(), body.size()));
+  return std::string(trailer) + body;
+}
+
+bool parse_state_image(const std::string& bytes, StateImage* out) {
+  // Line 1: "crc <u32>" guarding everything after it.
+  const std::size_t crc_end = bytes.find('\n');
+  if (crc_end == std::string::npos) return false;
+  std::uint32_t expected = 0;
+  if (std::sscanf(bytes.c_str(), "crc %" SCNu32, &expected) != 1) return false;
+  const char* body = bytes.data() + crc_end + 1;
+  const std::size_t body_size = bytes.size() - crc_end - 1;
+  if (crc32(body, body_size) != expected) return false;
+
+  StateImage image;
+  std::size_t at = 0;
+  auto next_line = [&](std::string* line) {
+    if (at >= body_size) return false;
+    const char* nl =
+        static_cast<const char*>(memchr(body + at, '\n', body_size - at));
+    if (!nl) return false;
+    line->assign(body + at, static_cast<std::size_t>(nl - (body + at)));
+    at = static_cast<std::size_t>(nl - body) + 1;
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(&line) || line != "# eslurm-ha-image v1") return false;
+  std::int64_t taken_at = 0;
+  std::size_t njobs = 0, ndown = 0, acct_bytes = 0;
+  if (!next_line(&line) ||
+      std::sscanf(line.c_str(), "%" SCNd64 " %" SCNu64 " %zu %zu %zu",
+                  &taken_at, &image.last_wal_seq, &njobs, &ndown,
+                  &acct_bytes) != 5)
+    return false;
+  image.taken_at = taken_at;
+  for (std::size_t i = 0; i < njobs; ++i) {
+    if (!next_line(&line) || line.size() < 2 || line[0] != 'J') return false;
+    ImageJob entry;
+    if (!decode_job_line(line.substr(2), &entry)) return false;
+    image.jobs.emplace(entry.job.id, std::move(entry));
+  }
+  if (!next_line(&line) || line.empty() || line[0] != 'D') return false;
+  {
+    std::istringstream fields(line.substr(1));
+    net::NodeId node = 0;
+    while (fields >> node) image.down.insert(node);
+    if (image.down.size() != ndown) return false;
+  }
+  if (body_size - at != acct_bytes) return false;
+  image.accounting.assign(body + at, acct_bytes);
+  *out = std::move(image);
+  return true;
+}
+
+void apply(StateImage* image, const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::JobSubmitted: {
+      ImageJob entry;
+      if (decode_job_line(record.blob, &entry))
+        image->jobs.emplace(entry.job.id, std::move(entry));  // idempotent
+      break;
+    }
+    case WalRecordType::JobStarted: {
+      const auto it = image->jobs.find(record.id);
+      if (it == image->jobs.end()) break;
+      it->second.alloc.clear();
+      std::istringstream fields(record.blob);
+      net::NodeId node = 0;
+      while (fields >> node) it->second.alloc.push_back(node);
+      it->second.job.state = sched::JobState::Starting;
+      break;
+    }
+    case WalRecordType::JobFinished: {
+      const auto it = image->jobs.find(record.id);
+      if (it == image->jobs.end()) break;
+      const auto state = static_cast<sched::JobState>(record.aux);
+      if (state == sched::JobState::Completed ||
+          state == sched::JobState::TimedOut ||
+          state == sched::JobState::Cancelled)
+        it->second.job.state = state;
+      break;
+    }
+    case WalRecordType::JobReleased:
+      image->jobs.erase(record.id);
+      break;
+    case WalRecordType::JobRequeued: {
+      const auto it = image->jobs.find(record.id);
+      if (it == image->jobs.end()) break;
+      it->second.job.state = sched::JobState::Pending;
+      it->second.alloc.clear();
+      break;
+    }
+    case WalRecordType::NodeDown:
+      image->down.insert(static_cast<net::NodeId>(record.id));
+      break;
+    case WalRecordType::NodeUp:
+      image->down.erase(static_cast<net::NodeId>(record.id));
+      break;
+    case WalRecordType::SnapshotMark:
+      break;
+  }
+}
+
+}  // namespace eslurm::ha

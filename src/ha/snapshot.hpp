@@ -1,0 +1,61 @@
+// Point-in-time image of the master's replicated state, plus the WAL
+// replay function that rolls an image forward.
+//
+// A StateImage captures the live job set (pending / starting / running
+// jobs with their allocations), the master's believed-down node set and
+// the accounting database blob, stamped with the highest WAL sequence
+// number whose effects the image already contains.  Replay applies the
+// retained WAL records with seq > last_wal_seq on top -- the promotion
+// path of the HA master and the recovery invariant tests both run
+// exactly this function, so what the standby reconstructs is what the
+// tests verify.
+//
+// Images serialize to a CRC32-guarded text format (shaped after
+// rm::AccountingStorage::save): corruption or truncation in a replicated
+// snapshot is detected at parse time, never silently promoted.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ha/wal.hpp"
+#include "net/message.hpp"
+#include "sched/job.hpp"
+
+namespace eslurm::ha {
+
+struct ImageJob {
+  sched::Job job;
+  std::vector<net::NodeId> alloc;  ///< nodes held while Starting/Running
+};
+
+struct StateImage {
+  SimTime taken_at = 0;
+  /// Highest WAL seq whose effects this image includes; replay starts
+  /// after it.  (Ordered containers keep serialization deterministic.)
+  std::uint64_t last_wal_seq = 0;
+  std::map<sched::JobId, ImageJob> jobs;
+  std::set<net::NodeId> down;
+  std::string accounting;  ///< opaque AccountingStorage::save() blob
+
+  bool operator==(const StateImage& other) const;
+};
+
+/// One job as a WAL/snapshot text line (no trailing newline); the
+/// JobSubmitted record blob and the image's J-lines share this format.
+std::string encode_job_line(const ImageJob& entry);
+bool decode_job_line(const std::string& line, ImageJob* out);
+
+/// CRC-guarded image codec.  parse returns false (leaving *out
+/// unspecified) on a bad checksum or malformed body.
+std::string serialize(const StateImage& image);
+bool parse_state_image(const std::string& bytes, StateImage* out);
+
+/// Applies one WAL record to an image.  Replay is idempotent and
+/// tolerant: records about jobs the image does not know (e.g. released
+/// before the snapshot) are ignored.
+void apply(StateImage* image, const WalRecord& record);
+
+}  // namespace eslurm::ha

@@ -36,6 +36,9 @@ void ChaosInjector::set_plan(ChaosPlan plan) {
     partitions_.push_back(std::move(compiled));
   }
   if (auto* t = engine_.telemetry()) {
+    for (const SimTime at : plan_.master_kills)
+      t->tracer.instant("chaos-master-kill", "net",
+                        {{"at_s", to_seconds(at)}});
     for (std::size_t i = 0; i < plan_.phases.size(); ++i) {
       const ChaosPhase& phase = plan_.phases[i];
       t->tracer.instant(

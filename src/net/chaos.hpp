@@ -67,8 +67,19 @@ struct ChaosPhase {
 /// the run starts.
 struct ChaosPlan {
   std::vector<ChaosPhase> phases;
+  /// Whole-process master kills ("crash at the worst moment"): at each
+  /// listed time the experiment invokes the RM's inject_master_crash().
+  /// Unlike message faults these are not per-send decisions, so the
+  /// Experiment -- not the injector -- schedules them.
+  std::vector<SimTime> master_kills;
 
-  bool empty() const { return phases.empty(); }
+  bool empty() const { return phases.empty() && master_kills.empty(); }
+
+  /// Kills the RM master at `at` (repeatable for multiple crashes).
+  ChaosPlan& kill_master(SimTime at) {
+    master_kills.push_back(at);
+    return *this;
+  }
 
   /// Ambient flakiness for the whole run (open-ended phase at t=0).
   ChaosPhase& ambient(double drop, double duplicate = 0.0,
@@ -107,10 +118,12 @@ struct ChaosParams {
   double delay_spike_ms = 250.0;
   double partition_start_s = -1.0;  ///< < 0 disables the partition phase
   double partition_duration_s = 0.0;
+  double master_kill_s = -1.0;      ///< < 0 disables the master kill
 
   bool any() const {
     return drop_prob > 0.0 || duplicate_prob > 0.0 || delay_spike_prob > 0.0 ||
-           (partition_start_s >= 0.0 && partition_duration_s > 0.0);
+           (partition_start_s >= 0.0 && partition_duration_s > 0.0) ||
+           master_kill_s >= 0.0;
   }
 };
 

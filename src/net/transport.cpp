@@ -57,6 +57,8 @@ ReliableTransport::ReliableTransport(Network& network, Rng rng,
                                             {{"transport", name_}});
     duplicates_counter_ = &t->metrics.counter("transport.duplicates_suppressed",
                                               {{"transport", name_}});
+    wraps_counter_ = &t->metrics.counter("transport.dedup_window_wrap",
+                                         {{"transport", name_}});
   }
 }
 
@@ -136,10 +138,21 @@ void ReliableTransport::register_handler(NodeId node, MessageType type,
           if (duplicates_counter_) duplicates_counter_->inc();
           return;
         }
+        if (window.evicted_any && envelope.seq <= window.evicted_max) {
+          // The window has already forgotten sequence numbers this old:
+          // if this frame is a late retransmit it will be re-processed.
+          // Count the wrap (the guarantee boundary) but deliver -- the
+          // transport cannot distinguish it from a never-seen frame.
+          ++dedup_window_wraps_;
+          if (wraps_counter_) wraps_counter_->inc();
+        }
         window.seen.insert(envelope.seq);
         window.order.push_back(envelope.seq);
         if (window.order.size() > options_.dedup_window) {
-          window.seen.erase(window.order.front());
+          const std::uint64_t evicted = window.order.front();
+          window.evicted_max = std::max(window.evicted_max, evicted);
+          window.evicted_any = true;
+          window.seen.erase(evicted);
           window.order.pop_front();
         }
         Message inner = frame;

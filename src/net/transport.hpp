@@ -99,21 +99,35 @@ class ReliableTransport {
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t permanent_failures() const { return permanent_failures_; }
   std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  /// Frames that arrived with a sequence number at or below the highest
+  /// seq already evicted from their channel's dedup window.  Such a frame
+  /// is *processed* (the window no longer remembers it), so a nonzero
+  /// count means a sufficiently delayed retransmit -- e.g. released by a
+  /// long partition after > dedup_window newer messages -- was NOT
+  /// deduplicated.  The exactly-once guarantee is bounded by the window;
+  /// this counter makes the boundary observable instead of silent.
+  std::uint64_t dedup_window_wraps() const { return dedup_window_wraps_; }
 
- private:
   /// Reliability header: the logical sequence number on its channel.
   /// `channel` disambiguates (from, type) streams at one receiver; the
-  /// sender id comes from msg.src.
+  /// sender id comes from msg.src.  Public so tests can forge delayed
+  /// frames when provoking dedup-window wrap.
   struct Envelope {
     std::uint64_t seq = 0;
     std::any inner;  ///< the caller's original payload
   };
 
+ private:
   /// Bounded remembered-seq set per (receiver, sender, type): O(1)
   /// membership plus FIFO eviction once `dedup_window` entries exist.
+  /// `evicted_max` tracks the highest seq ever evicted, so a late frame
+  /// older than the window's memory is detectable (see
+  /// dedup_window_wraps()).
   struct DedupWindow {
     std::unordered_set<std::uint64_t> seen;
     std::deque<std::uint64_t> order;
+    std::uint64_t evicted_max = 0;
+    bool evicted_any = false;
   };
 
   struct PendingSend;
@@ -134,11 +148,13 @@ class ReliableTransport {
   std::uint64_t retransmits_ = 0;
   std::uint64_t permanent_failures_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t dedup_window_wraps_ = 0;
 
   telemetry::Counter* sends_counter_ = nullptr;
   telemetry::Counter* retransmits_counter_ = nullptr;
   telemetry::Counter* failures_counter_ = nullptr;
   telemetry::Counter* duplicates_counter_ = nullptr;
+  telemetry::Counter* wraps_counter_ = nullptr;
 };
 
 }  // namespace eslurm::net

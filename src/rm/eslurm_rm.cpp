@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
+#include "rm/ha_master.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
@@ -88,6 +90,21 @@ EslurmRm::EslurmRm(sim::Engine& engine, net::Network& network,
   }
   rm_register(deployment_.master, kMsgSatelliteResult,
               [this](const net::Message& m) { on_satellite_result(m); });
+
+  if (config_.ha.enabled && !satellites_.empty()) {
+    // The first satellite doubles as the standby master; it keeps its
+    // relay role until (if ever) it is promoted.
+    ha_ = std::make_unique<HaMaster>(engine_, net_, config_.ha,
+                                     Rng(derive_seed(config_.seed, 0x4A17)));
+    ha_->set_capture([this] { return build_state_image(); });
+    ha_->set_on_master_dead([this] { begin_promotion(); });
+    ha_->set_endpoints(deployment_.master, satellites_.front().node);
+    for (auto& sat : satellites_) {
+      // Re-registration needs no application logic; the transport-level
+      // ack is the confirmation the new master aggregates.
+      rm_register(sat.node, kMsgSatelliteReregister, [](const net::Message&) {});
+    }
+  }
 }
 
 void EslurmRm::rm_send(NodeId from, NodeId to, net::Message msg, SimTime timeout,
@@ -117,6 +134,7 @@ void EslurmRm::start(SimTime horizon) {
     satellite_hb_->start(minutes(1));
     engine_.schedule_at(horizon, [this] { satellite_hb_->stop(); });
   }
+  if (ha_) ha_->start(horizon);
 }
 
 void EslurmRm::apply_event(std::size_t sat_index, SatelliteEvent event) {
@@ -423,6 +441,9 @@ void EslurmRm::subtask_finished(std::uint64_t dispatch_id, std::size_t subtask_i
 }
 
 void EslurmRm::heartbeat_satellites() {
+  // A dead master heartbeats nobody (HA keeps the node itself down
+  // until reboot; the base model only stops *scheduling*).
+  if (ha_ && !master_up_) return;
   for (std::size_t i = 0; i < satellites_.size(); ++i) {
     Satellite& sat = satellites_[i];
     if (sat.state == SatelliteState::Down) continue;
@@ -447,6 +468,164 @@ void EslurmRm::heartbeat_satellites() {
                 apply_event(i, ok ? SatelliteEvent::HbSuccess
                                   : SatelliteEvent::HbFailure);
               });
+  }
+}
+
+void EslurmRm::crash_master() {
+  if (!ha_) {
+    ResourceManager::crash_master();
+    return;
+  }
+  if (!master_up_) return;
+  master_up_ = false;
+  ++crashes_;
+  crashed_at_ = engine_.now();
+  ESLURM_INFO(profile_.name, ": master crashed at t=", to_seconds(engine_.now()),
+              "s (HA: standby will promote)");
+  if (auto* t = telemetry_) {
+    t->metrics.counter("rm.master_crashes", {{"rm", profile_.name}}).inc();
+    t->tracer.instant("master-crash", "rm");
+  }
+  // The master's in-memory dispatch bookkeeping dies with it.  In-flight
+  // launch/termination broadcasts abort: the launch protocol ends with a
+  // commit RPC from the master, and a dead master never commits, so the
+  // compute nodes abandon the half-delivered payload.
+  for (auto& [id, state] : dispatches_) {
+    (void)id;
+    for (auto& subtask : state->subtasks) {
+      if (subtask.watchdog != sim::kInvalidEvent) {
+        engine_.cancel(subtask.watchdog);
+        subtask.watchdog = sim::kInvalidEvent;
+      }
+    }
+  }
+  dispatches_.clear();
+  master_busy_until_ = 0;
+  const NodeId old_master = deployment_.master;
+  // The node itself goes dark: probes, reports and result messages to it
+  // now fail, which is what the standby's detector keys on.
+  cluster_.fail(old_master);
+  ha_->on_master_crashed();
+  engine_.schedule_after(profile_.reboot_time,
+                         [this, old_master] { master_rejoined(old_master); });
+}
+
+void EslurmRm::begin_promotion() {
+  if (master_up_) {
+    // Fencing: the detector can be fooled by a partition.  The master is
+    // alive, so the standby stands down and resumes watching.
+    ha_->note_false_alarm();
+    return;
+  }
+  if (!cluster_.alive(ha_->standby())) {
+    // The standby died too (double fault): nobody can promote; the
+    // cluster waits for the original master's reboot.
+    ESLURM_WARN(profile_.name, ": master dead but standby ", ha_->standby(),
+                " is down too; waiting for reboot");
+    return;
+  }
+  std::size_t replay_records = 0;
+  ha::StateImage image = ha_->recovered_image(&replay_records);
+  const SimTime detection = engine_.now() - crashed_at_;
+  const SimTime cost = ha_->replay_cost(replay_records);
+  ESLURM_INFO(profile_.name, ": standby ", ha_->standby(),
+              " promoting; snapshot ", ha_->replicator().store().snapshot().size(),
+              " B + ", replay_records, " WAL records, replay cost ",
+              to_seconds(cost), "s");
+  if (auto* t = telemetry_)
+    t->tracer.instant("ha-promotion-begin", "rm",
+                      {{"replay_records", static_cast<double>(replay_records)}});
+  engine_.schedule_after(
+      cost, [this, image = std::move(image), detection, replay_records]() mutable {
+        finish_promotion(std::move(image), detection, replay_records);
+      });
+}
+
+void EslurmRm::finish_promotion(ha::StateImage image, SimTime detection,
+                                std::size_t replay_records) {
+  if (master_up_) {
+    // The old master recovered during replay (only possible with a
+    // near-zero reboot time); the promotion is abandoned.
+    ha_->note_false_alarm();
+    return;
+  }
+  const NodeId new_master = ha_->standby();
+  // The promoted node leaves the relay pool for good; Table II has no
+  // edge for "became the master", so the state is set directly.
+  for (auto& sat : satellites_)
+    if (sat.node == new_master) sat.state = SatelliteState::Down;
+  deployment_.master = new_master;
+  net_.set_recv_processing(
+      new_master,
+      from_seconds(profile_.accounting.cpu_us_per_message * 1e-6));
+  net_.register_handler(new_master, kMsgNodeReport, [](const net::Message&) {});
+  rm_register(new_master, kMsgSatelliteResult,
+              [this](const net::Message& m) { on_satellite_result(m); });
+  // Fresh daemon on the new node; the old node's stats stay frozen as a
+  // record of its tenure.
+  master_stats_ = std::make_unique<DaemonStats>(engine_, net_, new_master,
+                                                profile_.accounting);
+  if (profile_.persistent_node_connections)
+    master_stats_->set_persistent_sockets(
+        static_cast<int>(deployment_.compute.size()));
+  if (engine_.now() < horizon_)
+    master_stats_->start_sampling(config_.sample_interval, horizon_);
+
+  const auto stats = reconcile_with_image(image);
+  master_up_ = true;
+  downtime_ += engine_.now() - crashed_at_;
+  ha_->finish_takeover(new_master, detection, engine_.now() - crashed_at_,
+                       replay_records);
+  ESLURM_INFO(profile_.name, ": node ", new_master, " is master after ",
+              to_seconds(engine_.now() - crashed_at_), "s (replayed ",
+              replay_records, " records; requeued ", stats.requeued,
+              ", re-terminated ", stats.reissued, ", dropped ", stats.dropped,
+              " uncommitted)");
+  if (auto* t = telemetry_)
+    t->tracer.complete("master-outage", "rm", crashed_at_,
+                       engine_.now() - crashed_at_);
+
+  // Surviving satellites re-home their control channel to the new
+  // master; the ack doubles as a liveness probe feeding the FSM.
+  for (std::size_t i = 0; i < satellites_.size(); ++i) {
+    if (satellites_[i].state == SatelliteState::Down) continue;
+    net::Message msg;
+    msg.type = kMsgSatelliteReregister;
+    msg.bytes = 128;
+    rm_send(new_master, satellites_[i].node, std::move(msg),
+            config_.bcast.timeout, [this, i](bool ok) {
+              if (ok) ++reregistered_;
+              if (auto* t = telemetry_)
+                t->metrics
+                    .counter("ha.failover.reregistrations",
+                             {{"result", ok ? "ok" : "fail"}})
+                    .inc();
+              apply_event(i, ok ? SatelliteEvent::HbSuccess
+                                : SatelliteEvent::HbFailure);
+            });
+  }
+
+  // Completions that arrived while no master was up.
+  auto deferred = std::move(deferred_completions_);
+  deferred_completions_.clear();
+  for (const auto& [id, end_state] : deferred) job_ended(id, end_state);
+  try_start_jobs();
+}
+
+void EslurmRm::master_rejoined(NodeId old_master) {
+  cluster_.restore(old_master);
+  if (master_up_) {
+    // Role swap: the rebooted node comes back as the new standby.
+    ESLURM_INFO(profile_.name, ": node ", old_master,
+                " rebooted; adopting as standby");
+    if (auto* t = telemetry_)
+      t->metrics.counter("ha.failover.standby_adopted").inc();
+    ha_->adopt_standby(old_master);
+  } else {
+    // No promotion happened (standby was dead too): plain reboot
+    // recovery on the original node.
+    ResourceManager::recover_master();
+    ha_->resume_as_master(old_master);
   }
 }
 

@@ -25,6 +25,9 @@ namespace eslurm::rm {
 inline constexpr net::MessageType kMsgSatelliteTask = 200;
 inline constexpr net::MessageType kMsgSatelliteResult = 201;
 inline constexpr net::MessageType kMsgSatelliteHeartbeat = 202;
+/// Sent by a freshly promoted master to every surviving satellite so
+/// they re-home their control channel (HA failover only).
+inline constexpr net::MessageType kMsgSatelliteReregister = 203;
 
 /// Accounting model of a satellite daemon (Table VI shape: ~10 GB vmem,
 /// 130-280 MB RSS scaling with the nodes per task).
@@ -73,9 +76,18 @@ class EslurmRm final : public ResourceManager {
   /// off).  Tests read its retransmit/dedup counters.
   const net::ReliableTransport* transport() const { return transport_.get(); }
 
+  /// Satellites that acked the promoted master's re-registration round.
+  std::uint64_t satellites_reregistered() const { return reregistered_; }
+
  protected:
   void dispatch(std::vector<NodeId> targets, std::size_t bytes,
                 comm::Broadcaster::Callback done) override;
+
+  /// HA-aware crash: the master *node* goes down (sends to it fail),
+  /// its in-memory dispatch state dies, and the standby's detector is
+  /// left to discover the death.  Without HA, defers to the base
+  /// reboot-and-recover model.
+  void crash_master() override;
 
  private:
   struct Satellite {
@@ -119,6 +131,16 @@ class EslurmRm final : public ResourceManager {
   void heartbeat_satellites();
   SimTime subtask_watchdog_delay(std::size_t list_size) const;
 
+  // --- HA failover (Section III-C extended: satellite-promoted master) -
+  /// Detector callback on the standby: recover state from the replica
+  /// store and schedule the takeover after the simulated replay cost.
+  void begin_promotion();
+  void finish_promotion(ha::StateImage image, SimTime detection,
+                        std::size_t replay_records);
+  /// The crashed node finished rebooting: it rejoins as the new standby
+  /// (role swap) -- or recovers as master if no promotion happened.
+  void master_rejoined(NodeId old_master);
+
   /// Control-plane send / handler registration, routed through the
   /// reliable transport when enabled, raw Network::send otherwise.
   void rm_send(NodeId from, NodeId to, net::Message msg, SimTime timeout,
@@ -138,6 +160,7 @@ class EslurmRm final : public ResourceManager {
   SimTime master_busy_until_ = 0;
   std::uint64_t reallocations_ = 0;
   std::uint64_t takeovers_ = 0;
+  std::uint64_t reregistered_ = 0;
   std::unique_ptr<sim::PeriodicTask> satellite_hb_;
 };
 

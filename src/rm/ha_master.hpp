@@ -1,0 +1,157 @@
+// HA glue between the resource manager and the src/ha primitives: one
+// object owning the WAL, the replicator, the failover detector and the
+// launch ledger, plus the snapshot cadence that bounds WAL replay.
+//
+// Division of labour: HaMaster is *mechanism* (durability, replication,
+// detection, bookkeeping); the promotion *policy* -- which node takes
+// over, how satellites re-register, how the job pool is reconciled --
+// lives in EslurmRm, which drives this object through the hooks below.
+//
+// The WAL sequence space is monotone across failovers: the promoted
+// master keeps appending where the replica stream left off instead of
+// restarting at 1, so a rejoining node can never confuse an old
+// record for a new one.
+//
+// `acked_jobs()` is the out-of-band oracle the failover bench and tests
+// read: a job id enters the set exactly when its submission record
+// commits (replicated and acked, or degraded).  "Zero committed jobs
+// lost" means every acked id reaches a terminal state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ha/failover.hpp"
+#include "ha/options.hpp"
+#include "ha/replication.hpp"
+#include "ha/snapshot.hpp"
+#include "ha/wal.hpp"
+#include "sched/job.hpp"
+
+namespace eslurm::telemetry {
+class Counter;
+class Histogram;
+}  // namespace eslurm::telemetry
+
+namespace eslurm::rm {
+
+class HaMaster {
+ public:
+  using CaptureFn = std::function<ha::StateImage()>;
+
+  HaMaster(sim::Engine& engine, net::Network& network, ha::HaOptions options,
+           Rng rng);
+
+  /// Builds a StateImage of the live RM state (provided by the RM).
+  void set_capture(CaptureFn capture) { capture_ = std::move(capture); }
+  /// Invoked (by the detector, on the standby) when the master is
+  /// declared dead.
+  void set_on_master_dead(std::function<void()> fn) {
+    on_master_dead_ = std::move(fn);
+  }
+  void set_endpoints(net::NodeId master, net::NodeId standby);
+
+  /// Starts the snapshot cadence and arms the detector; all periodic HA
+  /// activity stops at `horizon`.
+  void start(SimTime horizon);
+
+  // --- WAL hooks (called by the RM at each state transition) ----------
+  void log_job_submitted(const sched::Job& job);
+  void log_job_started(sched::JobId id, const std::vector<net::NodeId>& nodes);
+  void log_job_finished(sched::JobId id, sched::JobState end_state);
+  void log_job_released(sched::JobId id);
+  void log_job_requeued(sched::JobId id);
+  void log_node_state(net::NodeId node, bool down);
+
+  // --- launch idempotency ---------------------------------------------
+  bool begin_launch(sched::JobId id, const std::vector<net::NodeId>& nodes);
+  void launch_complete(sched::JobId id) { ledger_.complete(id); }
+  std::uint64_t duplicate_launches() const {
+    return ledger_.duplicate_launches();
+  }
+
+  // --- failover --------------------------------------------------------
+  /// The master process died: uncommitted WAL state is gone, replication
+  /// aborts, snapshots stop.  The detector (standby-side) stays armed.
+  void on_master_crashed();
+  /// Reconstructs state from the replica store ONLY (snapshot + WAL
+  /// replay); the dead master's memory is never consulted.
+  ha::StateImage recovered_image(std::size_t* replay_records) const;
+  /// Simulated cost of loading the snapshot and replaying the WAL tail.
+  SimTime replay_cost(std::size_t replay_records) const;
+  /// The standby has taken over as `new_master`: resume the WAL (solo,
+  /// no standby yet), restart snapshots, record takeover metrics.
+  void finish_takeover(net::NodeId new_master, SimTime detection,
+                       SimTime takeover, std::size_t replay_records);
+  /// No promotion happened (the standby was dead too): the rebooted
+  /// original master resumes HA duty solo, without counting a takeover.
+  void resume_as_master(net::NodeId master);
+  /// A rebooted node joins as the new standby: replication re-targets
+  /// it, a full snapshot brings it up to date, the detector re-arms.
+  void adopt_standby(net::NodeId node);
+  /// Detector fired but the master is actually up (e.g. a partition):
+  /// count the false alarm and resume watching.
+  void note_false_alarm();
+
+  // --- introspection ---------------------------------------------------
+  net::NodeId master() const { return master_; }
+  net::NodeId standby() const { return replicator_.standby(); }
+  const std::unordered_set<sched::JobId>& acked_jobs() const { return acked_; }
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t false_alarms() const { return false_alarms_; }
+  std::uint64_t snapshots_taken() const { return snapshots_; }
+  SimTime last_detection() const { return last_detection_; }
+  SimTime last_takeover() const { return last_takeover_; }
+  std::size_t last_replay_records() const { return last_replay_records_; }
+  std::size_t last_snapshot_bytes() const { return last_snapshot_bytes_; }
+  ha::WriteAheadLog& wal() { return wal_; }
+  const ha::WriteAheadLog& wal() const { return wal_; }
+  ha::HaReplicator& replicator() { return replicator_; }
+  const ha::HaReplicator& replicator() const { return replicator_; }
+  const ha::FailoverDetector& detector() const { return detector_; }
+  const ha::HaOptions& options() const { return options_; }
+
+ private:
+  void take_snapshot();
+  void arm_detector();
+
+  sim::Engine& engine_;
+  ha::HaOptions options_;
+  ha::WriteAheadLog wal_;
+  ha::HaReplicator replicator_;
+  ha::FailoverDetector detector_;
+  ha::LaunchLedger ledger_;
+  CaptureFn capture_;
+  std::function<void()> on_master_dead_;
+
+  net::NodeId master_ = net::kNoNode;
+  SimTime horizon_ = 0;
+  std::unique_ptr<sim::PeriodicTask> snapshot_task_;
+  bool snapshot_in_progress_ = false;
+  std::uint64_t next_snapshot_id_ = 1;
+
+  std::unordered_set<sched::JobId> acked_;
+  SimTime crash_time_ = 0;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t false_alarms_ = 0;
+  std::uint64_t snapshots_ = 0;
+  SimTime last_detection_ = 0;
+  SimTime last_takeover_ = 0;
+  std::size_t last_replay_records_ = 0;
+  std::size_t last_snapshot_bytes_ = 0;
+
+  telemetry::Counter* acked_counter_ = nullptr;
+  telemetry::Counter* snapshots_counter_ = nullptr;
+  telemetry::Counter* snapshot_bytes_counter_ = nullptr;
+  telemetry::Counter* promotions_counter_ = nullptr;
+  telemetry::Counter* false_alarm_counter_ = nullptr;
+  telemetry::Counter* replayed_counter_ = nullptr;
+  telemetry::Histogram* detect_ms_ = nullptr;
+  telemetry::Histogram* takeover_ms_ = nullptr;
+};
+
+}  // namespace eslurm::rm

@@ -1,7 +1,9 @@
 #include "rm/resource_manager.hpp"
 
 #include <algorithm>
+#include <sstream>
 
+#include "rm/ha_master.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
@@ -128,7 +130,10 @@ void ResourceManager::submit(sched::Job job) {
   } else {
     job.estimate_used = job.user_estimate > 0 ? job.user_estimate : hours(1);
   }
-  pool_.submit(std::move(job));
+  const sched::JobId id = pool_.submit(std::move(job));
+  // The submission becomes durable when its WAL record commits; the
+  // acked-jobs oracle in HaMaster tracks exactly that.
+  if (ha_) ha_->log_job_submitted(pool_.get(id));
   master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
   if (auto* t = telemetry_)
     t->metrics.counter("rm.jobs_submitted", {{"rm", profile_.name}}).inc();
@@ -224,11 +229,18 @@ void ResourceManager::start_job(sched::JobId id) {
       }
       allocations_.erase(id);
       pool_.requeue_starting(id);
+      if (ha_) ha_->log_job_requeued(id);
       try_start_jobs();
+      return;
+    }
+    if (ha_ && !ha_->begin_launch(id, allocations_[id])) {
+      // The ledger says this job is already physically running: a stale
+      // control path raced a promotion.  Suppress the second launch.
       return;
     }
     sched::Job& j = pool_.get(id);
     pool_.mark_running(id, engine_.now());
+    if (ha_) ha_->log_job_started(id, allocations_[id]);
     if (auto* t = telemetry_) {
       t->metrics.counter("rm.jobs_started", {{"rm", profile_.name}}).inc();
       t->metrics.histogram("sched.wait_seconds", {{"rm", profile_.name}})
@@ -259,7 +271,11 @@ void ResourceManager::job_ended(sched::JobId id, sched::JobState end_state) {
     return;
   }
   pool_.mark_finished(id, engine_.now(), end_state);
+  if (ha_) ha_->log_job_finished(id, end_state);
+  release_job(id);
+}
 
+void ResourceManager::release_job(sched::JobId id) {
   // Termination broadcast ("job termination message") reclaims resources.
   const std::vector<NodeId> allocated = allocations_[id];
   dispatch(allocated, 512, [this, id](const comm::BroadcastResult& result) {
@@ -268,6 +284,10 @@ void ResourceManager::job_ended(sched::JobId id, sched::JobState end_state) {
       t->metrics.histogram("rm.term_broadcast_seconds", {{"rm", profile_.name}})
           .observe(to_seconds(result.elapsed()));
       t->metrics.counter("rm.jobs_finished", {{"rm", profile_.name}}).inc();
+    }
+    if (ha_) {
+      ha_->log_job_released(id);
+      ha_->launch_complete(id);
     }
     pool_.mark_released(id, engine_.now());
     const sched::Job& job = pool_.get(id);
@@ -311,9 +331,18 @@ void ResourceManager::refresh_health_view() {
   // A completed health round reconciles the RM's view with reality, and
   // quarantined nodes get another chance (re-quarantined on allocation if
   // they are still believed unhealthy or drained).
-  believed_down_.clear();
+  std::unordered_set<NodeId> down_now;
   for (const NodeId node : deployment_.compute)
-    if (!cluster_.alive(node)) believed_down_.insert(node);
+    if (!cluster_.alive(node)) down_now.insert(node);
+  if (ha_) {
+    // WAL only the *transitions*, not the whole view, so steady state
+    // costs nothing.
+    for (const NodeId node : down_now)
+      if (!believed_down_.count(node)) ha_->log_node_state(node, true);
+    for (const NodeId node : believed_down_)
+      if (!down_now.count(node)) ha_->log_node_state(node, false);
+  }
+  believed_down_ = std::move(down_now);
   free_.insert(free_.end(), quarantined_.begin(), quarantined_.end());
   quarantined_.clear();
 }
@@ -345,6 +374,111 @@ void ResourceManager::recover_master() {
   auto deferred = std::move(deferred_completions_);
   deferred_completions_.clear();
   for (const auto& [id, end_state] : deferred) job_ended(id, end_state);
+}
+
+ha::StateImage ResourceManager::build_state_image() const {
+  ha::StateImage image;
+  image.taken_at = engine_.now();
+  const auto put = [&](sched::JobId id) {
+    ha::ImageJob entry;
+    entry.job = pool_.get(id);
+    const auto it = allocations_.find(id);
+    if (it != allocations_.end()) entry.alloc = it->second;
+    image.jobs.emplace(id, std::move(entry));
+  };
+  for (const sched::JobId id : pool_.pending()) put(id);
+  for (const sched::JobId id : pool_.active()) put(id);
+  // Released jobs live in the accounting blob, not the live image.
+  for (const NodeId node : believed_down_) image.down.insert(node);
+  std::ostringstream acct;
+  accounting_db_.save(acct);
+  image.accounting = acct.str();
+  return image;
+}
+
+ResourceManager::ReconcileStats ResourceManager::reconcile_with_image(
+    const ha::StateImage& image) {
+  ReconcileStats stats;
+  const SimTime now = engine_.now();
+
+  // Jobs the durable state knows but the pool does not: a committed
+  // submission whose ack raced the crash.  Resurrect as pending.
+  for (const auto& [id, entry] : image.jobs) {
+    if (pool_.contains(id) || entry.job.finished()) continue;
+    sched::Job job = entry.job;
+    job.state = sched::JobState::Pending;
+    job.start_time = -1;
+    job.end_time = -1;
+    job.release_time = -1;
+    pool_.submit(std::move(job));
+    if (ha_) ha_->log_job_submitted(pool_.get(id));
+    ++stats.resurrected;
+  }
+
+  // Uncommitted submissions: the standby never heard of them, and the
+  // client never got a durable ack.  The new master drops them.
+  const std::deque<sched::JobId> pending(pool_.pending());
+  for (const sched::JobId id : pending) {
+    if (image.jobs.count(id)) continue;
+    pool_.cancel_pending(id, now);
+    accounting_db_.record(pool_.get(id));
+    ++stats.dropped;
+  }
+
+  const std::vector<sched::JobId> active(pool_.active());
+  for (const sched::JobId id : active) {
+    sched::Job& job = pool_.get(id);
+    switch (job.state) {
+      case sched::JobState::Starting: {
+        // The launch broadcast died with the old master before the
+        // commit RPC, so no compute node started the payload: reclaim
+        // the allocation and requeue.
+        const auto it = allocations_.find(id);
+        if (it != allocations_.end()) {
+          for (const NodeId node : it->second) {
+            if (cluster_.alive(node)) {
+              free_.push_back(node);
+            } else {
+              believed_down_.insert(node);
+              quarantined_.push_back(node);
+            }
+          }
+          allocations_.erase(it);
+        }
+        pool_.requeue_starting(id);
+        if (image.jobs.count(id)) {
+          if (ha_) ha_->log_job_requeued(id);
+          ++stats.requeued;
+        } else {
+          pool_.cancel_pending(id, now);  // uncommitted AND half-launched
+          accounting_db_.record(pool_.get(id));
+          ++stats.dropped;
+        }
+        break;
+      }
+      case sched::JobState::Running:
+        break;  // physically running; adopted unchanged, run timer armed
+      default:
+        // Terminal but unreleased: the termination broadcast was in
+        // flight when the master died.  Re-issue it.
+        if (job.release_time < 0) {
+          release_job(id);
+          ++stats.reissued;
+        }
+        break;
+    }
+  }
+  if (auto* t = telemetry_) {
+    t->metrics.counter("ha.promotion.resurrected")
+        .inc(static_cast<double>(stats.resurrected));
+    t->metrics.counter("ha.promotion.dropped_uncommitted")
+        .inc(static_cast<double>(stats.dropped));
+    t->metrics.counter("ha.promotion.requeued")
+        .inc(static_cast<double>(stats.requeued));
+    t->metrics.counter("ha.promotion.reissued_terminations")
+        .inc(static_cast<double>(stats.reissued));
+  }
+  return stats;
 }
 
 sched::SchedulingReport ResourceManager::report(SimTime t0, SimTime t1) const {

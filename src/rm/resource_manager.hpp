@@ -19,6 +19,8 @@
 
 #include "cluster/cluster.hpp"
 #include "comm/broadcaster.hpp"
+#include "ha/options.hpp"
+#include "ha/snapshot.hpp"
 #include "predict/estimator.hpp"
 #include "rm/accounting.hpp"
 #include "rm/accounting_storage.hpp"
@@ -27,6 +29,8 @@
 #include "sched/scheduler.hpp"
 
 namespace eslurm::rm {
+
+class HaMaster;
 
 using net::NodeId;
 
@@ -65,6 +69,10 @@ struct RmRuntimeConfig {
   bool use_reliable_transport = true;
   net::TransportOptions transport;
   predict::EstimatorConfig estimator;
+  /// High-availability master (WAL + replicated snapshots + standby
+  /// promotion).  Off by default; when off, no HA code path runs and
+  /// behaviour is bit-identical to earlier builds.
+  ha::HaOptions ha;
   std::uint64_t seed = 1;
 };
 
@@ -103,6 +111,16 @@ class ResourceManager {
   bool master_up() const { return master_up_; }
   std::uint64_t crash_count() const { return crashes_; }
   SimTime total_downtime() const { return downtime_; }
+  /// Kills the master daemon now (chaos hook).  With HA enabled the
+  /// standby satellite detects the death and promotes itself; without
+  /// it the master reboots after profile_.reboot_time.
+  void inject_master_crash() {
+    if (master_up_) crash_master();
+  }
+  /// The HA subsystem, or nullptr when config.ha.enabled is false (or
+  /// the deployment has no satellite to host the standby).
+  HaMaster* ha() { return ha_.get(); }
+  const HaMaster* ha() const { return ha_.get(); }
   /// Launches aborted because an allocated node turned out to be dead
   /// (the RM's health view lags reality by up to one ping interval).
   std::uint64_t launch_requeues() const { return requeues_; }
@@ -163,8 +181,28 @@ class ResourceManager {
   void try_start_jobs();
   void start_job(sched::JobId id);
   void job_ended(sched::JobId id, sched::JobState end_state);
-  void crash_master();
-  void recover_master();
+  /// Termination broadcast + resource reclamation for a finished job.
+  /// Split out of job_ended so HA promotion can re-issue it for jobs
+  /// whose termination died with the old master.
+  void release_job(sched::JobId id);
+  virtual void crash_master();
+  virtual void recover_master();
+
+  // --- HA support ------------------------------------------------------
+  /// Captures the live RM state (jobs, allocations, node health,
+  /// accounting) as a snapshot image.
+  ha::StateImage build_state_image() const;
+  struct ReconcileStats {
+    std::size_t resurrected = 0;  ///< in image, unknown to the pool
+    std::size_t dropped = 0;      ///< in the pool, never committed
+    std::size_t requeued = 0;     ///< launch died with the old master
+    std::size_t reissued = 0;     ///< termination re-broadcast
+  };
+  /// Aligns the job pool with the recovered image at promotion time:
+  /// uncommitted submissions are dropped (the durable state never heard
+  /// of them), half-launched jobs requeue, half-terminated jobs get
+  /// their termination re-issued, running jobs are adopted unchanged.
+  ReconcileStats reconcile_with_image(const ha::StateImage& image);
 
   sim::Engine& engine_;
   net::Network& net_;
@@ -204,6 +242,9 @@ class ResourceManager {
   std::unique_ptr<DaemonStats> master_stats_;
   std::unique_ptr<predict::RuntimeEstimator> estimator_;
   AccountingStorage accounting_db_;
+  /// Non-null only when config_.ha.enabled and a standby exists; every
+  /// HA hook below is gated on it, so disabled HA runs zero extra code.
+  std::unique_ptr<HaMaster> ha_;
 
   SimTime horizon_ = 0;
   std::unique_ptr<sim::PeriodicTask> sched_task_;

@@ -93,6 +93,21 @@ TEST(GoldenSequence, MatchesPreRefactorEngine) {
   EXPECT_EQ(hash, kGoldenHash);
 }
 
+TEST(GoldenSequence, HaDisabledIsInert) {
+  // The HA subsystem (WAL, replication, standby heartbeats) must be
+  // completely absent from the world when ha.enabled is false: no extra
+  // events, no rng draws, no network traffic.  Explicitly disabling it --
+  // even with every other HA knob turned to aggressive values -- must
+  // reproduce the pinned pre-HA hash bit-for-bit.
+  ExperimentConfig config = golden_config();
+  config.rm_config.ha.enabled = false;
+  config.rm_config.ha.snapshot_interval = seconds(30);
+  config.rm_config.ha.group_commit_interval = milliseconds(5);
+  config.rm_config.ha.standby_hb_interval = milliseconds(500);
+  config.rm_config.ha.hb_miss_threshold = 1;
+  EXPECT_EQ(run_golden(config), kGoldenHash);
+}
+
 TEST(GoldenSequence, RerunIsBitIdentical) {
   EXPECT_EQ(run_golden(golden_config()), run_golden(golden_config()));
 }

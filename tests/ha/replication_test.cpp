@@ -1,0 +1,236 @@
+// Replication stream, replica store, failover detector and launch
+// ledger: the pieces promotion composes, tested in isolation.
+#include "ha/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ha/failover.hpp"
+
+namespace eslurm::ha {
+namespace {
+
+WalRecord make_record(std::uint64_t seq, WalRecordType type = WalRecordType::JobSubmitted,
+                      std::uint64_t id = 1) {
+  WalRecord record;
+  record.seq = seq;
+  record.type = type;
+  record.id = id;
+  return record;
+}
+
+std::string frames_for(std::initializer_list<std::uint64_t> seqs) {
+  std::string out;
+  for (const std::uint64_t seq : seqs) out += encode_frame(make_record(seq));
+  return out;
+}
+
+struct ReplicationFixture : ::testing::Test {
+  sim::Engine engine;
+  net::LinkModel model;
+  ReplicationFixture() { model.jitter_frac = 0.0; }
+  HaOptions fast_options() {
+    HaOptions options;
+    options.replication_timeout = seconds(1);
+    return options;
+  }
+};
+
+TEST_F(ReplicationFixture, WalBatchesAdvanceTheWatermarkInOrder) {
+  net::Network net(engine, 2, model, Rng(1));
+  HaReplicator replicator(engine, net, fast_options(), Rng(2));
+  replicator.set_endpoints(0, 1);
+  std::vector<std::uint64_t> commit_order;
+  replicator.replicate(frames_for({1, 2}), 1, 2,
+                       [&](bool ok) { if (ok) commit_order.push_back(2); });
+  replicator.replicate(frames_for({3}), 3, 3,
+                       [&](bool ok) { if (ok) commit_order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(commit_order, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(replicator.acked_seq(), 3u);
+  EXPECT_EQ(replicator.batches_acked(), 2u);
+  EXPECT_EQ(replicator.degraded_commits(), 0u);
+  // The standby's store holds every replicated record, in seq order.
+  EXPECT_EQ(replicator.store().records().size(), 3u);
+  EXPECT_EQ(replicator.store().highest_seq(), 3u);
+}
+
+TEST_F(ReplicationFixture, SnapshotShipsInChunksAndPrunesCoveredWal) {
+  net::Network net(engine, 2, model, Rng(1));
+  HaOptions options = fast_options();
+  options.snapshot_chunk_bytes = 64;  // force multi-chunk
+  HaReplicator replicator(engine, net, options, Rng(2));
+  replicator.set_endpoints(0, 1);
+  replicator.replicate(frames_for({1, 2, 3, 4}), 1, 4, {});
+  engine.run();
+  ASSERT_EQ(replicator.store().records().size(), 4u);
+
+  const std::string image(1000, 's');  // 16 chunks of 64 bytes
+  bool installed = false;
+  replicator.replicate_snapshot(image, /*snapshot_id=*/1, /*last_wal_seq=*/3,
+                                [&](bool ok) { installed = ok; });
+  engine.run();
+  EXPECT_TRUE(installed);
+  EXPECT_TRUE(replicator.store().has_snapshot());
+  EXPECT_EQ(replicator.store().snapshot(), image);  // reassembled verbatim
+  EXPECT_EQ(replicator.store().snapshot_seq(), 3u);
+  // Records covered by the snapshot are pruned; seq 4 survives.
+  ASSERT_EQ(replicator.store().records().size(), 1u);
+  EXPECT_EQ(replicator.store().records().begin()->first, 4u);
+}
+
+TEST_F(ReplicationFixture, DeadStandbyDegradesButStillCommits) {
+  net::Network net(engine, 2, model, Rng(1));
+  net.set_liveness([](net::NodeId id) { return id != 1; });
+  HaReplicator replicator(engine, net, fast_options(), Rng(2));
+  replicator.set_endpoints(0, 1);
+  bool committed = false;
+  replicator.replicate(frames_for({1}), 1, 1, [&](bool ok) { committed = ok; });
+  engine.run();
+  // Availability over synchrony: the commit completes, flagged degraded,
+  // and the watermark does NOT advance (the standby holds nothing).
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(replicator.degraded_commits(), 1u);
+  EXPECT_EQ(replicator.acked_seq(), 0u);
+  EXPECT_TRUE(replicator.store().records().empty());
+}
+
+TEST_F(ReplicationFixture, SoloModeCommitsLocally) {
+  net::Network net(engine, 2, model, Rng(1));
+  HaReplicator replicator(engine, net, fast_options(), Rng(2));
+  replicator.set_endpoints(0, net::kNoNode);  // no standby adopted yet
+  bool committed = false;
+  replicator.replicate(frames_for({1}), 1, 1, [&](bool ok) { committed = ok; });
+  EXPECT_FALSE(committed);  // asynchronous even in solo mode
+  engine.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(replicator.degraded_commits(), 1u);
+  EXPECT_EQ(replicator.transport().sends(), 0u);  // nothing on the wire
+}
+
+TEST_F(ReplicationFixture, AbortAllOrphansInFlightPushes) {
+  net::Network net(engine, 2, model, Rng(1));
+  HaReplicator replicator(engine, net, fast_options(), Rng(2));
+  replicator.set_endpoints(0, 1);
+  bool completed = false;
+  replicator.replicate(frames_for({1}), 1, 1, [&](bool) { completed = true; });
+  replicator.abort_all();  // master crashed before the ack came back
+  engine.run();
+  EXPECT_FALSE(completed);  // the dead master's commit never fires
+  EXPECT_EQ(replicator.acked_seq(), 0u);
+  // ...but the frame may have reached the standby: promotion recovers
+  // exactly this lost-ack case from the store.
+}
+
+TEST_F(ReplicationFixture, StoreRejectsCorruptSegments) {
+  ReplicaStore store;
+  std::string frames = frames_for({1, 2});
+  frames[frames.size() - 3] ^= 0x4;
+  store.ingest_wal(frames);
+  EXPECT_EQ(store.corrupt_segments(), 1u);
+  // Decoded-prefix frames before the corruption ARE kept: they passed
+  // their own CRC, and the transport will re-ship the whole segment.
+  EXPECT_LE(store.records().size(), 1u);
+  store.ingest_wal(frames_for({1, 2}));  // the retransmit
+  EXPECT_EQ(store.records().size(), 2u);
+}
+
+TEST_F(ReplicationFixture, StoreIngestIsIdempotent) {
+  ReplicaStore store;
+  store.ingest_wal(frames_for({1, 2}));
+  const std::size_t bytes = store.wal_bytes();
+  store.ingest_wal(frames_for({1, 2}));  // duplicate delivery
+  EXPECT_EQ(store.records().size(), 2u);
+  EXPECT_EQ(store.wal_bytes(), bytes);
+}
+
+struct DetectorFixture : ::testing::Test {
+  sim::Engine engine;
+  net::LinkModel model;
+  std::vector<bool> up{true, true};
+  DetectorFixture() { model.jitter_frac = 0.0; }
+  HaOptions options() {
+    HaOptions opts;
+    opts.standby_hb_interval = seconds(2);
+    opts.standby_hb_timeout = seconds(1);
+    opts.hb_miss_threshold = 3;
+    return opts;
+  }
+};
+
+TEST_F(DetectorFixture, FiresOnceAfterConsecutiveMisses) {
+  net::Network net(engine, 2, model, Rng(1));
+  net.set_liveness([&](net::NodeId id) { return up[id]; });
+  FailoverDetector detector(engine, net, options());
+  engine.schedule_at(seconds(5), [&] { up[0] = false; });  // master dies
+  int fired = 0;
+  SimTime fired_at = -1;
+  detector.arm(/*standby=*/1, /*master=*/0, [&] {
+    ++fired;
+    fired_at = engine.now();
+  });
+  engine.run_until(seconds(60));
+  detector.disarm();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(detector.detections(), 1u);
+  // Death at t=5: probes at 6, 8, 10 all miss (timeout 1s), so the third
+  // miss declares death at t=11.
+  EXPECT_EQ(fired_at, seconds(11));
+  EXPECT_GE(detector.probes_missed(), 3u);
+}
+
+TEST_F(DetectorFixture, TransientBlipBelowThresholdDoesNotFire) {
+  net::Network net(engine, 2, model, Rng(1));
+  net.set_liveness([&](net::NodeId id) { return up[id]; });
+  FailoverDetector detector(engine, net, options());
+  // Dead for one probe-and-a-half, back before the third miss.
+  engine.schedule_at(seconds(1), [&] { up[0] = false; });
+  engine.schedule_at(seconds(5), [&] { up[0] = true; });
+  int fired = 0;
+  detector.arm(1, 0, [&] { ++fired; });
+  engine.run_until(seconds(60));
+  detector.disarm();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_GT(detector.probes_missed(), 0u);  // the blip was observed...
+  EXPECT_EQ(detector.consecutive_misses(), 0);  // ...and forgiven
+}
+
+TEST_F(DetectorFixture, DisarmOrphansInFlightProbes) {
+  net::Network net(engine, 2, model, Rng(1));
+  net.set_liveness([&](net::NodeId id) { return up[id]; });
+  up[0] = false;
+  HaOptions opts = options();
+  opts.hb_miss_threshold = 1;
+  FailoverDetector detector(engine, net, opts);
+  int fired = 0;
+  detector.arm(1, 0, [&] { ++fired; });
+  // Disarm while the first probe is in flight: its miss callback must
+  // not fire a detection for a detector that no longer watches.
+  engine.run_until(seconds(2) + milliseconds(1));
+  detector.disarm();
+  engine.run_until(seconds(60));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(LaunchLedger, RefusesDuplicatePhysicalLaunches) {
+  LaunchLedger ledger;
+  EXPECT_TRUE(ledger.begin_launch(1, {10, 11}, seconds(5)));
+  EXPECT_TRUE(ledger.running(1));
+  ASSERT_NE(ledger.find(1), nullptr);
+  EXPECT_EQ(ledger.find(1)->nodes, (std::vector<net::NodeId>{10, 11}));
+  // The promoted master re-dispatching job 1 is the disaster the ledger
+  // exists to stop.
+  EXPECT_FALSE(ledger.begin_launch(1, {12, 13}, seconds(9)));
+  EXPECT_EQ(ledger.duplicate_launches(), 1u);
+  EXPECT_EQ(ledger.find(1)->nodes, (std::vector<net::NodeId>{10, 11}));
+
+  ledger.complete(1);
+  EXPECT_FALSE(ledger.running(1));
+  EXPECT_EQ(ledger.launches(), 1u);
+  EXPECT_EQ(ledger.active(), 0u);
+}
+
+}  // namespace
+}  // namespace eslurm::ha

@@ -1,0 +1,186 @@
+// StateImage codec and WAL replay: serialize/parse round trips, CRC
+// rejection, and the transition semantics promotion relies on.
+#include "ha/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eslurm::ha {
+namespace {
+
+ImageJob make_entry(sched::JobId id, const std::string& user, int nodes,
+                    sched::JobState state, std::vector<net::NodeId> alloc = {}) {
+  ImageJob entry;
+  entry.job.id = id;
+  entry.job.user = user;
+  entry.job.name = "run" + std::to_string(id);
+  entry.job.partition = "batch";
+  entry.job.nodes = nodes;
+  entry.job.cores = nodes * 8;
+  entry.job.submit_time = seconds(static_cast<std::int64_t>(id));
+  entry.job.actual_runtime = minutes(30);
+  entry.job.user_estimate = hours(1);
+  entry.job.estimate_used = hours(1);
+  entry.job.state = state;
+  entry.alloc = std::move(alloc);
+  return entry;
+}
+
+StateImage sample_image() {
+  StateImage image;
+  image.taken_at = minutes(90);
+  image.last_wal_seq = 17;
+  StateImage empty;
+  image.jobs.emplace(1, make_entry(1, "alice", 4, sched::JobState::Running,
+                                   {10, 11, 12, 13}));
+  image.jobs.emplace(2, make_entry(2, "bob", 2, sched::JobState::Pending));
+  image.jobs.emplace(3, make_entry(3, "alice", 1, sched::JobState::Starting, {20}));
+  image.down = {5, 99};
+  image.accounting = "# eslurm-acct v1\n1 u j p 1 0.000 1.000 2.000 COMPLETED\n";
+  return image;
+}
+
+TEST(JobLine, RoundTripsAllFields) {
+  const ImageJob in = make_entry(42, "carol", 8, sched::JobState::Running,
+                                 {100, 101, 102, 103, 104, 105, 106, 107});
+  ImageJob out;
+  ASSERT_TRUE(decode_job_line(encode_job_line(in), &out));
+  EXPECT_EQ(out.job.id, in.job.id);
+  EXPECT_EQ(out.job.user, in.job.user);
+  EXPECT_EQ(out.job.name, in.job.name);
+  EXPECT_EQ(out.job.partition, in.job.partition);
+  EXPECT_EQ(out.job.nodes, in.job.nodes);
+  EXPECT_EQ(out.job.cores, in.job.cores);
+  EXPECT_EQ(out.job.submit_time, in.job.submit_time);
+  EXPECT_EQ(out.job.actual_runtime, in.job.actual_runtime);
+  EXPECT_EQ(out.job.user_estimate, in.job.user_estimate);
+  EXPECT_EQ(out.job.state, in.job.state);
+  EXPECT_EQ(out.alloc, in.alloc);
+}
+
+TEST(JobLine, EmptyStringsUseSentinel) {
+  ImageJob in;
+  in.job.id = 1;
+  in.job.user.clear();
+  in.job.name.clear();
+  in.job.partition.clear();  // Job defaults this to a real partition
+  ImageJob out;
+  ASSERT_TRUE(decode_job_line(encode_job_line(in), &out));
+  EXPECT_TRUE(out.job.user.empty());
+  EXPECT_TRUE(out.job.name.empty());
+  EXPECT_TRUE(out.job.partition.empty());
+}
+
+TEST(JobLine, RejectsMalformedInput) {
+  ImageJob out;
+  EXPECT_FALSE(decode_job_line("", &out));
+  EXPECT_FALSE(decode_job_line("1 u n p", &out));
+  // Alloc count promises more nodes than the line carries.
+  EXPECT_FALSE(decode_job_line("1 u n p 1 8 0 0 0 0 0 0 3 10 11", &out));
+  // Out-of-range state enum.
+  EXPECT_FALSE(decode_job_line("1 u n p 1 8 0 0 0 0 0 250 0", &out));
+}
+
+TEST(StateImageCodec, SerializeParseRoundTrips) {
+  const StateImage image = sample_image();
+  StateImage parsed;
+  ASSERT_TRUE(parse_state_image(serialize(image), &parsed));
+  EXPECT_TRUE(parsed == image);
+  EXPECT_EQ(parsed.accounting, image.accounting);
+  EXPECT_EQ(parsed.down, image.down);
+}
+
+TEST(StateImageCodec, EmptyImageRoundTrips) {
+  StateImage image;
+  StateImage parsed;
+  ASSERT_TRUE(parse_state_image(serialize(image), &parsed));
+  EXPECT_TRUE(parsed == image);
+}
+
+TEST(StateImageCodec, ParseRejectsCorruptionAnywhere) {
+  const std::string bytes = serialize(sample_image());
+  StateImage parsed;
+  ASSERT_TRUE(parse_state_image(bytes, &parsed));
+  // Flip one byte at a few offsets across header, body and accounting
+  // tail: every corruption must be caught by the CRC, none silently
+  // promoted into a recovered master.
+  for (const std::size_t at :
+       {bytes.size() / 4, bytes.size() / 2, bytes.size() - 2}) {
+    std::string corrupt = bytes;
+    corrupt[at] ^= 0x20;
+    EXPECT_FALSE(parse_state_image(corrupt, &parsed)) << "offset " << at;
+  }
+  EXPECT_FALSE(parse_state_image(bytes.substr(0, bytes.size() - 4), &parsed));
+  EXPECT_FALSE(parse_state_image("", &parsed));
+}
+
+TEST(WalReplay, AppliesJobLifecycle) {
+  StateImage image;
+  WalRecord record;
+  record.type = WalRecordType::JobSubmitted;
+  record.id = 7;
+  record.blob = encode_job_line(make_entry(7, "dave", 2, sched::JobState::Pending));
+  apply(&image, record);
+  ASSERT_EQ(image.jobs.count(7), 1u);
+  EXPECT_EQ(image.jobs.at(7).job.state, sched::JobState::Pending);
+
+  record = WalRecord{};
+  record.type = WalRecordType::JobStarted;
+  record.id = 7;
+  record.blob = "30 31";
+  apply(&image, record);
+  EXPECT_EQ(image.jobs.at(7).job.state, sched::JobState::Starting);
+  EXPECT_EQ(image.jobs.at(7).alloc, (std::vector<net::NodeId>{30, 31}));
+
+  // A failed launch requeues: back to Pending, allocation dropped.
+  record = WalRecord{};
+  record.type = WalRecordType::JobRequeued;
+  record.id = 7;
+  apply(&image, record);
+  EXPECT_EQ(image.jobs.at(7).job.state, sched::JobState::Pending);
+  EXPECT_TRUE(image.jobs.at(7).alloc.empty());
+
+  record = WalRecord{};
+  record.type = WalRecordType::JobFinished;
+  record.id = 7;
+  record.aux = static_cast<std::uint64_t>(sched::JobState::TimedOut);
+  apply(&image, record);
+  EXPECT_EQ(image.jobs.at(7).job.state, sched::JobState::TimedOut);
+
+  record = WalRecord{};
+  record.type = WalRecordType::JobReleased;
+  record.id = 7;
+  apply(&image, record);
+  EXPECT_TRUE(image.jobs.empty());
+}
+
+TEST(WalReplay, TracksNodeHealth) {
+  StateImage image;
+  WalRecord record;
+  record.type = WalRecordType::NodeDown;
+  record.id = 44;
+  apply(&image, record);
+  EXPECT_EQ(image.down, (std::set<net::NodeId>{44}));
+  record.type = WalRecordType::NodeUp;
+  apply(&image, record);
+  EXPECT_TRUE(image.down.empty());
+}
+
+TEST(WalReplay, ToleratesRecordsAboutUnknownJobs) {
+  // A job submitted, finished and released entirely between two
+  // snapshots leaves trailing records that reference an id the later
+  // snapshot no longer contains; replay must skip them.
+  StateImage image = sample_image();
+  const StateImage before = image;
+  for (const WalRecordType type :
+       {WalRecordType::JobStarted, WalRecordType::JobFinished,
+        WalRecordType::JobReleased, WalRecordType::JobRequeued}) {
+    WalRecord record;
+    record.type = type;
+    record.id = 999;  // unknown
+    apply(&image, record);
+  }
+  EXPECT_TRUE(image == before);
+}
+
+}  // namespace
+}  // namespace eslurm::ha

@@ -205,6 +205,72 @@ TEST_F(TransportFixture, ChannelsKeepIndependentSequenceSpaces) {
   EXPECT_EQ(transport.duplicates_suppressed(), 0u);
 }
 
+TEST_F(TransportFixture, DedupWindowWrapIsCountedAndReprocessed) {
+  // The exactly-once guarantee is bounded by the dedup window.  A frame
+  // delayed long enough that > dedup_window newer frames passed it (a
+  // long partition releasing a stale retransmit) arrives after its seq
+  // was evicted: the receiver cannot distinguish it from a fresh frame,
+  // so it IS re-processed -- and the wrap counter must record that the
+  // guarantee boundary was crossed instead of staying silent.
+  Network net = make(2);
+  TransportOptions opts = exact_options();
+  opts.dedup_window = 2;
+  ReliableTransport transport(net, Rng(9), opts);
+  int got = 0;
+  transport.register_handler(1, 7, [&](const Message&) { ++got; });
+
+  // Three sends on one channel: seqs 0,1,2; the window holds {1,2} and
+  // seq 0 has been evicted (evicted_max = 0).
+  for (int i = 0; i < 3; ++i) transport.send(0, 1, Message{.type = 7});
+  engine.run();
+  ASSERT_EQ(got, 3);
+  EXPECT_EQ(transport.dedup_window_wraps(), 0u);
+
+  // A late duplicate of seq 2 is still inside the window: suppressed,
+  // not a wrap.
+  auto forge = [&](std::uint64_t seq) {
+    ReliableTransport::Envelope stale;
+    stale.seq = seq;
+    Message frame;
+    frame.type = 7;
+    frame.payload = std::move(stale);
+    net.send(0, 1, std::move(frame));
+  };
+  forge(2);
+  engine.run();
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(transport.duplicates_suppressed(), 1u);
+  EXPECT_EQ(transport.dedup_window_wraps(), 0u);
+
+  // A late duplicate of the evicted seq 0 wraps: the handler fires a 4th
+  // time for 3 logical sends, and the counter exposes the violation.
+  forge(0);
+  engine.run();
+  EXPECT_EQ(got, 4);
+  EXPECT_EQ(transport.dedup_window_wraps(), 1u);
+  EXPECT_EQ(transport.duplicates_suppressed(), 1u);
+}
+
+TEST_F(TransportFixture, LargeWindowNeverWrapsUnderChaosDuplicates) {
+  // With the default window (128) and duplicates that arrive promptly,
+  // every duplicate lands while its seq is still remembered: suppression
+  // fires, the wrap counter stays zero.
+  Network net = make(2);
+  ChaosInjector chaos(engine, 2, Rng(7));
+  ChaosPlan plan;
+  plan.ambient(0.0, /*duplicate=*/1.0);
+  chaos.set_plan(std::move(plan));
+  net.set_chaos(&chaos);
+  ReliableTransport transport(net, Rng(9));
+  int got = 0;
+  transport.register_handler(1, 7, [&](const Message&) { ++got; });
+  for (int i = 0; i < 200; ++i) transport.send(0, 1, Message{.type = 7});
+  engine.run();
+  EXPECT_EQ(got, 200);
+  EXPECT_EQ(transport.duplicates_suppressed(), 200u);
+  EXPECT_EQ(transport.dedup_window_wraps(), 0u);
+}
+
 TEST_F(TransportFixture, UnregisterStopsDelivery) {
   Network net = make(2);
   ReliableTransport transport(net, Rng(9));

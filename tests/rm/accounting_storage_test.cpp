@@ -94,6 +94,71 @@ TEST(AccountingStorageTest, SaveLoadRoundTrip) {
   EXPECT_NEAR(loaded.total_node_hours(), db.total_node_hours(), 1e-6);
 }
 
+TEST(AccountingStorageTest, EmptyDatabaseRoundTrips) {
+  const AccountingStorage empty;
+  std::ostringstream os;
+  empty.save(os);
+  std::istringstream is(os.str());
+  const AccountingStorage loaded = AccountingStorage::load(is);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.total_node_hours(), 0.0);
+}
+
+TEST(AccountingStorageTest, RoundTripPreservesEveryField) {
+  // The HA snapshot embeds the serialized accounting blob verbatim, so
+  // every queryable field -- including partition, terminal state, and
+  // the wait/runtime derived values -- must survive save/load exactly.
+  AccountingStorage db;
+  sched::Job job = finished_job(7, "carol", "mhd", 32, seconds(5), seconds(95),
+                                seconds(7295), sched::JobState::Cancelled);
+  job.partition = "debug";
+  db.record(job);
+  std::ostringstream os;
+  db.save(os);
+  std::istringstream is(os.str());
+  const AccountingStorage loaded = AccountingStorage::load(is);
+  ASSERT_EQ(loaded.size(), 1u);
+  const JobRecord& record = loaded.all()[0];
+  EXPECT_EQ(record.id, 7u);
+  EXPECT_EQ(record.user, "carol");
+  EXPECT_EQ(record.name, "mhd");
+  EXPECT_EQ(record.partition, "debug");
+  EXPECT_EQ(record.nodes, 32);
+  EXPECT_EQ(record.final_state, sched::JobState::Cancelled);
+  EXPECT_NEAR(to_seconds(record.wait()), 90.0, 1e-3);
+  EXPECT_NEAR(to_seconds(record.runtime()), 7200.0, 1e-3);
+}
+
+TEST(AccountingStorageTest, RoundTripIsByteStable) {
+  // save(load(save(db))) must equal save(db): the snapshot diffing and
+  // CRC framing in the HA layer rely on re-serialization being stable.
+  const AccountingStorage db = sample_db();
+  std::ostringstream first;
+  db.save(first);
+  std::istringstream is(first.str());
+  const AccountingStorage loaded = AccountingStorage::load(is);
+  std::ostringstream second;
+  loaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(AccountingStorageTest, RoundTripPreservesAggregates) {
+  const AccountingStorage db = sample_db();
+  std::ostringstream os;
+  db.save(os);
+  std::istringstream is(os.str());
+  const AccountingStorage loaded = AccountingStorage::load(is);
+  const auto before = db.usage_by_user();
+  const auto after = loaded.usage_by_user();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].user, after[i].user);
+    EXPECT_EQ(before[i].jobs, after[i].jobs);
+    EXPECT_NEAR(before[i].node_hours, after[i].node_hours, 1e-6);
+    EXPECT_NEAR(before[i].avg_wait_seconds, after[i].avg_wait_seconds, 1e-6);
+  }
+}
+
 TEST(AccountingStorageTest, LoadRejectsGarbage) {
   std::istringstream is("not a record\n");
   EXPECT_THROW(AccountingStorage::load(is), std::invalid_argument);

@@ -301,6 +301,125 @@ std::map<std::string, double> bench_point_means(const JsonValue& document) {
   return out;
 }
 
+// --- the HA failover sweep (BENCH_ha_failover.json) ---------------------
+//
+// This artifact carries two hard invariants -- jobs_lost == 0 and
+// duplicate_launches == 0 at every sweep point -- so instead of leaving
+// them buried in the generic means grid, surface a focused table of the
+// headline fields and an explicit verdict line.
+
+bool is_ha_failover_bench(const JsonValue& document) {
+  return member_string(document, "bench") == "ha_failover";
+}
+
+constexpr const char* kFailoverFields[] = {"jobs_lost", "duplicate_launches",
+                                           "takeover_ms", "wal_bytes"};
+
+/// label -> (field -> mean), headline failover fields only, in point order.
+std::vector<std::pair<std::string, std::map<std::string, double>>>
+failover_points(const JsonValue& document) {
+  std::vector<std::pair<std::string, std::map<std::string, double>>> out;
+  const JsonValue* points = document.find("points");
+  if (!points || !points->is_array()) return out;
+  for (const JsonValue& point : points->items()) {
+    if (!point.is_object()) continue;
+    const JsonValue* metrics = point.find("metrics");
+    if (!metrics || !metrics->is_object()) continue;
+    std::map<std::string, double> fields;
+    for (const char* field : kFailoverFields)
+      if (const JsonValue* stats = metrics->find(field))
+        fields[field] = member_number(*stats, "mean");
+    out.emplace_back(member_string(point, "label"), std::move(fields));
+  }
+  return out;
+}
+
+void print_failover_verdict(
+    const std::vector<std::pair<std::string, std::map<std::string, double>>>&
+        points) {
+  std::size_t violations = 0;
+  for (const auto& [label, fields] : points) {
+    const auto lost = fields.find("jobs_lost");
+    const auto dup = fields.find("duplicate_launches");
+    if ((lost != fields.end() && lost->second != 0.0) ||
+        (dup != fields.end() && dup->second != 0.0)) {
+      ++violations;
+      std::printf("  VIOLATED at %s\n", label.c_str());
+    }
+  }
+  if (violations == 0)
+    std::printf("failover invariants: OK (jobs_lost == 0 and "
+                "duplicate_launches == 0 at all %zu points)\n\n",
+                points.size());
+  else
+    std::printf("failover invariants: VIOLATED at %zu of %zu points\n\n",
+                violations, points.size());
+}
+
+void summarize_failover(const JsonValue& document) {
+  const auto points = failover_points(document);
+  if (points.empty()) return;
+  std::printf("failover headline (per point)\n");
+  Table table({"point", "jobs lost", "dup launches", "takeover (ms)",
+               "wal bytes"});
+  for (const auto& [label, fields] : points) {
+    std::vector<std::string> row{label};
+    for (const char* field : kFailoverFields) {
+      const auto it = fields.find(field);
+      row.push_back(it != fields.end() ? format_double(it->second, 6) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  print_failover_verdict(points);
+}
+
+/// Diff counterpart: headline fields side by side per artifact, then one
+/// verdict line per artifact.
+void diff_failover(const std::vector<Artifact>& artifacts) {
+  std::vector<std::string> header{"point :: field"};
+  for (const Artifact& artifact : artifacts) header.push_back(artifact.label);
+  const bool ratio = artifacts.size() == 2;
+  if (ratio) header.push_back("ratio");
+
+  std::map<std::string, std::vector<std::optional<double>>> rows;
+  std::vector<std::string> order;
+  for (std::size_t a = 0; a < artifacts.size(); ++a) {
+    for (const auto& [label, fields] : failover_points(artifacts[a].document)) {
+      for (const char* field : kFailoverFields) {
+        const auto it = fields.find(field);
+        if (it == fields.end()) continue;
+        const std::string key = label + " :: " + field;
+        auto [entry, inserted] = rows.try_emplace(key);
+        if (inserted) order.push_back(key);
+        entry->second.resize(artifacts.size());
+        entry->second[a] = it->second;
+      }
+    }
+  }
+  if (rows.empty()) return;
+  std::printf("failover headline (per point)\n");
+  Table table(header);
+  for (const std::string& key : order) {
+    auto& values = rows[key];
+    values.resize(artifacts.size());
+    std::vector<std::string> cells{key};
+    for (const auto& value : values)
+      cells.push_back(value ? format_double(*value, 6) : "-");
+    if (ratio)
+      cells.push_back(values[0] && values[1] && *values[0] != 0.0
+                          ? format_double(*values[1] / *values[0], 4)
+                          : "-");
+    table.add_row(std::move(cells));
+  }
+  table.print();
+  std::printf("\n");
+  for (const Artifact& artifact : artifacts) {
+    std::printf("%s: ", artifact.label.c_str());
+    print_failover_verdict(failover_points(artifact.document));
+  }
+}
+
 void summarize_bench(const Artifact& artifact) {
   const JsonValue& document = artifact.document;
   std::printf("bench artifact: %s (schema %s%s)\n\n",
@@ -317,6 +436,7 @@ void summarize_bench(const Artifact& artifact) {
   }
   run.print();
   std::printf("\n");
+  if (is_ha_failover_bench(document)) summarize_failover(document);
   const auto means = bench_point_means(document);
   if (means.empty()) return;
   std::printf("point metric means\n");
@@ -360,6 +480,12 @@ void diff_bench(const std::vector<Artifact>& artifacts) {
   }
   run.print();
   std::printf("\n");
+
+  if (std::all_of(artifacts.begin(), artifacts.end(),
+                  [](const Artifact& artifact) {
+                    return is_ha_failover_bench(artifact.document);
+                  }))
+    diff_failover(artifacts);
 
   // Union of "label :: metric" rows across all artifacts.
   std::map<std::string, std::vector<std::optional<double>>> rows;
