@@ -26,6 +26,9 @@ struct Variant {
   bool estimation = false;
   bool fp_tree = true;
   std::string label;
+  /// Scheduler the RM runs ("easy" default; "priority" adds multifactor
+  /// priority + fairshare, "policy" the full QoS/limits/fair-tree layer).
+  std::string scheduler = "easy";
 };
 
 }  // namespace
@@ -43,13 +46,22 @@ int main(int argc, char** argv) {
   const Variant eslurm_full{"eslurm", true, true, "ESLURM"};
   const Variant eslurm_noest{"eslurm", false, true, "ESLURM w/o estimation"};
   const Variant eslurm_nofp{"eslurm", true, false, "ESLURM w/o FP-Tree"};
+  // Policy arms: the same ESLURM stack with the multifactor-priority and
+  // the full policy scheduler swapped in (the trace carries QoS/account
+  // tags either way; the EASY arms simply ignore them).
+  const Variant eslurm_priority{"eslurm", true, true, "ESLURM + priority",
+                                "priority"};
+  const Variant eslurm_policy{"eslurm", true, true, "ESLURM + policy",
+                              "policy"};
 
   const SimTime horizon = harness.smoke() ? hours(6) : hours(48);
   std::vector<std::pair<std::size_t, std::vector<Variant>>> scales;
   if (harness.smoke()) {
-    scales = {{1024, {slurm, eslurm_full}}};
+    scales = {{1024, {slurm, eslurm_full, eslurm_policy}}};
   } else {
-    scales = {{1024, {sge, torque, openpbs, lsf, slurm, eslurm_full}},
+    scales = {{1024,
+               {sge, torque, openpbs, lsf, slurm, eslurm_full, eslurm_priority,
+                eslurm_policy}},
               {4096, {openpbs, lsf, slurm, eslurm_full}},
               {16384, {slurm, eslurm_full}},
               // Full NG-Tianhe, with the ablations the paper attributes
@@ -65,7 +77,8 @@ int main(int argc, char** argv) {
       point.params = {{"nodes", std::to_string(nodes)},
                       {"rm", variant.label},
                       {"estimation", variant.estimation ? "on" : "off"},
-                      {"fp_tree", variant.fp_tree ? "on" : "off"}};
+                      {"fp_tree", variant.fp_tree ? "on" : "off"},
+                      {"scheduler", variant.scheduler}};
       point.config.rm = variant.rm;
       point.config.compute_nodes = nodes;
       point.config.satellite_count = std::max<std::size_t>(2, nodes / 5000);
@@ -73,6 +86,8 @@ int main(int argc, char** argv) {
       point.config.seed = 1234;
       point.config.rm_config.use_runtime_estimation = variant.estimation;
       point.config.rm_config.use_fp_tree = variant.fp_tree;
+      point.config.rm_config.scheduler = variant.scheduler;
+      point.config.rm_config.policy.enabled = variant.scheduler == "policy";
       point.config.rm_config.estimator.retrain_period = hours(4);
       point.config.enable_failures = true;
       point.config.failure_params.node_mtbf_hours = 400.0;
@@ -89,8 +104,13 @@ int main(int argc, char** argv) {
     // workload is a function of the scale only, so every variant (and
     // every replica) of one scale replays the identical trace.
     const std::size_t nodes = task.config.compute_nodes;
-    const auto profile =
+    auto profile =
         nodes >= 20000 ? trace::ng_tianhe_profile() : trace::tianhe2a_profile();
+    // QoS/account tags for the policy arms; drawn from a dedicated RNG
+    // stream, so the base trace the EASY arms see is unchanged by them.
+    profile.qos_high_frac = 0.10;
+    profile.qos_low_frac = 0.20;
+    profile.account_count = 8;
     const auto jobs = bench::workload_for(nodes, horizon, 0.9, profile, 4242);
     core::Experiment experiment(task.config);
     experiment.submit_trace(jobs);

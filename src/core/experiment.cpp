@@ -193,6 +193,35 @@ ExperimentConfig Experiment::config_from_text(const std::string& text) {
       "haheartbeats", to_seconds(config.rm_config.ha.standby_hb_interval)));
   config.rm_config.ha.hb_miss_threshold = static_cast<int>(parsed.get_int(
       "haheartbeatmissthreshold", config.rm_config.ha.hb_miss_threshold));
+  config.rm_config.scheduler =
+      parsed.get_or("schedulertype", config.rm_config.scheduler);
+  auto& policy = config.rm_config.policy;
+  policy.enabled = parsed.get_bool("sched.policy.enabled", policy.enabled);
+  // Turning the policy layer on selects the policy scheduler unless the
+  // experiment pinned another one explicitly.
+  if (policy.enabled && config.rm_config.scheduler == "easy")
+    config.rm_config.scheduler = "policy";
+  policy.enforce_limits =
+      parsed.get_bool("sched.policy.enforcelimits", policy.enforce_limits);
+  policy.enable_preemption =
+      parsed.get_bool("sched.policy.preemption", policy.enable_preemption);
+  {
+    const std::string mode = parsed.get_or(
+        "sched.policy.preemptmode",
+        sched::policy::preempt_mode_name(policy.preempt_mode));
+    if (mode == "cancel")
+      policy.preempt_mode = sched::policy::PreemptMode::Cancel;
+    else if (mode == "requeue")
+      policy.preempt_mode = sched::policy::PreemptMode::Requeue;
+    else if (mode == "off")
+      policy.preempt_mode = sched::policy::PreemptMode::Off;
+  }
+  policy.preempt_wait = from_seconds(parsed.get_double(
+      "sched.policy.preemptwaits", to_seconds(policy.preempt_wait)));
+  policy.reservation_margin = from_seconds(parsed.get_double(
+      "sched.policy.reservationmargins", to_seconds(policy.reservation_margin)));
+  policy.qos_weight =
+      parsed.get_double("sched.policy.qosweight", policy.qos_weight);
   return config;
 }
 

@@ -79,7 +79,10 @@ class Experiment {
   /// ChaosDuplicateProb, ChaosDelayProb, ChaosDelayMs,
   /// ChaosPartitionStartS, ChaosPartitionDurationS, ChaosMasterKillS,
   /// HaEnabled, HaSnapshotIntervalS, HaGroupCommitMs, HaHeartbeatS,
-  /// HaHeartbeatMissThreshold.
+  /// HaHeartbeatMissThreshold, SchedulerType, Sched.Policy.Enabled,
+  /// Sched.Policy.EnforceLimits, Sched.Policy.Preemption,
+  /// Sched.Policy.PreemptMode, Sched.Policy.PreemptWaitS,
+  /// Sched.Policy.ReservationMarginS, Sched.Policy.QosWeight.
   static ExperimentConfig config_from_text(const std::string& text);
 
   // --- world access ----------------------------------------------------

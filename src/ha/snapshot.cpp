@@ -18,12 +18,13 @@ bool StateImage::operator==(const StateImage& other) const {
     const sched::Job& a = entry.job;
     const sched::Job& b = it->second.job;
     if (a.id != b.id || a.user != b.user || a.name != b.name ||
-        a.partition != b.partition || a.nodes != b.nodes || a.cores != b.cores ||
+        a.partition != b.partition || a.account != b.account || a.qos != b.qos ||
+        a.nodes != b.nodes || a.cores != b.cores ||
         a.depends_on != b.depends_on || a.submit_time != b.submit_time ||
         a.actual_runtime != b.actual_runtime ||
         a.user_estimate != b.user_estimate ||
         a.estimate_used != b.estimate_used || a.state != b.state ||
-        entry.alloc != it->second.alloc)
+        a.preempt_count != b.preempt_count || entry.alloc != it->second.alloc)
       return false;
   }
   return true;
@@ -31,18 +32,21 @@ bool StateImage::operator==(const StateImage& other) const {
 
 std::string encode_job_line(const ImageJob& entry) {
   const sched::Job& j = entry.job;
-  char buf[384];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
-                "%" PRIu64 " %s %s %s %d %d %" PRIu64 " %" PRId64 " %" PRId64
-                " %" PRId64 " %" PRId64 " %u %zu",
+                "%" PRIu64 " %s %s %s %s %s %d %d %" PRIu64 " %" PRId64
+                " %" PRId64 " %" PRId64 " %" PRId64 " %u %d %zu",
                 j.id, j.user.empty() ? "-" : j.user.c_str(),
                 j.name.empty() ? "-" : j.name.c_str(),
-                j.partition.empty() ? "-" : j.partition.c_str(), j.nodes,
+                j.partition.empty() ? "-" : j.partition.c_str(),
+                j.account.empty() ? "-" : j.account.c_str(),
+                j.qos.empty() ? "-" : j.qos.c_str(), j.nodes,
                 j.cores, j.depends_on, static_cast<std::int64_t>(j.submit_time),
                 static_cast<std::int64_t>(j.actual_runtime),
                 static_cast<std::int64_t>(j.user_estimate),
                 static_cast<std::int64_t>(j.estimate_used),
-                static_cast<unsigned>(j.state), entry.alloc.size());
+                static_cast<unsigned>(j.state), j.preempt_count,
+                entry.alloc.size());
   std::string line(buf);
   for (const net::NodeId node : entry.alloc) {
     line.push_back(' ');
@@ -57,13 +61,15 @@ bool decode_job_line(const std::string& line, ImageJob* out) {
   std::int64_t submit = 0, runtime = 0, user_est = 0, est_used = 0;
   unsigned state = 0;
   std::size_t alloc_count = 0;
-  if (!(fields >> j.id >> j.user >> j.name >> j.partition >> j.nodes >>
-        j.cores >> j.depends_on >> submit >> runtime >> user_est >> est_used >>
-        state >> alloc_count))
+  if (!(fields >> j.id >> j.user >> j.name >> j.partition >> j.account >>
+        j.qos >> j.nodes >> j.cores >> j.depends_on >> submit >> runtime >>
+        user_est >> est_used >> state >> j.preempt_count >> alloc_count))
     return false;
   if (j.user == "-") j.user.clear();
   if (j.name == "-") j.name.clear();
   if (j.partition == "-") j.partition.clear();
+  if (j.account == "-") j.account.clear();
+  if (j.qos == "-") j.qos.clear();
   j.submit_time = submit;
   j.actual_runtime = runtime;
   j.user_estimate = user_est;
@@ -81,7 +87,7 @@ bool decode_job_line(const std::string& line, ImageJob* out) {
 }
 
 std::string serialize(const StateImage& image) {
-  std::string body = "# eslurm-ha-image v1\n";
+  std::string body = "# eslurm-ha-image v2\n";
   char head[160];
   std::snprintf(head, sizeof(head), "%" PRId64 " %" PRIu64 " %zu %zu %zu\n",
                 static_cast<std::int64_t>(image.taken_at), image.last_wal_seq,
@@ -131,7 +137,7 @@ bool parse_state_image(const std::string& bytes, StateImage* out) {
   };
 
   std::string line;
-  if (!next_line(&line) || line != "# eslurm-ha-image v1") return false;
+  if (!next_line(&line) || line != "# eslurm-ha-image v2") return false;
   std::int64_t taken_at = 0;
   std::size_t njobs = 0, ndown = 0, acct_bytes = 0;
   if (!next_line(&line) ||

@@ -4,10 +4,32 @@
 #include <sstream>
 
 #include "rm/ha_master.hpp"
+#include "sched/priority_scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace eslurm::rm {
+
+namespace {
+
+/// Scheduler selection; the "easy" default is byte-identical to the
+/// pre-policy hardwired member.
+std::unique_ptr<sched::Scheduler> make_scheduler(
+    const RmRuntimeConfig& config, int cluster_nodes,
+    const sched::PartitionSet* partitions) {
+  if (config.scheduler == "fcfs") return std::make_unique<sched::FcfsScheduler>();
+  if (config.scheduler == "conservative")
+    return std::make_unique<sched::ConservativeBackfillScheduler>();
+  if (config.scheduler == "priority")
+    return std::make_unique<sched::PriorityBackfillScheduler>(
+        config.policy.weights, cluster_nodes, days(7), partitions);
+  if (config.scheduler == "policy")
+    return std::make_unique<sched::policy::PolicyScheduler>(config.policy,
+                                                            cluster_nodes, partitions);
+  return std::make_unique<sched::EasyBackfillScheduler>();
+}
+
+}  // namespace
 
 ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
                                  cluster::ClusterModel& cluster, RmCostProfile profile,
@@ -23,7 +45,11 @@ ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
       free_(deployment_.compute) {
   master_stats_ = std::make_unique<DaemonStats>(engine_, net_, deployment_.master,
                                                 profile_.accounting);
-  scheduler_.set_telemetry(telemetry_);
+  scheduler_ =
+      make_scheduler(config_, static_cast<int>(deployment_.compute.size()),
+                     config_.partitions.empty() ? nullptr : &config_.partitions);
+  policy_sched_ = dynamic_cast<sched::policy::PolicyScheduler*>(scheduler_.get());
+  scheduler_->set_telemetry(telemetry_);
   if (config_.use_runtime_estimation) {
     estimator_ = std::make_unique<predict::RuntimeEstimator>(
         config_.estimator, Rng(config_.seed ^ 0xE5), telemetry_);
@@ -110,6 +136,17 @@ void ResourceManager::start(SimTime horizon) {
     hazard_task_->start(minutes(10));
   }
 
+  // Reservation audit probes: sample each window at its start and its
+  // midpoint, when payloads of excluded jobs must leave the reserved
+  // capacity spare.
+  if (policy_sched_ && !policy_sched_->reservations().empty()) {
+    for (const auto& r : policy_sched_->reservations().all()) {
+      for (const SimTime at : {r.start, r.start + (r.end - r.start) / 2}) {
+        if (at < horizon) engine_.schedule_at(at, [this] { probe_reservations(); });
+      }
+    }
+  }
+
   // All periodic daemon activity stops at the horizon so a drained event
   // queue means the experiment is over (benches may engine().run()).
   engine_.schedule_at(horizon, [this] {
@@ -123,6 +160,20 @@ void ResourceManager::start(SimTime horizon) {
 void ResourceManager::submit(sched::Job job) {
   // Request handling cost on the master.
   master_stats_->charge_cpu_us(200.0);
+  if (!config_.partitions.empty()) {
+    if (const auto error = config_.partitions.validate(job)) {
+      // Rejected at the gate: the job is recorded (cancelled) so no
+      // submission ever vanishes, but it never enters the queue.
+      ++partition_rejects_;
+      const sched::JobId id = pool_.submit(std::move(job));
+      pool_.cancel_pending(id, engine_.now());
+      accounting_db_.record(pool_.get(id));
+      if (auto* t = telemetry_)
+        t->metrics.counter("sched.policy.partition_rejects", {{"rm", profile_.name}})
+            .inc();
+      return;
+    }
+  }
   if (estimator_) {
     const predict::Estimate est = estimator_->estimate(job);
     job.estimate_used = est.value;
@@ -170,14 +221,16 @@ void ResourceManager::run_sched_cycle() {
     accounting_db_.record(pool_.get(id));
   }
   try_start_jobs();
+  if (policy_sched_) policy_sched_->audit(pool_);
 }
 
 void ResourceManager::try_start_jobs() {
   // Compact the free list: drop nodes that died while idle (they return
   // via the cluster observer path when allocatable again).
   const auto decisions =
-      scheduler_.schedule(pool_, static_cast<int>(free_.size()), engine_.now());
+      scheduler_->schedule(pool_, static_cast<int>(free_.size()), engine_.now());
   for (const sched::JobId id : decisions) start_job(id);
+  apply_preemptions();
 }
 
 void ResourceManager::start_job(sched::JobId id) {
@@ -259,11 +312,13 @@ void ResourceManager::start_job(sched::JobId id) {
       run_for = limit;
       end_state = sched::JobState::TimedOut;
     }
-    engine_.schedule_after(run_for, [this, id, end_state] { job_ended(id, end_state); });
+    end_events_[id] = engine_.schedule_after(
+        run_for, [this, id, end_state] { job_ended(id, end_state); });
   });
 }
 
 void ResourceManager::job_ended(sched::JobId id, sched::JobState end_state) {
+  end_events_.erase(id);  // the run timer fired (even if handling defers)
   if (!master_up_) {
     // Completion RPCs cannot reach a crashed master; the nodes stay
     // occupied until it returns (a large part of the production pain).
@@ -294,11 +349,105 @@ void ResourceManager::release_job(sched::JobId id) {
     occupation_.add(to_seconds(job.release_time - job.submit_time));
     for (const NodeId node : allocations_[id]) free_.push_back(node);
     allocations_.erase(id);
+    // Stateful schedulers (fair-share ledgers, account usage) charge the
+    // observed consumption on the release path.
+    scheduler_->on_job_released(job, engine_.now());
     on_job_finished(job);
     master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
     // Freed resources: give the scheduler an immediate chance.
     try_start_jobs();
   });
+}
+
+void ResourceManager::apply_preemptions() {
+  if (!policy_sched_ || !master_up_) return;
+  const auto orders = policy_sched_->preemption_orders(
+      pool_, static_cast<int>(free_.size()), engine_.now());
+  for (const auto& order : orders) {
+    // Bracket the grace window so later cycles do not re-order the same
+    // victim while it winds down.
+    policy_sched_->note_preemption_pending(order.victim);
+    engine_.schedule_after(order.grace, [this, order] {
+      finish_preemption(order.victim, order.mode);
+    });
+  }
+}
+
+void ResourceManager::finish_preemption(sched::JobId id,
+                                        sched::policy::PreemptMode mode) {
+  if (policy_sched_) policy_sched_->note_preemption_done(id);
+  if (!master_up_) return;  // reprieved: the eviction died with the master
+  // Only a job still physically running with its run timer armed can be
+  // stopped; anything else completed (possibly deferred) during grace.
+  const auto event = end_events_.find(id);
+  if (event == end_events_.end()) return;
+  if (!pool_.contains(id) || pool_.get(id).state != sched::JobState::Running) return;
+  engine_.cancel(event->second);
+  end_events_.erase(event);
+
+  scheduler_->on_job_preempted(pool_.get(id), engine_.now());
+  if (auto* t = telemetry_)
+    t->metrics
+        .counter("sched.policy.preemptions",
+                 {{"mode", sched::policy::preempt_mode_name(mode)},
+                  {"rm", profile_.name}})
+        .inc();
+
+  if (mode == sched::policy::PreemptMode::Cancel) {
+    ++preempt_cancelled_;
+    pool_.mark_finished(id, engine_.now(), sched::JobState::Cancelled);
+    if (ha_) ha_->log_job_finished(id, sched::JobState::Cancelled);
+    release_job(id);
+    return;
+  }
+
+  // Requeue: termination broadcast stops the payload, the nodes return,
+  // and the job re-enters the queue head to rerun from scratch.
+  ++preempt_requeued_;
+  const std::vector<NodeId> allocated = allocations_[id];
+  dispatch(allocated, 512, [this, id](const comm::BroadcastResult& result) {
+    term_bcast_.add(to_seconds(result.elapsed()));
+    for (const NodeId node : allocations_[id]) {
+      if (cluster_.alive(node)) {
+        free_.push_back(node);
+      } else {
+        believed_down_.insert(node);
+        quarantined_.push_back(node);
+      }
+    }
+    allocations_.erase(id);
+    pool_.requeue_running(id);
+    if (ha_) {
+      ha_->log_job_requeued(id);
+      ha_->launch_complete(id);
+    }
+    master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
+    try_start_jobs();  // the evicted capacity goes to the blocked head
+  });
+}
+
+void ResourceManager::probe_reservations() {
+  if (!policy_sched_) return;
+  const SimTime now = engine_.now();
+  for (const auto& r : policy_sched_->reservations().all()) {
+    if (!r.active_at(now)) continue;
+    // Capacity held by *payloads* (Starting/Running) the window excludes;
+    // Completing jobs are already being torn down by their termination
+    // broadcast and no longer run anything.
+    int excluded = 0;
+    for (const sched::JobId id : pool_.active()) {
+      const sched::Job& job = pool_.get(id);
+      if (job.finished()) continue;
+      if (!r.allows(job)) excluded += job.nodes;
+    }
+    if (excluded > total_compute_nodes() - r.nodes) {
+      ++reservation_intrusions_;
+      if (auto* t = telemetry_)
+        t->metrics
+            .counter("sched.policy.reservation_intrusions", {{"window", r.name}})
+            .inc();
+    }
+  }
 }
 
 void ResourceManager::on_job_finished(const sched::Job& job) {

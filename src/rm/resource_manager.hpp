@@ -26,6 +26,8 @@
 #include "rm/accounting_storage.hpp"
 #include "rm/profiles.hpp"
 #include "sched/metrics.hpp"
+#include "sched/partition.hpp"
+#include "sched/policy/policy.hpp"
 #include "sched/scheduler.hpp"
 
 namespace eslurm::rm {
@@ -73,6 +75,15 @@ struct RmRuntimeConfig {
   /// promotion).  Off by default; when off, no HA code path runs and
   /// behaviour is bit-identical to earlier builds.
   ha::HaOptions ha;
+  /// Scheduling policy: "easy" (default, the paper's backfill), "fcfs",
+  /// "conservative", "priority" (multifactor EASY), or "policy" (the full
+  /// QoS/limits/reservations/preemption suite driven by `policy`).
+  std::string scheduler = "easy";
+  /// Partitions validated at submit time and feeding the priority boost;
+  /// the empty default skips validation entirely.
+  sched::PartitionSet partitions;
+  /// Policy-suite knobs; only read when scheduler == "policy".
+  sched::policy::PolicyConfig policy;
   std::uint64_t seed = 1;
 };
 
@@ -124,6 +135,21 @@ class ResourceManager {
   /// Launches aborted because an allocated node turned out to be dead
   /// (the RM's health view lags reality by up to one ping interval).
   std::uint64_t launch_requeues() const { return requeues_; }
+
+  // --- policy suite ----------------------------------------------------
+  sched::Scheduler& scheduler() { return *scheduler_; }
+  /// The policy scheduler, or nullptr unless config.scheduler == "policy".
+  sched::policy::PolicyScheduler* policy() { return policy_sched_; }
+  const sched::policy::PolicyScheduler* policy() const { return policy_sched_; }
+  /// Preemption outcomes executed by this RM (requeue / cancel mode).
+  std::uint64_t preempt_requeues() const { return preempt_requeued_; }
+  std::uint64_t preempt_cancels() const { return preempt_cancelled_; }
+  /// Probe hits where payloads of non-allowed jobs held more capacity
+  /// than a live reservation leaves spare (must stay 0: reserved windows
+  /// are never backfilled across).
+  std::uint64_t reservation_intrusions() const { return reservation_intrusions_; }
+  /// Submissions rejected by partition validation.
+  std::uint64_t partition_rejects() const { return partition_rejects_; }
 
   // --- user request service (Section II-B) ------------------------------
   /// Records one end-to-end user request observed by the RPC front-end
@@ -181,6 +207,13 @@ class ResourceManager {
   void try_start_jobs();
   void start_job(sched::JobId id);
   void job_ended(sched::JobId id, sched::JobState end_state);
+  /// Executes the policy scheduler's preemption orders: each victim gets
+  /// its grace period, then is stopped and requeued or cancelled.
+  void apply_preemptions();
+  void finish_preemption(sched::JobId id, sched::policy::PreemptMode mode);
+  /// Audit probe fired inside reservation windows: counts capacity held
+  /// by payloads (Starting/Running) of jobs a live reservation excludes.
+  void probe_reservations();
   /// Termination broadcast + resource reclamation for a finished job.
   /// Split out of job_ended so HA promotion can re-issue it for jobs
   /// whose termination died with the old master.
@@ -223,7 +256,14 @@ class ResourceManager {
   void refresh_health_view();
 
   sched::JobPool pool_;
-  sched::EasyBackfillScheduler scheduler_;
+  /// Built by config_.scheduler; the default "easy" keeps the exact
+  /// pre-policy EasyBackfillScheduler behaviour.
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Downcast view of scheduler_, non-null only for "policy".
+  sched::policy::PolicyScheduler* policy_sched_ = nullptr;
+  /// Armed run timers of running jobs: preemption cancels them.  An entry
+  /// disappears when its timer fires (job_ended) or is preempted.
+  std::unordered_map<sched::JobId, sim::EventId> end_events_;
   std::vector<NodeId> free_;                        ///< allocatable nodes
   /// Nodes pulled out of the free list because the RM believes them
   /// unhealthy or drained; merged back on every health refresh / resume.
@@ -234,6 +274,10 @@ class ResourceManager {
   std::unordered_set<NodeId> believed_down_;
   std::unordered_set<NodeId> drained_;
   std::uint64_t requeues_ = 0;
+  std::uint64_t preempt_requeued_ = 0;
+  std::uint64_t preempt_cancelled_ = 0;
+  std::uint64_t reservation_intrusions_ = 0;
+  std::uint64_t partition_rejects_ = 0;
 
   RunningStats request_times_;
   std::uint64_t requests_issued_ = 0;

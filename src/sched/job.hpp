@@ -31,6 +31,8 @@ struct Job {
   int nodes = 1;           ///< nodes requested (jobs run in isolation)
   int cores = 1;           ///< total cores requested
   std::string partition = "batch";  ///< queue the job was submitted to
+  std::string account = "";  ///< charged account ("" = unaccounted)
+  std::string qos = "";      ///< QoS class name ("" = default class)
   JobId depends_on = kNoJob;        ///< afterok dependency (0 = none)
 
   SimTime submit_time = 0;
@@ -43,6 +45,7 @@ struct Job {
   SimTime start_time = -1;
   SimTime end_time = -1;        ///< completion incl. termination overhead
   SimTime release_time = -1;    ///< resources fully reclaimed
+  int preempt_count = 0;        ///< times preempted back into the queue
   JobState state = JobState::Pending;
 
   SimTime wait_time() const { return start_time >= 0 ? start_time - submit_time : -1; }

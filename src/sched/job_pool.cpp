@@ -53,6 +53,21 @@ void JobPool::requeue_starting(JobId id) {
   pending_.push_front(id);  // it keeps its place at the head of the queue
 }
 
+void JobPool::requeue_running(JobId id) {
+  Job& job = get(id);
+  if (job.state != JobState::Running)
+    throw std::logic_error("JobPool::requeue_running: job not running");
+  const auto it = std::find(active_.begin(), active_.end(), id);
+  if (it == active_.end()) throw std::logic_error("JobPool: active list corrupt");
+  active_.erase(it);
+  nodes_in_use_ -= job.nodes;
+  job.state = JobState::Pending;
+  job.start_time = -1;
+  job.end_time = -1;
+  ++job.preempt_count;
+  pending_.push_front(id);  // a victim does not lose its queue position
+}
+
 void JobPool::mark_running(JobId id, SimTime start) {
   Job& job = get(id);
   if (job.state != JobState::Starting)

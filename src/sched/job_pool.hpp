@@ -32,6 +32,10 @@ class JobPool {
   /// Returns a Starting job to the head of the pending queue (launch
   /// failed, e.g. an allocated node turned out to be dead).
   void requeue_starting(JobId id);
+  /// Returns a Running job to the head of the pending queue (preemption
+  /// in requeue mode).  Start/end are cleared: the rerun starts from
+  /// scratch and consumes the full runtime again.
+  void requeue_running(JobId id);
   void mark_running(JobId id, SimTime start);
   /// end_state must be Completed, TimedOut or Cancelled.
   void mark_finished(JobId id, SimTime end, JobState end_state);

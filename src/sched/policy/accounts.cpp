@@ -1,0 +1,263 @@
+#include "sched/policy/accounts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eslurm::sched::policy {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+AccountTree::AccountTree(SimTime half_life) : half_life_(half_life) {
+  if (half_life_ <= 0) throw std::invalid_argument("AccountTree: half_life > 0");
+}
+
+void AccountTree::add_account(const std::string& name, const std::string& parent,
+                              double shares, AccountLimits limits) {
+  if (name.empty()) throw std::invalid_argument("AccountTree: account needs a name");
+  if (!parent.empty() && !accounts_.count(parent))
+    throw std::invalid_argument("AccountTree: unknown parent account");
+  Account& account = accounts_[name];
+  account.parent = parent;
+  account.shares = shares;
+  account.limits = limits;
+}
+
+void AccountTree::set_user(const std::string& user, const std::string& account,
+                           double shares, UserLimits limits) {
+  if (user.empty()) throw std::invalid_argument("AccountTree: user needs a name");
+  if (!account.empty() && !accounts_.count(account))
+    add_account(account);  // self-assembly: unseen accounts hang off root
+  User& entry = users_[user];
+  entry.account = account;
+  entry.shares = shares;
+  entry.limits = limits;
+}
+
+void AccountTree::ensure_user(const std::string& user, const std::string& account) {
+  if (user.empty() || users_.count(user)) return;
+  set_user(user, account);
+}
+
+const std::string& AccountTree::account_of(const std::string& user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? kEmpty : it->second.account;
+}
+
+const std::string& AccountTree::effective_account(const Job& job) const {
+  if (!job.account.empty()) return job.account;
+  return account_of(job.user);
+}
+
+void AccountTree::chain_of(const std::string& account,
+                           std::vector<const Account*>* accounts,
+                           std::vector<const std::string*>* names) const {
+  const std::string* current = &account;
+  // Depth is bounded by the registered hierarchy; a malformed cycle would
+  // have been rejected at add_account (parents must pre-exist).
+  while (!current->empty()) {
+    const auto it = accounts_.find(*current);
+    if (it == accounts_.end()) break;  // unregistered tag: no caps apply
+    if (accounts) accounts->push_back(&it->second);
+    if (names) names->push_back(&it->first);
+    current = &it->second.parent;
+  }
+}
+
+LiveUsage AccountTree::usage_from(const JobPool& pool) const {
+  LiveUsage usage;
+  for (const JobId id : pool.active()) {
+    const Job& job = pool.get(id);
+    if (job.finished()) continue;  // completing: resources counted until release
+    add_usage(usage, job);
+  }
+  return usage;
+}
+
+void AccountTree::add_usage(LiveUsage& usage, const Job& job) const {
+  auto& user = usage.by_user[job.user];
+  ++user.running_jobs;
+  user.nodes += job.nodes;
+  std::vector<const std::string*> names;
+  chain_of(effective_account(job), nullptr, &names);
+  for (const std::string* name : names) {
+    auto& account = usage.by_account[*name];
+    ++account.running_jobs;
+    account.nodes += job.nodes;
+  }
+}
+
+std::optional<std::string> AccountTree::may_start(const Job& job, const QosClass& qos,
+                                                  const LiveUsage& usage) const {
+  static const LiveUsage::Entry kNone;
+  const auto user_it = usage.by_user.find(job.user);
+  const LiveUsage::Entry& mine = user_it == usage.by_user.end() ? kNone
+                                                                : user_it->second;
+  // Per-QoS per-user caps bind first (Slurm checks QOS before
+  // association limits).
+  if (mine.running_jobs + 1 > qos.max_running_jobs_per_user)
+    return "qos-user-max-jobs";
+  if (mine.nodes + job.nodes > qos.max_nodes_per_user) return "qos-user-max-nodes";
+
+  if (const auto it = users_.find(job.user); it != users_.end()) {
+    if (mine.running_jobs + 1 > it->second.limits.max_running_jobs)
+      return "user-max-jobs";
+    if (mine.nodes + job.nodes > it->second.limits.max_nodes) return "user-max-nodes";
+  }
+
+  std::vector<const Account*> accounts;
+  std::vector<const std::string*> names;
+  chain_of(effective_account(job), &accounts, &names);
+  for (std::size_t i = 0; i < accounts.size(); ++i) {
+    const AccountLimits& limits = accounts[i]->limits;
+    const auto it = usage.by_account.find(*names[i]);
+    const LiveUsage::Entry& held = it == usage.by_account.end() ? kNone : it->second;
+    if (held.running_jobs + 1 > limits.max_running_jobs) return "account-max-jobs";
+    if (held.nodes + job.nodes > limits.max_nodes) return "account-max-nodes";
+    if (charged_node_seconds(*names[i]) >= limits.node_seconds_budget)
+      return "account-budget";
+  }
+  return std::nullopt;
+}
+
+std::size_t AccountTree::violations(const LiveUsage& usage) const {
+  std::size_t count = 0;
+  for (const auto& [user, held] : usage.by_user) {
+    const auto it = users_.find(user);
+    if (it == users_.end()) continue;
+    if (held.running_jobs > it->second.limits.max_running_jobs ||
+        held.nodes > it->second.limits.max_nodes)
+      ++count;
+  }
+  for (const auto& [account, held] : usage.by_account) {
+    const auto it = accounts_.find(account);
+    if (it == accounts_.end()) continue;
+    if (held.running_jobs > it->second.limits.max_running_jobs ||
+        held.nodes > it->second.limits.max_nodes)
+      ++count;
+  }
+  return count;
+}
+
+double AccountTree::decayed(const DecayEntry& entry, SimTime now) const {
+  if (now <= entry.as_of) return entry.usage;
+  const double half_lives = static_cast<double>(now - entry.as_of) / half_life_;
+  return entry.usage * std::exp2(-half_lives);
+}
+
+void AccountTree::charge_entity(const std::string& key, double node_seconds,
+                                SimTime now) {
+  DecayEntry& entry = decay_[key];
+  entry.usage = decayed(entry, now) + node_seconds;
+  entry.as_of = now;
+}
+
+void AccountTree::charge(const Job& job, double node_seconds, SimTime now) {
+  if (node_seconds <= 0) return;
+  charge_entity("u:" + job.user, node_seconds, now);
+  std::vector<const std::string*> names;
+  chain_of(effective_account(job), nullptr, &names);
+  for (const std::string* name : names) {
+    charge_entity("a:" + *name, node_seconds, now);
+    budget_spent_[*name] += node_seconds;  // budgets do not decay
+  }
+}
+
+double AccountTree::charged_node_seconds(const std::string& account) const {
+  const auto it = budget_spent_.find(account);
+  return it == budget_spent_.end() ? 0.0 : it->second;
+}
+
+double AccountTree::decayed_usage(const std::string& user, SimTime now) const {
+  const auto it = decay_.find("u:" + user);
+  return it == decay_.end() ? 0.0 : decayed(it->second, now);
+}
+
+std::unordered_map<std::string, double> AccountTree::fair_tree_factors(
+    SimTime now) const {
+  std::unordered_map<std::string, double> factors;
+  if (users_.empty()) return factors;
+
+  // Child adjacency, rebuilt per call: the tree is small (hundreds of
+  // nodes) and mutation-free queries beat cache invalidation headaches.
+  std::unordered_map<std::string, std::vector<const std::string*>> child_accounts;
+  std::unordered_map<std::string, std::vector<const std::string*>> child_users;
+  for (const auto& [name, account] : accounts_)
+    child_accounts[account.parent].push_back(&name);
+  for (const auto& [name, user] : users_)
+    child_users[user.account].push_back(&name);
+
+  struct Ranked {
+    double level_fs = 0.0;
+    const std::string* name = nullptr;
+    bool is_user = false;
+  };
+
+  const std::size_t total_users = users_.size();
+  std::size_t rank = total_users;
+
+  // Iterative DFS from the root; each frame ranks its children by
+  // level fairshare = shares fraction / decayed-usage fraction (Slurm's
+  // Fair Tree), deterministically tie-broken by name.
+  const auto rank_children = [&](const std::string& parent) {
+    std::vector<Ranked> ranked;
+    double total_shares = 0.0;
+    double total_usage = 0.0;
+    const auto collect = [&](const std::string* name, bool is_user, double shares,
+                             double usage) {
+      ranked.push_back({0.0, name, is_user});
+      ranked.back().level_fs = shares;  // temporarily stash shares
+      total_shares += shares;
+      total_usage += usage;
+    };
+    if (const auto it = child_accounts.find(parent); it != child_accounts.end())
+      for (const std::string* name : it->second) {
+        const auto entry = decay_.find("a:" + *name);
+        collect(name, false, accounts_.at(*name).shares,
+                entry == decay_.end() ? 0.0 : decayed(entry->second, now));
+      }
+    if (const auto it = child_users.find(parent); it != child_users.end())
+      for (const std::string* name : it->second)
+        collect(name, true, users_.at(*name).shares, decayed_usage(*name, now));
+    // Second pass: turn (shares, usage) into the level fairshare.  With
+    // zero aggregate usage everything ties on shares alone.
+    const auto usage_of = [&](const Ranked& r) {
+      if (r.is_user) return decayed_usage(*r.name, now);
+      const auto entry = decay_.find("a:" + *r.name);
+      return entry == decay_.end() ? 0.0 : decayed(entry->second, now);
+    };
+    for (Ranked& r : ranked) {
+      const double shares_frac =
+          total_shares > 0.0 ? r.level_fs / total_shares : 1.0;
+      const double usage_frac =
+          total_usage > 0.0 ? usage_of(r) / total_usage : 0.0;
+      r.level_fs = shares_frac / std::max(usage_frac, 1e-9);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+      if (a.level_fs != b.level_fs) return a.level_fs > b.level_fs;
+      return *a.name < *b.name;
+    });
+    return ranked;
+  };
+
+  std::vector<Ranked> stack = rank_children(kEmpty);
+  std::reverse(stack.begin(), stack.end());  // keep rank order on a LIFO stack
+  while (!stack.empty()) {
+    const Ranked top = stack.back();
+    stack.pop_back();
+    if (top.is_user) {
+      factors[*top.name] =
+          static_cast<double>(rank) / static_cast<double>(total_users);
+      --rank;
+    } else {
+      std::vector<Ranked> children = rank_children(*top.name);
+      std::reverse(children.begin(), children.end());
+      stack.insert(stack.end(), children.begin(), children.end());
+    }
+  }
+  return factors;
+}
+
+}  // namespace eslurm::sched::policy

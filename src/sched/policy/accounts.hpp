@@ -1,0 +1,144 @@
+// Account hierarchy: the bank-account tree production Slurm keeps in
+// slurmdbd, with two jobs here:
+//
+//   * admission (acct_policy.c equivalents): per-user and per-account
+//     caps on running jobs and nodes, and a node-seconds budget charged
+//     on completion -- each checked up the whole parent chain, so a
+//     division cap binds every project under it;
+//   * hierarchical fair-share (Slurm's Fair Tree): every tree level
+//     ranks its children by shares-vs-decayed-usage, and users get a
+//     rank-order factor in (0, 1] -- an upgrade over the flat per-user
+//     FairshareTracker that makes a heavy *project* depress all of its
+//     members, not just the one user who burned the hours.
+//
+// The tree self-assembles from the jobs it sees (`ensure_user`): traces
+// only need user -> account tags; explicit add_account/set_user calls
+// layer limits and shares on top.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/job_pool.hpp"
+#include "sched/policy/qos.hpp"
+
+namespace eslurm::sched::policy {
+
+/// Caps applied to one account, binding for the whole subtree under it.
+struct AccountLimits {
+  int max_running_jobs = std::numeric_limits<int>::max();  ///< GrpJobs
+  int max_nodes = std::numeric_limits<int>::max();         ///< GrpTRES=node
+  /// Total node-seconds the subtree may consume over the run; exhausted
+  /// budgets hold further jobs (GrpTRESMins-style, without decay).
+  double node_seconds_budget = std::numeric_limits<double>::infinity();
+};
+
+/// Caps applied to one user across all their jobs.
+struct UserLimits {
+  int max_running_jobs = std::numeric_limits<int>::max();
+  int max_nodes = std::numeric_limits<int>::max();
+};
+
+/// Live concurrency snapshot, aggregated by the scheduler from the pool's
+/// active jobs (plus in-pass admissions) each cycle.  Keeping it derived
+/// from the pool -- not an incrementally maintained counter -- makes the
+/// admission view impossible to desynchronize from reality.
+struct LiveUsage {
+  struct Entry {
+    int running_jobs = 0;
+    int nodes = 0;
+  };
+  std::unordered_map<std::string, Entry> by_user;
+  std::unordered_map<std::string, Entry> by_account;
+};
+
+class AccountTree {
+ public:
+  /// `half_life` governs the fair-tree usage decay (Slurm
+  /// PriorityDecayHalfLife).
+  explicit AccountTree(SimTime half_life = days(7));
+
+  // --- construction ----------------------------------------------------
+  /// Adds/updates an account.  `parent` must already exist ("" = root).
+  void add_account(const std::string& name, const std::string& parent = "",
+                   double shares = 1.0, AccountLimits limits = {});
+  /// Registers/updates a user under `account` ("" = directly under root).
+  /// Unknown accounts are created on the fly with default limits.
+  void set_user(const std::string& user, const std::string& account,
+                double shares = 1.0, UserLimits limits = {});
+  /// Lazily registers an unknown user the first time a job of theirs is
+  /// seen, under the job's account tag.  Known users are untouched.
+  void ensure_user(const std::string& user, const std::string& account);
+
+  bool has_account(const std::string& name) const { return accounts_.count(name) > 0; }
+  bool has_user(const std::string& user) const { return users_.count(user) > 0; }
+  /// The account a user is registered under ("" when unknown / root).
+  const std::string& account_of(const std::string& user) const;
+  std::size_t user_count() const { return users_.size(); }
+
+  // --- live usage ------------------------------------------------------
+  /// Aggregates the pool's active (starting/running/completing) jobs.
+  LiveUsage usage_from(const JobPool& pool) const;
+  /// Adds one job to a live snapshot (in-pass admission bookkeeping).
+  void add_usage(LiveUsage& usage, const Job& job) const;
+
+  /// acct_policy-style admission: nullopt when the job may start, else a
+  /// short reason tag ("user-max-jobs", "account-max-nodes",
+  /// "account-budget", "qos-user-max-jobs"...).
+  std::optional<std::string> may_start(const Job& job, const QosClass& qos,
+                                       const LiveUsage& usage) const;
+
+  /// Counts limit entries exceeded by `usage` (audit invariant; 0 when
+  /// admission is doing its job).
+  std::size_t violations(const LiveUsage& usage) const;
+
+  // --- consumption ledger ----------------------------------------------
+  /// Charges completed (or preempted-partial) consumption: budget ledger
+  /// plus decayed fair-tree usage for the user and every ancestor.
+  void charge(const Job& job, double node_seconds, SimTime now);
+  /// Un-decayed node-seconds charged against an account's budget so far.
+  double charged_node_seconds(const std::string& account) const;
+  double decayed_usage(const std::string& user, SimTime now) const;
+
+  // --- fair tree -------------------------------------------------------
+  /// Fair-tree factor in (0, 1] per registered user at `now`: each tree
+  /// level is ranked by (shares fraction) / (decayed usage fraction) and
+  /// users receive rank / user_count in traversal order.  Unregistered
+  /// users are not in the map; callers treat them as factor 1.
+  std::unordered_map<std::string, double> fair_tree_factors(SimTime now) const;
+
+ private:
+  struct Account {
+    std::string parent;  ///< "" = root
+    double shares = 1.0;
+    AccountLimits limits;
+  };
+  struct User {
+    std::string account;  ///< "" = root
+    double shares = 1.0;
+    UserLimits limits;
+  };
+  struct DecayEntry {
+    double usage = 0.0;
+    SimTime as_of = 0;
+  };
+
+  /// The parent chain of an account, innermost first ("" excluded).
+  void chain_of(const std::string& account, std::vector<const Account*>* accounts,
+                std::vector<const std::string*>* names) const;
+  /// The account a job charges: its own tag, else its user's registration.
+  const std::string& effective_account(const Job& job) const;
+  double decayed(const DecayEntry& entry, SimTime now) const;
+  void charge_entity(const std::string& key, double node_seconds, SimTime now);
+
+  SimTime half_life_;
+  std::unordered_map<std::string, Account> accounts_;
+  std::unordered_map<std::string, User> users_;
+  std::unordered_map<std::string, double> budget_spent_;  ///< per account
+  std::unordered_map<std::string, DecayEntry> decay_;     ///< "u:"/"a:" keys
+};
+
+}  // namespace eslurm::sched::policy

@@ -1,0 +1,71 @@
+#include "sched/policy/reservation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eslurm::sched::policy {
+
+bool Reservation::allows(const Job& job) const {
+  const auto has = [](const std::vector<std::string>& list, const std::string& value) {
+    return !value.empty() &&
+           std::find(list.begin(), list.end(), value) != list.end();
+  };
+  return has(accounts, job.account) || has(users, job.user) || has(qos, job.qos);
+}
+
+void ReservationCalendar::add(Reservation reservation) {
+  if (reservation.end <= reservation.start)
+    throw std::invalid_argument("Reservation: end must be after start");
+  if (reservation.nodes <= 0)
+    throw std::invalid_argument("Reservation: needs a positive node count");
+  reservations_.push_back(std::move(reservation));
+}
+
+int ReservationCalendar::carve_out(const Job& job, SimTime t0, SimTime t1) const {
+  // Max concurrent reserved capacity over the window.  Concurrency can
+  // only change at window starts, so evaluating the stack at t0 and at
+  // every overlapping reservation's start covers all maxima.
+  int best = 0;
+  const auto stacked_at = [&](SimTime t) {
+    int sum = 0;
+    for (const Reservation& r : reservations_)
+      if (r.active_at(t) && !r.allows(job)) sum += r.nodes;
+    return sum;
+  };
+  best = stacked_at(t0);
+  for (const Reservation& r : reservations_) {
+    if (r.allows(job) || !r.overlaps(t0, t1)) continue;
+    if (r.start >= t0) best = std::max(best, stacked_at(r.start));
+  }
+  return best;
+}
+
+int ReservationCalendar::reserved_at(const Job& job, SimTime t) const {
+  int sum = 0;
+  for (const Reservation& r : reservations_)
+    if (r.active_at(t) && !r.allows(job)) sum += r.nodes;
+  return sum;
+}
+
+std::vector<Reservation> ReservationCalendar::periodic(
+    const std::string& name_prefix, SimTime first_start, SimTime duration,
+    SimTime period, int count, int nodes, std::vector<std::string> accounts,
+    std::vector<std::string> users, std::vector<std::string> qos) {
+  if (period <= 0) throw std::invalid_argument("periodic: period must be positive");
+  std::vector<Reservation> out;
+  out.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    Reservation r;
+    r.name = name_prefix + "-" + std::to_string(i);
+    r.start = first_start + static_cast<SimTime>(i) * period;
+    r.end = r.start + duration;
+    r.nodes = nodes;
+    r.accounts = accounts;
+    r.users = users;
+    r.qos = qos;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace eslurm::sched::policy

@@ -48,8 +48,15 @@ struct PriorityWeights {
   double age_cap_days = 7.0;     ///< age factor saturates
   double job_size = 500.0;       ///< x (nodes / cluster nodes)
   double fairshare = 2000.0;     ///< x share factor
-  double partition = 0.0;        ///< x partition priority factor
+  /// x partition priority factor.  0.0 means "pick a default": schedulers
+  /// constructed with a PartitionSet promote it to kDefaultPartitionWeight
+  /// so configured partitions actually influence the order.
+  double partition = 0.0;
 };
+
+/// Weight given to the partition factor when a PartitionSet is supplied
+/// but PriorityWeights::partition was left at its 0.0 default.
+inline constexpr double kDefaultPartitionWeight = 1000.0;
 
 class PriorityCalculator {
  public:
@@ -58,6 +65,11 @@ class PriorityCalculator {
 
   double priority(const Job& job, SimTime now, const FairshareTracker& fairshare,
                   double partition_factor = 0.0) const;
+
+  /// Priority with an externally supplied share factor in (0, 1] --
+  /// hierarchical fair-tree policies replace the flat tracker's factor.
+  double priority_from_factors(const Job& job, SimTime now, double share_factor,
+                               double partition_factor) const;
 
   const PriorityWeights& weights() const { return weights_; }
 

@@ -4,11 +4,22 @@
 
 namespace eslurm::sched {
 
+namespace {
+
+PriorityWeights with_partition_default(PriorityWeights weights,
+                                       const PartitionSet* partitions) {
+  if (partitions && !partitions->empty() && weights.partition == 0.0)
+    weights.partition = kDefaultPartitionWeight;
+  return weights;
+}
+
+}  // namespace
+
 PriorityBackfillScheduler::PriorityBackfillScheduler(PriorityWeights weights,
                                                      int cluster_nodes,
                                                      SimTime fairshare_half_life,
                                                      const PartitionSet* partitions)
-    : calculator_(weights, cluster_nodes,
+    : calculator_(with_partition_default(weights, partitions), cluster_nodes,
                   static_cast<double>(cluster_nodes) *
                       to_seconds(fairshare_half_life)),
       fairshare_(fairshare_half_life),
@@ -48,6 +59,12 @@ void PriorityBackfillScheduler::on_job_released(const Job& job, SimTime now) {
   if (runtime <= 0) return;
   fairshare_.record_usage(job.user, static_cast<double>(job.nodes) * to_seconds(runtime),
                           now);
+}
+
+void PriorityBackfillScheduler::on_job_preempted(const Job& job, SimTime now) {
+  if (job.start_time < 0 || now <= job.start_time) return;
+  fairshare_.record_usage(
+      job.user, static_cast<double>(job.nodes) * to_seconds(now - job.start_time), now);
 }
 
 }  // namespace eslurm::sched

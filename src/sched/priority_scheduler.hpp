@@ -13,7 +13,10 @@ namespace eslurm::sched {
 class PriorityBackfillScheduler final : public Scheduler {
  public:
   /// `partitions` (optional) contributes the per-partition boost; it must
-  /// outlive the scheduler.
+  /// outlive the scheduler.  When a non-empty set is supplied and
+  /// `weights.partition` was left at its 0.0 default, the weight is
+  /// promoted to kDefaultPartitionWeight -- configuring partitions
+  /// without a weight would otherwise silently ignore them.
   PriorityBackfillScheduler(PriorityWeights weights, int cluster_nodes,
                             SimTime fairshare_half_life = days(7),
                             const PartitionSet* partitions = nullptr);
@@ -21,14 +24,19 @@ class PriorityBackfillScheduler final : public Scheduler {
   std::vector<JobId> schedule(const JobPool& pool, int free_nodes, SimTime now) override;
   const char* name() const override { return "priority-backfill"; }
 
-  /// Feed completed usage into the fair-share ledger (call on release).
-  void on_job_released(const Job& job, SimTime now);
+  /// Feed completed usage into the fair-share ledger (RM release path).
+  void on_job_released(const Job& job, SimTime now) override;
+  /// Preempted jobs still consumed node-seconds up to `now`.
+  void on_job_preempted(const Job& job, SimTime now) override;
 
   FairshareTracker& fairshare() { return fairshare_; }
   std::uint64_t backfilled_jobs() const { return backfilled_; }
 
-  /// Injects the owning RM's telemetry context (nullptr to detach).
-  void set_telemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+  void set_telemetry(telemetry::Telemetry* telemetry) override {
+    telemetry_ = telemetry;
+  }
+
+  const PriorityWeights& weights() const { return calculator_.weights(); }
 
   /// Priority of one job right now (for squeue-style introspection).
   double priority_of(const Job& job, SimTime now) const;

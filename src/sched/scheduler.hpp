@@ -25,6 +25,18 @@ class Scheduler {
   virtual std::vector<JobId> schedule(const JobPool& pool, int free_nodes,
                                       SimTime now) = 0;
   virtual const char* name() const = 0;
+
+  /// Injects the owning RM's telemetry context (nullptr to detach).
+  /// Default: the scheduler emits nothing.
+  virtual void set_telemetry(telemetry::Telemetry*) {}
+  /// RM release-path feedback: the job's resources were fully reclaimed.
+  /// Stateful schedulers (fair-share, account usage) charge the observed
+  /// consumption here; the default policy is stateless.
+  virtual void on_job_released(const Job&, SimTime) {}
+  /// RM preemption feedback: a running job was stopped early and either
+  /// requeued or cancelled.  The partial consumption up to `now` is still
+  /// real usage and is charged by stateful schedulers.
+  virtual void on_job_preempted(const Job&, SimTime) {}
 };
 
 /// First-come-first-served: start the head of the queue while it fits.
@@ -68,8 +80,9 @@ class EasyBackfillScheduler final : public Scheduler {
 
   std::uint64_t backfilled_jobs() const { return backfilled_; }
 
-  /// Injects the owning RM's telemetry context (nullptr to detach).
-  void set_telemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
+  void set_telemetry(telemetry::Telemetry* telemetry) override {
+    telemetry_ = telemetry;
+  }
 
  private:
   std::uint64_t backfilled_ = 0;

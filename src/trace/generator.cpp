@@ -16,7 +16,41 @@ SimTime round_up_estimate(double seconds_value) {
   return from_seconds(std::max(rounded, 600.0));  // nobody requests < 10 min
 }
 
+/// FNV-1a, fixed offset/prime: std::hash is implementation-defined, and
+/// the user -> account mapping must be identical across toolchains.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::string account_for_user(const WorkloadProfile& profile,
+                             const std::string& user) {
+  if (profile.account_count == 0) return "";
+  return "acct" + std::to_string(fnv1a(user) % profile.account_count);
+}
+
+std::vector<std::pair<std::string, std::string>> account_hierarchy(
+    const WorkloadProfile& profile) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  if (profile.account_count == 0) return edges;
+  const bool grouped = profile.account_depth >= 2 && profile.account_count > 1;
+  const std::size_t divisions =
+      grouped ? std::max<std::size_t>(1, profile.account_count / 4) : 0;
+  for (std::size_t d = 0; d < divisions; ++d)
+    edges.emplace_back("div" + std::to_string(d), "");
+  for (std::size_t k = 0; k < profile.account_count; ++k) {
+    const std::string parent =
+        divisions > 0 ? "div" + std::to_string(k % divisions) : "";
+    edges.emplace_back("acct" + std::to_string(k), parent);
+  }
+  return edges;
+}
 
 TraceGenerator::TraceGenerator(WorkloadProfile profile)
     : profile_(std::move(profile)), rng_(profile_.seed) {
@@ -232,6 +266,25 @@ std::vector<TraceJob> TraceGenerator::generate(SimTime duration) {
                      return a.submit_time < b.submit_time;
                    });
   for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = i + 1;
+
+  // Policy tags ride on top of the finished trace: accounts are a pure
+  // function of the user name, QoS draws come from policy_rng_ in id
+  // order.  With the knobs at zero this loop changes nothing and draws
+  // nothing, so the base stream (and the golden hash) is untouched.
+  const bool qos_mix = profile_.qos_high_frac > 0.0 || profile_.qos_low_frac > 0.0;
+  if (qos_mix || profile_.account_count > 0) {
+    for (auto& job : jobs) {
+      if (profile_.account_count > 0)
+        job.account = account_for_user(profile_, job.user);
+      if (qos_mix) {
+        const double r = policy_rng_.uniform(0.0, 1.0);
+        if (r < profile_.qos_high_frac)
+          job.qos = "high";
+        else if (r < profile_.qos_high_frac + profile_.qos_low_frac)
+          job.qos = "low";
+      }
+    }
+  }
   return jobs;
 }
 

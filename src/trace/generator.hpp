@@ -14,6 +14,8 @@
 //     15-minute wall-clock value, as users actually do.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sched/job.hpp"
@@ -24,6 +26,17 @@ namespace eslurm::trace {
 
 /// One submitted job of a trace: exactly a sched::Job in Pending state.
 using TraceJob = sched::Job;
+
+/// Deterministic user -> leaf account mapping for the profile's account
+/// knobs (FNV-1a, stable across platforms); "" when account_count == 0.
+std::string account_for_user(const WorkloadProfile& profile,
+                             const std::string& user);
+
+/// The (account, parent) edges implied by the profile's account knobs,
+/// parents first so they can be fed to AccountTree::add_account in
+/// order.  Empty when account_count == 0.
+std::vector<std::pair<std::string, std::string>> account_hierarchy(
+    const WorkloadProfile& profile);
 
 class TraceGenerator {
  public:
@@ -77,6 +90,10 @@ class TraceGenerator {
   std::vector<AppInfo> apps_;  ///< global application catalog
   std::vector<std::vector<double>> drift_;  ///< per app, per day
   Rng drift_rng_{0xD21F7};
+  /// QoS tags draw from their own stream (like drift_rng_): enabling a
+  /// mix never perturbs the base workload, and zero fractions draw
+  /// nothing, keeping traces bit-identical to pre-policy profiles.
+  Rng policy_rng_{0x905C1};
 };
 
 }  // namespace eslurm::trace

@@ -77,6 +77,20 @@ struct WorkloadProfile {
   int max_nodes_per_job = 1024;
   double large_job_zipf = 1.4;       ///< node-count skew (most jobs small)
 
+  // Policy-scenario knobs (inert at the zero defaults: no job is tagged
+  // and the generated trace is bit-identical to a profile without them).
+  /// QoS mix: fraction of jobs tagged "high" / "low"; the remainder keep
+  /// the default class.  Tags are drawn from a dedicated RNG stream so
+  /// the base workload is unchanged by the mix.
+  double qos_high_frac = 0.0;
+  double qos_low_frac = 0.0;
+  /// Accounts: 0 leaves jobs unaccounted; otherwise each user is hashed
+  /// into one of this many leaf accounts ("acct<K>").
+  std::size_t account_count = 0;
+  /// Hierarchy depth below root: 1 = leaves directly under root, >= 2
+  /// groups leaves under division accounts ("div<D>", one per ~4 leaves).
+  std::size_t account_depth = 2;
+
   std::uint64_t seed = 0x7ea5e;
 };
 

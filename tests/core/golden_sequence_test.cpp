@@ -108,6 +108,24 @@ TEST(GoldenSequence, HaDisabledIsInert) {
   EXPECT_EQ(run_golden(config), kGoldenHash);
 }
 
+TEST(GoldenSequence, PolicyDisabledIsInert) {
+  // The policy suite (QoS, account limits, reservations, preemption) must
+  // run zero code while disabled: every knob below is set aggressively,
+  // but with enabled=false the scheduler stays plain EASY and the pinned
+  // hash must reproduce bit-for-bit.
+  ExperimentConfig config = golden_config();
+  config.rm_config.policy.enabled = false;
+  config.rm_config.policy.enable_preemption = true;
+  config.rm_config.policy.preempt_mode = sched::policy::PreemptMode::Cancel;
+  config.rm_config.policy.preempt_wait = seconds(10);
+  config.rm_config.policy.qos_weight = 100.0;
+  config.rm_config.policy.accounts.set_user(
+      "user1", "acct0", 1.0, sched::policy::UserLimits{.max_running_jobs = 1});
+  config.rm_config.policy.reservations.add(sched::policy::Reservation{
+      .name = "maint", .start = minutes(10), .end = hours(1), .nodes = 256});
+  EXPECT_EQ(run_golden(config), kGoldenHash);
+}
+
 TEST(GoldenSequence, RerunIsBitIdentical) {
   EXPECT_EQ(run_golden(golden_config()), run_golden(golden_config()));
 }

@@ -32,7 +32,11 @@ StateImage sample_image() {
   StateImage empty;
   image.jobs.emplace(1, make_entry(1, "alice", 4, sched::JobState::Running,
                                    {10, 11, 12, 13}));
-  image.jobs.emplace(2, make_entry(2, "bob", 2, sched::JobState::Pending));
+  ImageJob tagged = make_entry(2, "bob", 2, sched::JobState::Pending);
+  tagged.job.account = "acct1";
+  tagged.job.qos = "high";
+  tagged.job.preempt_count = 1;
+  image.jobs.emplace(2, std::move(tagged));
   image.jobs.emplace(3, make_entry(3, "alice", 1, sched::JobState::Starting, {20}));
   image.down = {5, 99};
   image.accounting = "# eslurm-acct v1\n1 u j p 1 0.000 1.000 2.000 COMPLETED\n";
@@ -55,6 +59,28 @@ TEST(JobLine, RoundTripsAllFields) {
   EXPECT_EQ(out.job.user_estimate, in.job.user_estimate);
   EXPECT_EQ(out.job.state, in.job.state);
   EXPECT_EQ(out.alloc, in.alloc);
+}
+
+TEST(JobLine, RoundTripsPolicyFields) {
+  // The v2 line carries the policy suite's job tags: account, QoS class,
+  // and the preemption counter.  Recovery must not strip a requeued
+  // victim of its tags (they drive admission and victim pricing).
+  ImageJob in = make_entry(9, "erin", 4, sched::JobState::Pending);
+  in.job.account = "acct3";
+  in.job.qos = "low";
+  in.job.preempt_count = 2;
+  ImageJob out;
+  ASSERT_TRUE(decode_job_line(encode_job_line(in), &out));
+  EXPECT_EQ(out.job.account, "acct3");
+  EXPECT_EQ(out.job.qos, "low");
+  EXPECT_EQ(out.job.preempt_count, 2);
+
+  // Untagged jobs use the "-" sentinel and come back empty.
+  ImageJob plain = make_entry(10, "erin", 4, sched::JobState::Pending);
+  ASSERT_TRUE(decode_job_line(encode_job_line(plain), &out));
+  EXPECT_TRUE(out.job.account.empty());
+  EXPECT_TRUE(out.job.qos.empty());
+  EXPECT_EQ(out.job.preempt_count, 0);
 }
 
 TEST(JobLine, EmptyStringsUseSentinel) {

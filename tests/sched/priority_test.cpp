@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sched/partition.hpp"
 #include "sched/priority.hpp"
 #include "sched/priority_scheduler.hpp"
@@ -43,6 +45,39 @@ TEST(FairshareTest, ShareFactorFallsWithUsage) {
 
 TEST(FairshareTest, InvalidHalfLifeThrows) {
   EXPECT_THROW(FairshareTracker(0), std::invalid_argument);
+}
+
+TEST(FairshareTest, DecayRebasesCorrectlyOnExactHalfLifeBoundaries) {
+  // Recording exactly on half-life boundaries must decay the stored value
+  // before adding, so interleaved records compose: 1000 halves to 500,
+  // plus 300 fresh = 800, which halves again to 400.
+  FairshareTracker tracker(days(1));
+  tracker.record_usage("alice", 1000.0, 0);
+  tracker.record_usage("alice", 300.0, days(1));
+  EXPECT_NEAR(tracker.raw_usage("alice", days(1)), 800.0, 1e-9);
+  EXPECT_NEAR(tracker.raw_usage("alice", days(2)), 400.0, 1e-9);
+  // Querying in the past (clock never rewinds in the sim, but callers may
+  // hold stale timestamps) returns the undecayed value, not an inflation.
+  EXPECT_NEAR(tracker.raw_usage("alice", seconds(1)), 800.0, 1e-9);
+}
+
+TEST(FairshareTest, UnknownUserHasFullShareFactor) {
+  FairshareTracker tracker(days(1));
+  tracker.record_usage("known", 500.0, 0);
+  EXPECT_DOUBLE_EQ(tracker.share_factor("never-seen", days(5), 1000.0), 1.0);
+  EXPECT_LT(tracker.share_factor("known", 0, 1000.0), 1.0);
+}
+
+TEST(FairshareTest, ZeroClusterCapacityDoesNotDivideByZero) {
+  // A degenerate normalization constant (empty machine, or a config hole)
+  // must clamp, not produce NaN/inf priorities.
+  FairshareTracker tracker(days(1));
+  tracker.record_usage("u", 1000.0, 0);
+  const double factor = tracker.share_factor("u", 0, 0.0);
+  EXPECT_TRUE(std::isfinite(factor));
+  EXPECT_GE(factor, 0.0);
+  EXPECT_LE(factor, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.share_factor("fresh", 0, -5.0), 1.0);
 }
 
 TEST(PriorityCalcTest, AgeRaisesPriorityUpToCap) {
@@ -137,6 +172,25 @@ TEST(PrioritySchedulerTest, PartitionBoostApplies) {
   EXPECT_GT(sched.priority_of(debug_job, 0), sched.priority_of(batch_job, 0));
 }
 
+TEST(PrioritySchedulerTest, PartitionSetPromotesDefaultWeight) {
+  // Configuring partitions while leaving weights.partition at its 0.0
+  // default must promote the weight: partitions without a weight would
+  // otherwise be silently ignored.
+  const PartitionSet partitions = PartitionSet::tianhe_default();
+  PriorityWeights weights;  // partition left at 0.0
+  PriorityBackfillScheduler promoted(weights, 128, days(7), &partitions);
+  EXPECT_DOUBLE_EQ(promoted.weights().partition, kDefaultPartitionWeight);
+
+  // An explicit weight wins over the promotion...
+  weights.partition = 42.0;
+  PriorityBackfillScheduler pinned(weights, 128, days(7), &partitions);
+  EXPECT_DOUBLE_EQ(pinned.weights().partition, 42.0);
+
+  // ...and without partitions the zero default stays untouched.
+  PriorityBackfillScheduler bare(PriorityWeights{}, 128, days(7));
+  EXPECT_DOUBLE_EQ(bare.weights().partition, 0.0);
+}
+
 TEST(PrioritySchedulerTest, ReleasedUsageFeedsFairshare) {
   PriorityBackfillScheduler sched(PriorityWeights{}, 64, days(7));
   Job job = make_job(1, "u", 4, minutes(10));
@@ -210,6 +264,24 @@ TEST(RequeueTest, StartingJobReturnsToQueueHead) {
   EXPECT_EQ(pool.get(1).start_time, -1);
   EXPECT_EQ(pool.nodes_in_use(), 0);
   EXPECT_THROW(pool.requeue_starting(2), std::logic_error);
+}
+
+TEST(RequeueTest, RunningJobReturnsToQueueHeadWithPreemptCount) {
+  JobPool pool;
+  pool.submit(make_job(1, "u", 4, seconds(100)));
+  pool.submit(make_job(2, "u", 4, seconds(100)));
+  pool.mark_starting(1);
+  pool.mark_running(1, seconds(10));
+  EXPECT_EQ(pool.nodes_in_use(), 4);
+  pool.requeue_running(1);
+  EXPECT_EQ(pool.pending().front(), 1u);
+  EXPECT_EQ(pool.get(1).state, JobState::Pending);
+  // The rerun starts from scratch: start/end cleared, eviction recorded.
+  EXPECT_EQ(pool.get(1).start_time, -1);
+  EXPECT_EQ(pool.get(1).end_time, -1);
+  EXPECT_EQ(pool.get(1).preempt_count, 1);
+  EXPECT_EQ(pool.nodes_in_use(), 0);
+  EXPECT_THROW(pool.requeue_running(2), std::logic_error);  // still pending
 }
 
 }  // namespace

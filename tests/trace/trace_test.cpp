@@ -111,6 +111,84 @@ TEST(GeneratorTest, CorrelationDecaysWithIdGap) {
   EXPECT_LT(curve.ratio.back(), 0.2);
 }
 
+TEST(PolicyTagsTest, QosMixApproximatesRequestedFractions) {
+  WorkloadProfile profile = tianhe2a_profile();
+  profile.qos_high_frac = 0.2;
+  profile.qos_low_frac = 0.3;
+  const auto jobs = small_trace(profile, days(3));
+  ASSERT_GT(jobs.size(), 500u);
+  std::size_t high = 0, low = 0;
+  for (const auto& job : jobs) {
+    if (job.qos == "high") ++high;
+    else if (job.qos == "low") ++low;
+    else EXPECT_TRUE(job.qos.empty());
+  }
+  const double n = static_cast<double>(jobs.size());
+  EXPECT_NEAR(high / n, 0.2, 0.05);
+  EXPECT_NEAR(low / n, 0.3, 0.05);
+}
+
+TEST(PolicyTagsTest, AccountTaggingIsAStableFunctionOfTheUser) {
+  WorkloadProfile profile = tianhe2a_profile();
+  profile.account_count = 8;
+  const auto jobs = small_trace(profile, days(1));
+  ASSERT_FALSE(jobs.empty());
+  for (const auto& job : jobs) {
+    // Every job lands in one of the requested accounts, and resubmits by
+    // the same user always charge the same account.
+    EXPECT_EQ(job.account, account_for_user(profile, job.user));
+    EXPECT_EQ(job.account.rfind("acct", 0), 0u) << job.account;
+  }
+  // FNV-1a is pinned, not std::hash: the mapping is toolchain-stable.
+  EXPECT_EQ(account_for_user(profile, "user1"), account_for_user(profile, "user1"));
+  WorkloadProfile untagged = tianhe2a_profile();
+  EXPECT_EQ(account_for_user(untagged, "user1"), "");
+}
+
+TEST(PolicyTagsTest, TagsDoNotPerturbTheBaseTrace) {
+  // The tags ride on a dedicated RNG stream: a tagged profile must emit
+  // the bit-identical base trace, differing only in account/qos fields.
+  WorkloadProfile tagged = tianhe2a_profile();
+  tagged.qos_high_frac = 0.25;
+  tagged.qos_low_frac = 0.25;
+  tagged.account_count = 8;
+  const auto plain_jobs = small_trace(tianhe2a_profile(), days(1));
+  const auto tagged_jobs = small_trace(tagged, days(1));
+  ASSERT_EQ(plain_jobs.size(), tagged_jobs.size());
+  for (std::size_t i = 0; i < plain_jobs.size(); ++i) {
+    EXPECT_EQ(plain_jobs[i].id, tagged_jobs[i].id);
+    EXPECT_EQ(plain_jobs[i].user, tagged_jobs[i].user);
+    EXPECT_EQ(plain_jobs[i].name, tagged_jobs[i].name);
+    EXPECT_EQ(plain_jobs[i].submit_time, tagged_jobs[i].submit_time);
+    EXPECT_EQ(plain_jobs[i].nodes, tagged_jobs[i].nodes);
+    EXPECT_EQ(plain_jobs[i].actual_runtime, tagged_jobs[i].actual_runtime);
+    EXPECT_EQ(plain_jobs[i].user_estimate, tagged_jobs[i].user_estimate);
+    EXPECT_TRUE(plain_jobs[i].account.empty());
+    EXPECT_TRUE(plain_jobs[i].qos.empty());
+  }
+}
+
+TEST(PolicyTagsTest, AccountHierarchyGroupsProjectsUnderDivisions) {
+  WorkloadProfile profile = tianhe2a_profile();
+  profile.account_count = 8;
+  profile.account_depth = 2;
+  const auto edges = account_hierarchy(profile);
+  // 8/4 = 2 divisions under the root, then the 8 projects under them.
+  ASSERT_EQ(edges.size(), 10u);
+  EXPECT_EQ(edges[0], (std::pair<std::string, std::string>{"div0", ""}));
+  EXPECT_EQ(edges[1], (std::pair<std::string, std::string>{"div1", ""}));
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(edges[2 + k].first, "acct" + std::to_string(k));
+    EXPECT_EQ(edges[2 + k].second, "div" + std::to_string(k % 2));
+  }
+  // Flat hierarchies hang projects directly off the root.
+  profile.account_depth = 1;
+  for (const auto& [name, parent] : account_hierarchy(profile))
+    EXPECT_EQ(parent, "");
+  profile.account_count = 0;
+  EXPECT_TRUE(account_hierarchy(profile).empty());
+}
+
 TEST(StatisticsTest, CorrelationPredicate) {
   sched::Job a, b;
   a.name = b.name = "app1";

@@ -315,9 +315,10 @@ bool is_ha_failover_bench(const JsonValue& document) {
 constexpr const char* kFailoverFields[] = {"jobs_lost", "duplicate_launches",
                                            "takeover_ms", "wal_bytes"};
 
-/// label -> (field -> mean), headline failover fields only, in point order.
+/// label -> (field -> mean) for a headline field subset, in point order.
+template <std::size_t N>
 std::vector<std::pair<std::string, std::map<std::string, double>>>
-failover_points(const JsonValue& document) {
+headline_points(const JsonValue& document, const char* const (&wanted)[N]) {
   std::vector<std::pair<std::string, std::map<std::string, double>>> out;
   const JsonValue* points = document.find("points");
   if (!points || !points->is_array()) return out;
@@ -326,12 +327,17 @@ failover_points(const JsonValue& document) {
     const JsonValue* metrics = point.find("metrics");
     if (!metrics || !metrics->is_object()) continue;
     std::map<std::string, double> fields;
-    for (const char* field : kFailoverFields)
+    for (const char* field : wanted)
       if (const JsonValue* stats = metrics->find(field))
         fields[field] = member_number(*stats, "mean");
     out.emplace_back(member_string(point, "label"), std::move(fields));
   }
   return out;
+}
+
+std::vector<std::pair<std::string, std::map<std::string, double>>>
+failover_points(const JsonValue& document) {
+  return headline_points(document, kFailoverFields);
 }
 
 void print_failover_verdict(
@@ -420,6 +426,111 @@ void diff_failover(const std::vector<Artifact>& artifacts) {
   }
 }
 
+// --- the scheduler policy suite (BENCH_policy_suite.json) ---------------
+//
+// Per-QoS-class headline: the sweep's whole point is the per-class wait
+// split and three hard invariants (limit_violations == 0,
+// reservation_intrusions == 0, jobs_lost == 0), so surface them as a
+// focused table plus a verdict line, like the failover artifact.
+
+bool is_policy_suite_bench(const JsonValue& document) {
+  return member_string(document, "bench") == "policy_suite";
+}
+
+constexpr const char* kPolicyFields[] = {
+    "wait_p95_high_s", "wait_p95_normal_s",      "wait_p95_low_s",
+    "bsld_high",       "limit_violations",       "reservation_intrusions",
+    "preempt_requeues", "jobs_lost"};
+
+void print_policy_verdict(
+    const std::vector<std::pair<std::string, std::map<std::string, double>>>&
+        points) {
+  std::size_t violations = 0;
+  for (const auto& [label, fields] : points) {
+    for (const char* invariant :
+         {"limit_violations", "reservation_intrusions", "jobs_lost"}) {
+      const auto it = fields.find(invariant);
+      if (it != fields.end() && it->second != 0.0) {
+        ++violations;
+        std::printf("  VIOLATED at %s (%s = %g)\n", label.c_str(), invariant,
+                    it->second);
+      }
+    }
+  }
+  if (violations == 0)
+    std::printf("policy invariants: OK (limit_violations, "
+                "reservation_intrusions and jobs_lost all 0 at all %zu "
+                "points)\n\n",
+                points.size());
+  else
+    std::printf("policy invariants: VIOLATED %zu time(s) across %zu points\n\n",
+                violations, points.size());
+}
+
+void summarize_policy(const JsonValue& document) {
+  const auto points = headline_points(document, kPolicyFields);
+  if (points.empty()) return;
+  std::printf("per-QoS-class headline (per arm/mix point)\n");
+  Table table({"point", "hi p95 w(s)", "no p95 w(s)", "lo p95 w(s)", "hi bsld",
+               "limit viol", "resv intr", "preempt rq", "lost"});
+  for (const auto& [label, fields] : points) {
+    std::vector<std::string> row{label};
+    for (const char* field : kPolicyFields) {
+      const auto it = fields.find(field);
+      row.push_back(it != fields.end() ? format_double(it->second, 6) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  print_policy_verdict(points);
+}
+
+/// Diff counterpart: per-class fields side by side, verdict per artifact.
+void diff_policy(const std::vector<Artifact>& artifacts) {
+  std::vector<std::string> header{"point :: field"};
+  for (const Artifact& artifact : artifacts) header.push_back(artifact.label);
+  const bool ratio = artifacts.size() == 2;
+  if (ratio) header.push_back("ratio");
+
+  std::map<std::string, std::vector<std::optional<double>>> rows;
+  std::vector<std::string> order;
+  for (std::size_t a = 0; a < artifacts.size(); ++a) {
+    for (const auto& [label, fields] :
+         headline_points(artifacts[a].document, kPolicyFields)) {
+      for (const char* field : kPolicyFields) {
+        const auto it = fields.find(field);
+        if (it == fields.end()) continue;
+        const std::string key = label + " :: " + field;
+        auto [entry, inserted] = rows.try_emplace(key);
+        if (inserted) order.push_back(key);
+        entry->second.resize(artifacts.size());
+        entry->second[a] = it->second;
+      }
+    }
+  }
+  if (rows.empty()) return;
+  std::printf("per-QoS-class headline (per arm/mix point)\n");
+  Table table(header);
+  for (const std::string& key : order) {
+    auto& values = rows[key];
+    values.resize(artifacts.size());
+    std::vector<std::string> cells{key};
+    for (const auto& value : values)
+      cells.push_back(value ? format_double(*value, 6) : "-");
+    if (ratio)
+      cells.push_back(values[0] && values[1] && *values[0] != 0.0
+                          ? format_double(*values[1] / *values[0], 4)
+                          : "-");
+    table.add_row(std::move(cells));
+  }
+  table.print();
+  std::printf("\n");
+  for (const Artifact& artifact : artifacts) {
+    std::printf("%s: ", artifact.label.c_str());
+    print_policy_verdict(headline_points(artifact.document, kPolicyFields));
+  }
+}
+
 void summarize_bench(const Artifact& artifact) {
   const JsonValue& document = artifact.document;
   std::printf("bench artifact: %s (schema %s%s)\n\n",
@@ -437,6 +548,7 @@ void summarize_bench(const Artifact& artifact) {
   run.print();
   std::printf("\n");
   if (is_ha_failover_bench(document)) summarize_failover(document);
+  if (is_policy_suite_bench(document)) summarize_policy(document);
   const auto means = bench_point_means(document);
   if (means.empty()) return;
   std::printf("point metric means\n");
@@ -486,6 +598,11 @@ void diff_bench(const std::vector<Artifact>& artifacts) {
                     return is_ha_failover_bench(artifact.document);
                   }))
     diff_failover(artifacts);
+  if (std::all_of(artifacts.begin(), artifacts.end(),
+                  [](const Artifact& artifact) {
+                    return is_policy_suite_bench(artifact.document);
+                  }))
+    diff_policy(artifacts);
 
   // Union of "label :: metric" rows across all artifacts.
   std::map<std::string, std::vector<std::optional<double>>> rows;
