@@ -9,7 +9,11 @@
 namespace eslurm::cluster {
 
 FailureModel::FailureModel(ClusterModel& cluster, Rng rng, FailureModelParams params)
-    : cluster_(cluster), rng_(rng), params_(params), immune_(cluster.size(), false) {}
+    : cluster_(cluster),
+      rng_(rng),
+      params_(params),
+      immune_(cluster.size(), false),
+      repair_at_(cluster.size(), 0) {}
 
 void FailureModel::set_immune(std::vector<NodeId> nodes) {
   std::fill(immune_.begin(), immune_.end(), false);
@@ -64,7 +68,16 @@ void FailureModel::arm_next_failure() {
 }
 
 void FailureModel::execute_failure(NodeId node, SimTime repair_after) {
-  if (!cluster_.alive(node)) return;
+  const SimTime repair_at = cluster_.engine().now() + repair_after;
+  if (!cluster_.alive(node)) {
+    // Double failure: the node is already down.  Never count a second
+    // injection or schedule a second repair -- but the outage must not
+    // end before the *latest* failure's repair time, so the deadline
+    // extends and the pending repair event re-arms itself (finish_repair).
+    if (repair_at > repair_at_[node]) repair_at_[node] = repair_at;
+    return;
+  }
+  repair_at_[node] = repair_at;
   ++injected_;
   ESLURM_DEBUG("failure: node ", node, " down at t=", to_seconds(cluster_.engine().now()),
                "s for ", to_seconds(repair_after), "s");
@@ -79,16 +92,24 @@ void FailureModel::execute_failure(NodeId node, SimTime repair_after) {
                       {{"node", static_cast<double>(node)},
                        {"repair_s", to_seconds(repair_after)}});
   }
-  cluster_.engine().schedule_after(repair_after, [this, node] {
-    if (!cluster_.alive(node)) {
-      cluster_.restore(node);
-      if (auto* t = cluster_.engine().telemetry()) {
-        t->metrics.counter("cluster.nodes_repaired").inc();
-        t->metrics.gauge("cluster.nodes_down")
-            .set(static_cast<double>(cluster_.size() - cluster_.alive_count()));
-      }
-    }
-  });
+  cluster_.engine().schedule_after(repair_after, [this, node] { finish_repair(node); });
+}
+
+void FailureModel::finish_repair(NodeId node) {
+  if (cluster_.alive(node)) return;
+  if (cluster_.engine().now() < repair_at_[node]) {
+    // A later failure extended the outage while this repair was in
+    // flight; come back at the extended deadline.
+    cluster_.engine().schedule_at(repair_at_[node],
+                                  [this, node] { finish_repair(node); });
+    return;
+  }
+  cluster_.restore(node);
+  if (auto* t = cluster_.engine().telemetry()) {
+    t->metrics.counter("cluster.nodes_repaired").inc();
+    t->metrics.gauge("cluster.nodes_down")
+        .set(static_cast<double>(cluster_.size() - cluster_.alive_count()));
+  }
 }
 
 void FailureModel::schedule_burst(const BurstEvent& burst) {
@@ -116,7 +137,10 @@ void FailureModel::schedule_burst(const BurstEvent& burst) {
 }
 
 void FailureModel::fail_now(NodeId node, SimTime down_for) {
-  for (const auto& hook : hooks_) hook(node, cluster_.engine().now());
+  // Hooks announce an *upcoming* transition; a node that is already down
+  // has none, and execute_failure only extends its outage.
+  if (cluster_.alive(node))
+    for (const auto& hook : hooks_) hook(node, cluster_.engine().now());
   execute_failure(node, down_for);
 }
 

@@ -57,7 +57,9 @@ class FailureModel {
   void schedule_burst(const BurstEvent& burst);
 
   /// Fails a specific node now, restoring it after `down_for`.
-  /// Pre-failure hooks fire with lead time 0 (unpredicted failure).
+  /// Pre-failure hooks fire with lead time 0 (unpredicted failure); a
+  /// node that is already down fires no hooks, and merely extends the
+  /// outage if `down_for` outlasts the scheduled repair.
   void fail_now(NodeId node, SimTime down_for);
 
   std::uint64_t injected_failures() const { return injected_; }
@@ -67,6 +69,7 @@ class FailureModel {
  private:
   void arm_next_failure();
   void execute_failure(NodeId node, SimTime repair_after);
+  void finish_repair(NodeId node);
   NodeId pick_victim();
 
   ClusterModel& cluster_;
@@ -76,6 +79,11 @@ class FailureModel {
   std::vector<bool> immune_;
   std::vector<PreFailureHook> hooks_;
   std::uint64_t injected_ = 0;
+  /// Per-node repair deadline.  Failing a node that is already down must
+  /// not let the earlier (shorter) repair resurrect it before the new
+  /// outage elapses: the deadline only ever extends while down, and the
+  /// repair event re-arms itself when it fires before the deadline.
+  std::vector<SimTime> repair_at_;
 };
 
 }  // namespace eslurm::cluster

@@ -82,6 +82,19 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
         rm_config);
   }
 
+  if (rm_config.recovery.enabled) {
+    // Failure-aware placement reads the monitoring substrate's health
+    // verdicts; proactive drain rides the failure model's pre-failure
+    // notice (the simulated analogue of a RAS/SMART alert landing before
+    // the node actually dies).
+    manager_->set_failure_predictor(monitoring_.get());
+    if (rm_config.recovery.proactive_drain) {
+      failures_->add_pre_failure_hook([this](net::NodeId node, SimTime fail_at) {
+        manager_->note_predicted_failure(node, fail_at);
+      });
+    }
+  }
+
   if (config_.frontend.clients.users > 0) {
     frontend::FrontendConfig fe_config = config_.frontend;
     fe_config.clients.seed = config_.seed ^ 0xF0E0;
@@ -222,6 +235,26 @@ ExperimentConfig Experiment::config_from_text(const std::string& text) {
       "sched.policy.reservationmargins", to_seconds(policy.reservation_margin)));
   policy.qos_weight =
       parsed.get_double("sched.policy.qosweight", policy.qos_weight);
+  auto& recovery = config.rm_config.recovery;
+  recovery.enabled = parsed.get_bool("recovery.enabled", recovery.enabled);
+  recovery.max_retries = static_cast<int>(
+      parsed.get_int("recovery.maxretries", recovery.max_retries));
+  recovery.backoff_base = from_seconds(parsed.get_double(
+      "recovery.backoffbases", to_seconds(recovery.backoff_base)));
+  recovery.backoff_factor =
+      parsed.get_double("recovery.backofffactor", recovery.backoff_factor);
+  recovery.backoff_max = from_seconds(parsed.get_double(
+      "recovery.backoffmaxs", to_seconds(recovery.backoff_max)));
+  recovery.checkpoint_interval = from_seconds(parsed.get_double(
+      "recovery.checkpointintervals", to_seconds(recovery.checkpoint_interval)));
+  recovery.checkpoint_cost = from_seconds(parsed.get_double(
+      "recovery.checkpointcosts", to_seconds(recovery.checkpoint_cost)));
+  recovery.proactive_drain =
+      parsed.get_bool("recovery.proactivedrain", recovery.proactive_drain);
+  recovery.fault_aware_placement = parsed.get_bool(
+      "recovery.faultawareplacement", recovery.fault_aware_placement);
+  recovery.placement_risk_weight = parsed.get_double(
+      "recovery.riskweight", recovery.placement_risk_weight);
   return config;
 }
 

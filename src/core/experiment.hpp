@@ -82,7 +82,12 @@ class Experiment {
   /// HaHeartbeatMissThreshold, SchedulerType, Sched.Policy.Enabled,
   /// Sched.Policy.EnforceLimits, Sched.Policy.Preemption,
   /// Sched.Policy.PreemptMode, Sched.Policy.PreemptWaitS,
-  /// Sched.Policy.ReservationMarginS, Sched.Policy.QosWeight.
+  /// Sched.Policy.ReservationMarginS, Sched.Policy.QosWeight,
+  /// Recovery.Enabled, Recovery.MaxRetries, Recovery.BackoffBaseS,
+  /// Recovery.BackoffFactor, Recovery.BackoffMaxS,
+  /// Recovery.CheckpointIntervalS, Recovery.CheckpointCostS,
+  /// Recovery.ProactiveDrain, Recovery.FaultAwarePlacement,
+  /// Recovery.RiskWeight.
   static ExperimentConfig config_from_text(const std::string& text);
 
   // --- world access ----------------------------------------------------

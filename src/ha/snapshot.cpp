@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -24,7 +25,9 @@ bool StateImage::operator==(const StateImage& other) const {
         a.actual_runtime != b.actual_runtime ||
         a.user_estimate != b.user_estimate ||
         a.estimate_used != b.estimate_used || a.state != b.state ||
-        a.preempt_count != b.preempt_count || entry.alloc != it->second.alloc)
+        a.preempt_count != b.preempt_count || a.retry_count != b.retry_count ||
+        a.checkpoint_progress != b.checkpoint_progress ||
+        entry.alloc != it->second.alloc)
       return false;
   }
   return true;
@@ -35,7 +38,7 @@ std::string encode_job_line(const ImageJob& entry) {
   char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "%" PRIu64 " %s %s %s %s %s %d %d %" PRIu64 " %" PRId64
-                " %" PRId64 " %" PRId64 " %" PRId64 " %u %d %zu",
+                " %" PRId64 " %" PRId64 " %" PRId64 " %u %d %d %" PRId64 " %zu",
                 j.id, j.user.empty() ? "-" : j.user.c_str(),
                 j.name.empty() ? "-" : j.name.c_str(),
                 j.partition.empty() ? "-" : j.partition.c_str(),
@@ -45,7 +48,8 @@ std::string encode_job_line(const ImageJob& entry) {
                 static_cast<std::int64_t>(j.actual_runtime),
                 static_cast<std::int64_t>(j.user_estimate),
                 static_cast<std::int64_t>(j.estimate_used),
-                static_cast<unsigned>(j.state), j.preempt_count,
+                static_cast<unsigned>(j.state), j.preempt_count, j.retry_count,
+                static_cast<std::int64_t>(j.checkpoint_progress),
                 entry.alloc.size());
   std::string line(buf);
   for (const net::NodeId node : entry.alloc) {
@@ -58,12 +62,13 @@ std::string encode_job_line(const ImageJob& entry) {
 bool decode_job_line(const std::string& line, ImageJob* out) {
   std::istringstream fields(line);
   sched::Job& j = out->job;
-  std::int64_t submit = 0, runtime = 0, user_est = 0, est_used = 0;
+  std::int64_t submit = 0, runtime = 0, user_est = 0, est_used = 0, progress = 0;
   unsigned state = 0;
   std::size_t alloc_count = 0;
   if (!(fields >> j.id >> j.user >> j.name >> j.partition >> j.account >>
         j.qos >> j.nodes >> j.cores >> j.depends_on >> submit >> runtime >>
-        user_est >> est_used >> state >> j.preempt_count >> alloc_count))
+        user_est >> est_used >> state >> j.preempt_count >> j.retry_count >>
+        progress >> alloc_count))
     return false;
   if (j.user == "-") j.user.clear();
   if (j.name == "-") j.name.clear();
@@ -74,7 +79,8 @@ bool decode_job_line(const std::string& line, ImageJob* out) {
   j.actual_runtime = runtime;
   j.user_estimate = user_est;
   j.estimate_used = est_used;
-  if (state > static_cast<unsigned>(sched::JobState::Cancelled)) return false;
+  j.checkpoint_progress = progress;
+  if (state > static_cast<unsigned>(sched::JobState::Failed)) return false;
   j.state = static_cast<sched::JobState>(state);
   out->alloc.clear();
   out->alloc.reserve(alloc_count);
@@ -87,7 +93,7 @@ bool decode_job_line(const std::string& line, ImageJob* out) {
 }
 
 std::string serialize(const StateImage& image) {
-  std::string body = "# eslurm-ha-image v2\n";
+  std::string body = "# eslurm-ha-image v3\n";
   char head[160];
   std::snprintf(head, sizeof(head), "%" PRId64 " %" PRIu64 " %zu %zu %zu\n",
                 static_cast<std::int64_t>(image.taken_at), image.last_wal_seq,
@@ -137,7 +143,7 @@ bool parse_state_image(const std::string& bytes, StateImage* out) {
   };
 
   std::string line;
-  if (!next_line(&line) || line != "# eslurm-ha-image v2") return false;
+  if (!next_line(&line) || line != "# eslurm-ha-image v3") return false;
   std::int64_t taken_at = 0;
   std::size_t njobs = 0, ndown = 0, acct_bytes = 0;
   if (!next_line(&line) ||
@@ -189,7 +195,8 @@ void apply(StateImage* image, const WalRecord& record) {
       const auto state = static_cast<sched::JobState>(record.aux);
       if (state == sched::JobState::Completed ||
           state == sched::JobState::TimedOut ||
-          state == sched::JobState::Cancelled)
+          state == sched::JobState::Cancelled ||
+          state == sched::JobState::Failed)
         it->second.job.state = state;
       break;
     }
@@ -200,6 +207,19 @@ void apply(StateImage* image, const WalRecord& record) {
       const auto it = image->jobs.find(record.id);
       if (it == image->jobs.end()) break;
       it->second.job.state = sched::JobState::Pending;
+      it->second.alloc.clear();
+      break;
+    }
+    case WalRecordType::JobNodeFailed: {
+      // Node death kill: back to Pending with the post-failure retry
+      // count and durable checkpoint progress -- exactly what the
+      // promoted master must preserve.
+      const auto it = image->jobs.find(record.id);
+      if (it == image->jobs.end()) break;
+      it->second.job.state = sched::JobState::Pending;
+      it->second.job.retry_count = static_cast<int>(record.aux);
+      it->second.job.checkpoint_progress =
+          static_cast<SimTime>(std::strtoll(record.blob.c_str(), nullptr, 10));
       it->second.alloc.clear();
       break;
     }

@@ -57,6 +57,7 @@ const char* wal_record_type_name(WalRecordType type) {
     case WalRecordType::NodeDown: return "node_down";
     case WalRecordType::NodeUp: return "node_up";
     case WalRecordType::SnapshotMark: return "snapshot_mark";
+    case WalRecordType::JobNodeFailed: return "job_node_failed";
   }
   return "unknown";
 }

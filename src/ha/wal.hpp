@@ -47,6 +47,11 @@ enum class WalRecordType : std::uint8_t {
   NodeDown = 6,      ///< id: node the master now believes dead
   NodeUp = 7,        ///< id: node back in service
   SnapshotMark = 8,  ///< aux: last WAL seq covered by snapshot `id`
+  /// A node death killed the job's allocation and it re-entered the
+  /// queue under its retry budget.  aux: retry count after the failure;
+  /// blob: durable checkpoint progress (decimal SimTime).  Promotion
+  /// replay preserves both, so a failover never resets a retry budget.
+  JobNodeFailed = 9,
 };
 
 const char* wal_record_type_name(WalRecordType type);

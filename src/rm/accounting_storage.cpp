@@ -108,6 +108,7 @@ AccountingStorage AccountingStorage::load(std::istream& is) {
     record.end = from_seconds(end_s);
     record.final_state = state == "TIMEOUT"    ? sched::JobState::TimedOut
                          : state == "CANCELLED" ? sched::JobState::Cancelled
+                         : state == "FAILED"    ? sched::JobState::Failed
                                                 : sched::JobState::Completed;
     storage.records_.push_back(std::move(record));
   }

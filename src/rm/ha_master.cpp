@@ -93,6 +93,13 @@ void HaMaster::log_job_requeued(sched::JobId id) {
   wal_.append(ha::WalRecordType::JobRequeued, id, 0, {});
 }
 
+void HaMaster::log_job_node_failed(sched::JobId id, int retry_count,
+                                   SimTime checkpoint_progress) {
+  wal_.append(ha::WalRecordType::JobNodeFailed, id,
+              static_cast<std::uint64_t>(retry_count),
+              std::to_string(checkpoint_progress));
+}
+
 void HaMaster::log_node_state(net::NodeId node, bool down) {
   wal_.append(down ? ha::WalRecordType::NodeDown : ha::WalRecordType::NodeUp,
               static_cast<std::uint64_t>(node), 0, {});

@@ -65,6 +65,10 @@ class HaMaster {
   void log_job_finished(sched::JobId id, sched::JobState end_state);
   void log_job_released(sched::JobId id);
   void log_job_requeued(sched::JobId id);
+  /// Node-death kill under the retry budget: the job is Pending again
+  /// with `retry_count` consumed and `checkpoint_progress` banked.
+  void log_job_node_failed(sched::JobId id, int retry_count,
+                           SimTime checkpoint_progress);
   void log_node_state(net::NodeId node, bool down);
 
   // --- launch idempotency ---------------------------------------------

@@ -76,6 +76,27 @@ void ResourceManager::start(SimTime horizon) {
   horizon_ = horizon;
   master_stats_->start_sampling(config_.sample_interval, horizon);
 
+  if (config_.recovery.enabled) {
+    // Node-death detection: the cluster observer is the simulated
+    // equivalent of the slurmd connection reset a real master sees the
+    // moment a node drops off the fabric.  Registered only when recovery
+    // is on, so a disabled world schedules nothing extra.
+    compute_set_.insert(deployment_.compute.begin(), deployment_.compute.end());
+    cluster_.add_observer(
+        [this](NodeId node, cluster::NodeState, cluster::NodeState new_state) {
+          if (!compute_set_.count(node)) return;
+          if (new_state == cluster::NodeState::Down) on_node_down(node);
+          else if (new_state == cluster::NodeState::Up) on_node_up(node);
+        });
+    if (config_.recovery.fault_aware_placement && failure_predictor_) {
+      placement_scorer_ = std::make_unique<sched::recovery::FailureAwareScorer>(
+          [this](NodeId node) { return failure_predictor_->predicted_failed(node); },
+          [this](NodeId node) {
+            return static_cast<double>(cluster_.node(node).failure_count);
+          });
+    }
+  }
+
   sched_task_ = std::make_unique<sim::PeriodicTask>(engine_, config_.sched_interval,
                                                     [this] { run_sched_cycle(); });
   sched_task_->start(config_.sched_interval);
@@ -242,19 +263,54 @@ void ResourceManager::start_job(sched::JobId id) {
   // when the launch broadcast times out on it.
   std::vector<NodeId> allocated;
   allocated.reserve(job.nodes);
-  while (static_cast<int>(allocated.size()) < job.nodes && !free_.empty()) {
-    const NodeId node = free_.back();
-    free_.pop_back();
-    if (believed_alive(node) && !drained_.count(node)) {
-      allocated.push_back(node);
-    } else {
-      quarantined_.push_back(node);  // sidelined until the next refresh
+  if (placement_scorer_) {
+    // Failure-aware selection: sideline unhealthy/drained nodes, score
+    // the healthy candidates by predicted risk x remaining runtime, and
+    // take the cheapest.  A predicted-failing node is the last resort
+    // for a long job but still usable for a short one.
+    std::vector<NodeId> healthy;
+    healthy.reserve(free_.size());
+    for (const NodeId node : free_) {
+      if (believed_alive(node) && !drained_.count(node)) healthy.push_back(node);
+      else quarantined_.push_back(node);
     }
-  }
-  if (static_cast<int>(allocated.size()) < job.nodes) {
-    // Not enough healthy nodes after all; put everything back.
-    for (const NodeId node : allocated) free_.push_back(node);
-    return;
+    free_.clear();
+    if (static_cast<int>(healthy.size()) < job.nodes) {
+      free_ = std::move(healthy);
+      return;
+    }
+    const SimTime planned =
+        job.user_estimate > 0 ? std::max(job.user_estimate, job.estimate_used)
+                              : job.estimate_used;
+    const SimTime remaining =
+        std::max<SimTime>(0, planned - job.checkpoint_progress);
+    std::vector<std::pair<double, NodeId>> scored;
+    scored.reserve(healthy.size());
+    for (const NodeId node : healthy)
+      scored.emplace_back(
+          sched::recovery::placement_penalty(placement_scorer_->node_risk(node),
+                                             remaining,
+                                             config_.recovery.placement_risk_weight),
+          node);
+    std::sort(scored.begin(), scored.end());  // (penalty, id): deterministic
+    for (int i = 0; i < job.nodes; ++i) allocated.push_back(scored[i].second);
+    for (std::size_t i = static_cast<std::size_t>(job.nodes); i < scored.size(); ++i)
+      free_.push_back(scored[i].second);
+  } else {
+    while (static_cast<int>(allocated.size()) < job.nodes && !free_.empty()) {
+      const NodeId node = free_.back();
+      free_.pop_back();
+      if (believed_alive(node) && !drained_.count(node)) {
+        allocated.push_back(node);
+      } else {
+        quarantined_.push_back(node);  // sidelined until the next refresh
+      }
+    }
+    if (static_cast<int>(allocated.size()) < job.nodes) {
+      // Not enough healthy nodes after all; put everything back.
+      for (const NodeId node : allocated) free_.push_back(node);
+      return;
+    }
   }
 
   pool_.mark_starting(id);
@@ -276,6 +332,8 @@ void ResourceManager::start_job(sched::JobId id) {
         if (!cluster_.alive(node)) {
           believed_down_.insert(node);
           quarantined_.push_back(node);
+        } else if (drained_.count(node)) {
+          quarantined_.push_back(node);  // drained mid-launch: idle-drained
         } else {
           free_.push_back(node);
         }
@@ -303,12 +361,18 @@ void ResourceManager::start_job(sched::JobId id) {
     // limit.  The kill limit is never below what the user requested: a
     // model estimate replaces the user's number for *scheduling*, but no
     // production RM terminates a job inside its requested allocation.
+    // With recovery on, the attempt resumes from the last durable
+    // checkpoint and pays the periodic checkpoint stalls along the way.
     SimTime run_for = j.actual_runtime;
+    if (config_.recovery.enabled)
+      run_for = sched::recovery::attempt_wall_time(
+          std::max<SimTime>(0, j.actual_runtime - j.checkpoint_progress),
+          config_.recovery);
     sched::JobState end_state = sched::JobState::Completed;
     const SimTime limit =
         j.user_estimate > 0 ? std::max(j.user_estimate, j.estimate_used)
                             : j.estimate_used;
-    if (config_.enforce_limits && limit > 0 && j.actual_runtime > limit) {
+    if (config_.enforce_limits && limit > 0 && run_for > limit) {
       run_for = limit;
       end_state = sched::JobState::TimedOut;
     }
@@ -324,6 +388,17 @@ void ResourceManager::job_ended(sched::JobId id, sched::JobState end_state) {
     // occupied until it returns (a large part of the production pain).
     deferred_completions_.emplace_back(id, end_state);
     return;
+  }
+  if (config_.recovery.enabled && config_.recovery.checkpoint_interval > 0 &&
+      end_state == sched::JobState::Completed) {
+    // The completed attempt spent its planned checkpoint stalls.
+    const sched::Job& j = pool_.get(id);
+    const SimTime work =
+        std::max<SimTime>(0, j.actual_runtime - j.checkpoint_progress);
+    recovery_stats_.checkpoint_node_seconds +=
+        to_seconds(sched::recovery::attempt_wall_time(work, config_.recovery) -
+                   work) *
+        j.nodes;
   }
   pool_.mark_finished(id, engine_.now(), end_state);
   if (ha_) ha_->log_job_finished(id, end_state);
@@ -347,7 +422,12 @@ void ResourceManager::release_job(sched::JobId id) {
     pool_.mark_released(id, engine_.now());
     const sched::Job& job = pool_.get(id);
     occupation_.add(to_seconds(job.release_time - job.submit_time));
-    for (const NodeId node : allocations_[id]) free_.push_back(node);
+    for (const NodeId node : allocations_[id]) {
+      // A node drained while the job ran goes idle-drained, never back
+      // into the allocatable pool (resume_node returns it).
+      if (drained_.count(node)) quarantined_.push_back(node);
+      else free_.push_back(node);
+    }
     allocations_.erase(id);
     // Stateful schedulers (fair-share ledgers, account usage) charge the
     // observed consumption on the release path.
@@ -408,11 +488,13 @@ void ResourceManager::finish_preemption(sched::JobId id,
   dispatch(allocated, 512, [this, id](const comm::BroadcastResult& result) {
     term_bcast_.add(to_seconds(result.elapsed()));
     for (const NodeId node : allocations_[id]) {
-      if (cluster_.alive(node)) {
-        free_.push_back(node);
-      } else {
+      if (!cluster_.alive(node)) {
         believed_down_.insert(node);
         quarantined_.push_back(node);
+      } else if (drained_.count(node)) {
+        quarantined_.push_back(node);
+      } else {
+        free_.push_back(node);
       }
     }
     allocations_.erase(id);
@@ -424,6 +506,180 @@ void ResourceManager::finish_preemption(sched::JobId id,
     master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
     try_start_jobs();  // the evicted capacity goes to the blocked head
   });
+}
+
+void ResourceManager::on_node_down(NodeId node) {
+  if (!master_up_) return;  // the outage hides the death; pings catch up
+  // Instant death notice: keep the health view and the allocatable pool
+  // coherent, then kill whatever allocation held the node.
+  if (ha_ && !believed_down_.count(node)) ha_->log_node_state(node, true);
+  believed_down_.insert(node);
+  const auto it = std::find(free_.begin(), free_.end(), node);
+  if (it != free_.end()) {
+    free_.erase(it);
+    quarantined_.push_back(node);
+  }
+  for (const auto& [id, nodes] : allocations_) {
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) continue;
+    kill_allocation(id, /*proactive=*/false);
+    break;  // jobs run in isolation: a node belongs to at most one job
+  }
+}
+
+void ResourceManager::on_node_up(NodeId node) {
+  if (!master_up_) return;
+  // A proactively drained node coming back from its repair is healthy
+  // again; return it to service without administrator intervention.
+  if (proactive_drained_.erase(node)) resume_node(node);
+}
+
+void ResourceManager::kill_allocation(sched::JobId id, bool proactive) {
+  if (recovering_.count(id)) return;  // a second death raced the teardown
+  const auto event = end_events_.find(id);
+  if (event == end_events_.end()) return;  // Starting: the launch-failure
+                                           // requeue path owns that case
+  if (!pool_.contains(id) || pool_.get(id).state != sched::JobState::Running)
+    return;
+  engine_.cancel(event->second);
+  end_events_.erase(event);
+  recovering_.insert(id);
+
+  const auto& opts = config_.recovery;
+  sched::Job& job = pool_.get(id);
+  const SimTime elapsed = engine_.now() - job.start_time;
+  sched::recovery::AttemptOutcome outcome;
+  if (proactive && opts.checkpoint_interval > 0) {
+    // Clean migration: checkpoint right now, lose nothing but the dump.
+    outcome.durable_progress =
+        std::min(job.actual_runtime, job.checkpoint_progress + elapsed);
+    outcome.checkpoint_overhead = opts.checkpoint_cost;
+  } else {
+    outcome = sched::recovery::interrupted_attempt(job.checkpoint_progress,
+                                                   elapsed, job.actual_runtime, opts);
+  }
+  job.checkpoint_progress = outcome.durable_progress;
+  recovery_stats_.lost_node_seconds +=
+      to_seconds(outcome.lost_wall) * job.nodes;
+  recovery_stats_.checkpoint_node_seconds +=
+      to_seconds(outcome.checkpoint_overhead) * job.nodes;
+  if (!proactive) ++recovery_stats_.node_failure_kills;
+  if (auto* t = telemetry_) {
+    t->metrics
+        .counter(proactive ? "recovery.proactive_kills" : "recovery.node_failure_kills",
+                 {{"rm", profile_.name}})
+        .inc();
+    t->metrics.counter("recovery.lost_node_seconds", {{"rm", profile_.name}})
+        .inc(to_seconds(outcome.lost_wall) * job.nodes);
+  }
+
+  // Termination broadcast stops the payload on the surviving nodes; the
+  // retry decision lands when the teardown completes.
+  const bool retry = proactive || job.retry_count < opts.max_retries;
+  const std::vector<NodeId> allocated = allocations_[id];
+  dispatch(allocated, 512, [this, id, retry, proactive](const comm::BroadcastResult& result) {
+    term_bcast_.add(to_seconds(result.elapsed()));
+    recovering_.erase(id);
+    for (const NodeId node : allocations_[id]) {
+      if (!cluster_.alive(node) || believed_down_.count(node)) {
+        believed_down_.insert(node);
+        quarantined_.push_back(node);
+      } else if (drained_.count(node)) {
+        quarantined_.push_back(node);
+      } else {
+        free_.push_back(node);
+      }
+    }
+    allocations_.erase(id);
+    if (ha_) ha_->launch_complete(id);
+    sched::Job& job = pool_.get(id);
+    if (retry) {
+      if (proactive) {
+        ++recovery_stats_.proactive_migrations;
+      } else {
+        ++job.retry_count;
+        ++recovery_stats_.retries;
+        if (auto* t = telemetry_)
+          t->metrics.counter("recovery.retries", {{"rm", profile_.name}}).inc();
+      }
+      pool_.requeue_held(id);
+      if (ha_) ha_->log_job_node_failed(id, job.retry_count, job.checkpoint_progress);
+      const SimTime backoff =
+          proactive ? 0
+                    : sched::recovery::retry_backoff(job.retry_count, config_.recovery);
+      if (backoff <= 0) {
+        pool_.release_held(id);
+      } else {
+        hold_events_[id] =
+            engine_.schedule_after(backoff, [this, id] { finish_hold(id); });
+      }
+    } else {
+      // Retry budget exhausted: terminal failure.
+      ++recovery_stats_.jobs_failed;
+      if (auto* t = telemetry_)
+        t->metrics.counter("recovery.jobs_failed", {{"rm", profile_.name}}).inc();
+      pool_.mark_finished(id, engine_.now(), sched::JobState::Failed);
+      if (ha_) {
+        ha_->log_job_finished(id, sched::JobState::Failed);
+        ha_->log_job_released(id);
+      }
+      pool_.mark_released(id, engine_.now());
+      occupation_.add(to_seconds(job.release_time - job.submit_time));
+      scheduler_->on_job_released(job, engine_.now());
+      on_job_finished(job);
+    }
+    master_stats_->set_tracked_jobs(pool_.pending().size() + pool_.active().size());
+    try_start_jobs();
+  });
+}
+
+void ResourceManager::finish_hold(sched::JobId id) {
+  hold_events_.erase(id);
+  if (!pool_.contains(id)) return;
+  const auto& held = pool_.held();
+  if (std::find(held.begin(), held.end(), id) == held.end()) return;
+  pool_.release_held(id);
+  if (master_up_) try_start_jobs();
+}
+
+void ResourceManager::note_predicted_failure(NodeId node, SimTime fail_at) {
+  if (!config_.recovery.enabled || !config_.recovery.proactive_drain) return;
+  if (!master_up_) return;
+  if (!compute_set_.count(node)) return;
+  if (drained_.count(node)) return;
+  ++recovery_stats_.proactive_drains;
+  if (auto* t = telemetry_)
+    t->metrics.counter("recovery.proactive_drains", {{"rm", profile_.name}}).inc();
+  drain_node(node);
+  proactive_drained_.insert(node);
+  for (const auto& [id, nodes] : allocations_) {
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) continue;
+    kill_allocation(id, /*proactive=*/true);
+    break;
+  }
+  // False-alarm backstop: if the predicted failure never lands, un-drain
+  // once the alert has cleared (on_node_up covers the real-failure case).
+  const SimTime recheck = std::max(fail_at, engine_.now()) + minutes(5);
+  if (recheck < horizon_)
+    engine_.schedule_at(recheck, [this, node] { recheck_proactive_drain(node); });
+}
+
+void ResourceManager::recheck_proactive_drain(NodeId node) {
+  if (!proactive_drained_.count(node)) return;
+  if (!cluster_.alive(node)) return;  // failure landed; repair un-drains
+  if (failure_predictor_ && failure_predictor_->predicted_failed(node)) {
+    // Still alarmed: look again later.
+    const SimTime next = engine_.now() + minutes(5);
+    if (next < horizon_)
+      engine_.schedule_at(next, [this, node] { recheck_proactive_drain(node); });
+    return;
+  }
+  proactive_drained_.erase(node);
+  resume_node(node);
+}
+
+std::vector<NodeId> ResourceManager::job_nodes(sched::JobId id) const {
+  const auto it = allocations_.find(id);
+  return it != allocations_.end() ? it->second : std::vector<NodeId>{};
 }
 
 void ResourceManager::probe_reservations() {
@@ -464,6 +720,14 @@ void ResourceManager::on_job_finished(const sched::Job& job) {
 void ResourceManager::drain_node(NodeId node) {
   master_stats_->charge_cpu_us(100.0);
   drained_.insert(node);
+  // Pull the node out of the allocatable pool *now*: leaving it in free_
+  // until the next health refresh let the scheduler plan with capacity
+  // it could never launch on (the drain/launch disagreement).
+  const auto it = std::find(free_.begin(), free_.end(), node);
+  if (it != free_.end()) {
+    free_.erase(it);
+    quarantined_.push_back(node);
+  }
 }
 
 void ResourceManager::resume_node(NodeId node) {
@@ -471,15 +735,25 @@ void ResourceManager::resume_node(NodeId node) {
   drained_.erase(node);
   // The node may be sidelined in quarantine; give the whole quarantine a
   // fresh pass so the resumed capacity is immediately allocatable.
-  free_.insert(free_.end(), quarantined_.begin(), quarantined_.end());
-  quarantined_.clear();
+  merge_quarantine();
   try_start_jobs();  // capacity may have returned
+}
+
+void ResourceManager::merge_quarantine() {
+  // Still-drained nodes stay sidelined (idle-drained); everything else
+  // returns to the allocatable pool in quarantine order.
+  std::vector<NodeId> still_drained;
+  for (const NodeId node : quarantined_) {
+    if (drained_.count(node)) still_drained.push_back(node);
+    else free_.push_back(node);
+  }
+  quarantined_ = std::move(still_drained);
 }
 
 void ResourceManager::refresh_health_view() {
   // A completed health round reconciles the RM's view with reality, and
   // quarantined nodes get another chance (re-quarantined on allocation if
-  // they are still believed unhealthy or drained).
+  // they are still believed unhealthy; drained nodes stay sidelined).
   std::unordered_set<NodeId> down_now;
   for (const NodeId node : deployment_.compute)
     if (!cluster_.alive(node)) down_now.insert(node);
@@ -492,8 +766,7 @@ void ResourceManager::refresh_health_view() {
       if (!down_now.count(node)) ha_->log_node_state(node, false);
   }
   believed_down_ = std::move(down_now);
-  free_.insert(free_.end(), quarantined_.begin(), quarantined_.end());
-  quarantined_.clear();
+  merge_quarantine();
 }
 
 void ResourceManager::ping_all() {
@@ -537,6 +810,9 @@ ha::StateImage ResourceManager::build_state_image() const {
   };
   for (const sched::JobId id : pool_.pending()) put(id);
   for (const sched::JobId id : pool_.active()) put(id);
+  // Held jobs (node-death backoff) are Pending in durable terms; the
+  // promoted master resurrects them as immediately-runnable.
+  for (const sched::JobId id : pool_.held()) put(id);
   // Released jobs live in the accounting blob, not the live image.
   for (const NodeId node : believed_down_) image.down.insert(node);
   std::ostringstream acct;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/monitoring.hpp"
 #include "comm/broadcaster.hpp"
 #include "ha/options.hpp"
 #include "ha/snapshot.hpp"
@@ -28,6 +29,8 @@
 #include "sched/metrics.hpp"
 #include "sched/partition.hpp"
 #include "sched/policy/policy.hpp"
+#include "sched/recovery/placement.hpp"
+#include "sched/recovery/recovery.hpp"
 #include "sched/scheduler.hpp"
 
 namespace eslurm::rm {
@@ -84,6 +87,11 @@ struct RmRuntimeConfig {
   sched::PartitionSet partitions;
   /// Policy-suite knobs; only read when scheduler == "policy".
   sched::policy::PolicyConfig policy;
+  /// Job fault tolerance: node-death retry/requeue state machine,
+  /// checkpoint model, proactive drain and failure-aware placement.
+  /// Off by default; when off, no recovery code path runs and behaviour
+  /// is bit-identical to earlier builds.
+  sched::recovery::RecoveryOptions recovery;
   std::uint64_t seed = 1;
 };
 
@@ -135,6 +143,23 @@ class ResourceManager {
   /// Launches aborted because an allocated node turned out to be dead
   /// (the RM's health view lags reality by up to one ping interval).
   std::uint64_t launch_requeues() const { return requeues_; }
+
+  // --- job fault tolerance ---------------------------------------------
+  /// Risk source of the failure-aware placement scorer and the proactive
+  /// drain path (normally the monitoring substrate).  Inert unless
+  /// config.recovery turns those features on.
+  void set_failure_predictor(const cluster::FailurePredictor* predictor) {
+    failure_predictor_ = predictor;
+  }
+  /// Pre-failure notice (FailureModel hook): node is predicted to die at
+  /// `fail_at`.  With proactive drain enabled the node is drained and
+  /// its running job migrated off before the failure lands.
+  void note_predicted_failure(NodeId node, SimTime fail_at);
+  const sched::recovery::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  /// Nodes currently allocated to `id` (empty when none) -- test probe.
+  std::vector<NodeId> job_nodes(sched::JobId id) const;
 
   // --- policy suite ----------------------------------------------------
   sched::Scheduler& scheduler() { return *scheduler_; }
@@ -218,6 +243,19 @@ class ResourceManager {
   /// Split out of job_ended so HA promotion can re-issue it for jobs
   /// whose termination died with the old master.
   void release_job(sched::JobId id);
+  // --- recovery state machine (all gated on config_.recovery.enabled) --
+  /// Cluster-observer entry points; only compute nodes reach them.
+  void on_node_down(NodeId node);
+  void on_node_up(NodeId node);
+  /// Kills a Running allocation after a node death (proactive=false:
+  /// charges a retry or turns the job terminal Failed) or migrates it
+  /// off a predicted-failing node (proactive=true: free requeue).
+  void kill_allocation(sched::JobId id, bool proactive);
+  /// Retry backoff elapsed: the held job re-enters the queue head.
+  void finish_hold(sched::JobId id);
+  /// Un-drains a proactively drained node whose predicted failure never
+  /// landed (false alarm) once its alert has cleared.
+  void recheck_proactive_drain(NodeId node);
   virtual void crash_master();
   virtual void recover_master();
 
@@ -254,6 +292,8 @@ class ResourceManager {
   /// only discovered during the launch broadcast.
   bool believed_alive(NodeId node) const { return !believed_down_.count(node); }
   void refresh_health_view();
+  /// Returns quarantined nodes to free_ except those still drained.
+  void merge_quarantine();
 
   sched::JobPool pool_;
   /// Built by config_.scheduler; the default "easy" keeps the exact
@@ -274,6 +314,17 @@ class ResourceManager {
   std::unordered_set<NodeId> believed_down_;
   std::unordered_set<NodeId> drained_;
   std::uint64_t requeues_ = 0;
+  // --- recovery state (empty / unused while config_.recovery is off) ---
+  const cluster::FailurePredictor* failure_predictor_ = nullptr;
+  std::unique_ptr<sched::recovery::PlacementScorer> placement_scorer_;
+  sched::recovery::RecoveryStats recovery_stats_;
+  std::unordered_set<NodeId> compute_set_;        ///< filled at start()
+  std::unordered_set<NodeId> proactive_drained_;  ///< drained on prediction
+  /// Jobs whose kill/migration termination broadcast is in flight; a
+  /// second node death in the same allocation must not double-handle.
+  std::unordered_set<sched::JobId> recovering_;
+  /// Armed backoff timers of held jobs.
+  std::unordered_map<sched::JobId, sim::EventId> hold_events_;
   std::uint64_t preempt_requeued_ = 0;
   std::uint64_t preempt_cancelled_ = 0;
   std::uint64_t reservation_intrusions_ = 0;

@@ -13,6 +13,7 @@ const char* job_state_name(JobState state) {
     case JobState::Completed: return "COMPLETED";
     case JobState::TimedOut: return "TIMEOUT";
     case JobState::Cancelled: return "CANCELLED";
+    case JobState::Failed: return "FAILED";
   }
   return "?";
 }

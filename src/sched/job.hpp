@@ -20,6 +20,7 @@ enum class JobState : std::uint8_t {
   Completed,
   TimedOut,   ///< killed at its wall-clock limit (right-censored runtime)
   Cancelled,
+  Failed,     ///< node-death retry budget exhausted (terminal)
 };
 
 const char* job_state_name(JobState state);
@@ -46,6 +47,10 @@ struct Job {
   SimTime end_time = -1;        ///< completion incl. termination overhead
   SimTime release_time = -1;    ///< resources fully reclaimed
   int preempt_count = 0;        ///< times preempted back into the queue
+  int retry_count = 0;          ///< node-death requeues consumed so far
+  /// Durable work (checkpointed) surviving across restarts; a restarted
+  /// attempt resumes here instead of zero when checkpointing is on.
+  SimTime checkpoint_progress = 0;
   JobState state = JobState::Pending;
 
   SimTime wait_time() const { return start_time >= 0 ? start_time - submit_time : -1; }
@@ -55,7 +60,7 @@ struct Job {
   }
   bool finished() const {
     return state == JobState::Completed || state == JobState::TimedOut ||
-           state == JobState::Cancelled;
+           state == JobState::Cancelled || state == JobState::Failed;
   }
 };
 

@@ -68,6 +68,27 @@ void JobPool::requeue_running(JobId id) {
   pending_.push_front(id);  // a victim does not lose its queue position
 }
 
+void JobPool::requeue_held(JobId id) {
+  Job& job = get(id);
+  if (job.state != JobState::Running && job.state != JobState::Starting)
+    throw std::logic_error("JobPool::requeue_held: job not active");
+  const auto it = std::find(active_.begin(), active_.end(), id);
+  if (it == active_.end()) throw std::logic_error("JobPool: active list corrupt");
+  active_.erase(it);
+  nodes_in_use_ -= job.nodes;
+  job.state = JobState::Pending;
+  job.start_time = -1;
+  job.end_time = -1;
+  held_.push_back(id);
+}
+
+void JobPool::release_held(JobId id) {
+  const auto it = std::find(held_.begin(), held_.end(), id);
+  if (it == held_.end()) throw std::logic_error("JobPool::release_held: job not held");
+  held_.erase(it);
+  pending_.push_front(id);  // a failure victim keeps its queue position
+}
+
 void JobPool::mark_running(JobId id, SimTime start) {
   Job& job = get(id);
   if (job.state != JobState::Starting)
@@ -79,7 +100,7 @@ void JobPool::mark_running(JobId id, SimTime start) {
 void JobPool::mark_finished(JobId id, SimTime end, JobState end_state) {
   Job& job = get(id);
   if (end_state != JobState::Completed && end_state != JobState::TimedOut &&
-      end_state != JobState::Cancelled)
+      end_state != JobState::Cancelled && end_state != JobState::Failed)
     throw std::invalid_argument("JobPool::mark_finished: bad end state");
   job.state = end_state;
   job.end_time = end;

@@ -24,6 +24,9 @@ class JobPool {
   /// Running (or starting/completing) job ids, unordered.
   const std::vector<JobId>& active() const { return active_; }
   const std::vector<JobId>& finished() const { return finished_; }
+  /// Jobs knocked out by a node death, Pending again but parked outside
+  /// the queue until their retry backoff elapses (release_held).
+  const std::vector<JobId>& held() const { return held_; }
 
   std::size_t total_jobs() const { return jobs_.size(); }
 
@@ -37,7 +40,15 @@ class JobPool {
   /// scratch and consumes the full runtime again.
   void requeue_running(JobId id);
   void mark_running(JobId id, SimTime start);
-  /// end_state must be Completed, TimedOut or Cancelled.
+  /// Pulls a Starting/Running job out of the active set after a node
+  /// death: Pending again, but *held* -- invisible to schedulers (they
+  /// read pending()) until release_held re-queues it at the head.
+  /// Unlike requeue_running this charges no preempt_count: a node death
+  /// is a failure, not an eviction.
+  void requeue_held(JobId id);
+  /// Ends a hold: the job re-enters the head of the pending queue.
+  void release_held(JobId id);
+  /// end_state must be Completed, TimedOut, Cancelled or Failed.
   void mark_finished(JobId id, SimTime end, JobState end_state);
   /// Cancels a job still in the pending queue (e.g. failed dependency).
   void cancel_pending(JobId id, SimTime now);
@@ -52,6 +63,7 @@ class JobPool {
   std::deque<JobId> pending_;
   std::vector<JobId> active_;
   std::vector<JobId> finished_;
+  std::vector<JobId> held_;
   int nodes_in_use_ = 0;
 };
 

@@ -27,6 +27,12 @@ SchedulingReport compute_report(const JobPool& pool, int total_nodes, SimTime t0
     const Job& job = pool.get(id);
     account(job);
     if (job.state == JobState::Cancelled) continue;
+    if (job.state == JobState::Failed) {
+      // A permanently failed job consumed capacity (accounted above) but
+      // its wait/slowdown would poison the scheduling stats.
+      ++report.jobs_failed;
+      continue;
+    }
     ++report.jobs_finished;
     if (job.state == JobState::TimedOut) ++report.jobs_timed_out;
     const SimTime wait = job.wait_time();

@@ -16,6 +16,7 @@ struct SchedulingReport {
   double p95_wait_seconds = 0.0;
   double makespan_hours = 0.0;
   std::size_t jobs_timed_out = 0;      ///< killed at their wall limit
+  std::size_t jobs_failed = 0;         ///< terminal node-death failures
 };
 
 /// Computes the report over the pool's finished jobs, against a machine

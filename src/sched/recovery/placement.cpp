@@ -1,0 +1,20 @@
+#include "sched/recovery/placement.hpp"
+
+#include <algorithm>
+
+namespace eslurm::sched::recovery {
+
+double placement_penalty(double risk, SimTime remaining_runtime, double weight) {
+  const double clamped = std::clamp(risk, 0.0, 1.0);
+  return weight * clamped * to_seconds(std::max<SimTime>(0, remaining_runtime));
+}
+
+double FailureAwareScorer::node_risk(net::NodeId node) const {
+  if (predicted_ && predicted_(node)) return 1.0;
+  // History term: each past failure raises suspicion with diminishing
+  // returns; a never-failed node scores 0 and sorts first.
+  const double failures = failure_count_ ? std::max(0.0, failure_count_(node)) : 0.0;
+  return failures / (failures + 8.0);
+}
+
+}  // namespace eslurm::sched::recovery

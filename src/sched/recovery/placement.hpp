@@ -1,0 +1,52 @@
+// Failure-aware node selection: a pluggable scorer that penalizes
+// candidate nodes by predicted failure risk x remaining job runtime.
+//
+// The ROADMAP calls for feeding the FP-Tree's failure predictions into
+// *placement*, not just the broadcast tree: a node the monitoring
+// substrate predicts to fail is a bad home for a long job (the expected
+// lost node-seconds scale with the remaining runtime), but a fine home
+// for a short one.  The scorer boundary keeps the policy pluggable --
+// the RM sorts healthy candidates by penalty and takes the cheapest,
+// whatever scheduler arm produced the decision.
+//
+// Deliberately cluster-independent (std::function probes) so the sched
+// layer keeps its thin util+telemetry dependency set.
+#pragma once
+
+#include <functional>
+
+#include "net/message.hpp"
+#include "util/time.hpp"
+
+namespace eslurm::sched::recovery {
+
+/// Risk in [0, 1] per node: 0 = no reason to avoid, 1 = predicted dead.
+class PlacementScorer {
+ public:
+  virtual ~PlacementScorer() = default;
+  virtual double node_risk(net::NodeId node) const = 0;
+};
+
+/// Penalty of placing `remaining_runtime` of work on a node of `risk`:
+/// the expected lost node-seconds, scaled by the configured weight.
+double placement_penalty(double risk, SimTime remaining_runtime, double weight);
+
+/// Scorer combining a live failure prediction (monitoring alert set)
+/// with per-node failure history: a predicted node carries full risk; a
+/// chronically flapping node carries partial risk even without an alert.
+class FailureAwareScorer final : public PlacementScorer {
+ public:
+  using PredictedFn = std::function<bool(net::NodeId)>;
+  using FailureCountFn = std::function<double(net::NodeId)>;
+
+  FailureAwareScorer(PredictedFn predicted, FailureCountFn failure_count)
+      : predicted_(std::move(predicted)), failure_count_(std::move(failure_count)) {}
+
+  double node_risk(net::NodeId node) const override;
+
+ private:
+  PredictedFn predicted_;
+  FailureCountFn failure_count_;
+};
+
+}  // namespace eslurm::sched::recovery

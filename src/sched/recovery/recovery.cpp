@@ -1,0 +1,56 @@
+#include "sched/recovery/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eslurm::sched::recovery {
+
+namespace {
+
+/// Checkpoints taken while executing `work` (the one coinciding with
+/// completion is skipped: the run ends, there is nothing to protect).
+std::int64_t checkpoints_during(SimTime work, const RecoveryOptions& opts) {
+  if (opts.checkpoint_interval <= 0 || work <= 0) return 0;
+  return static_cast<std::int64_t>((work - 1) / opts.checkpoint_interval);
+}
+
+}  // namespace
+
+SimTime attempt_wall_time(SimTime remaining_work, const RecoveryOptions& opts) {
+  if (remaining_work <= 0) return 0;
+  return remaining_work + checkpoints_during(remaining_work, opts) * opts.checkpoint_cost;
+}
+
+AttemptOutcome interrupted_attempt(SimTime prior_progress, SimTime elapsed_wall,
+                                   SimTime total_work, const RecoveryOptions& opts) {
+  AttemptOutcome outcome;
+  outcome.durable_progress = prior_progress;
+  if (elapsed_wall <= 0) return outcome;
+  if (opts.checkpoint_interval <= 0) {
+    // No checkpointing: the whole attempt is lost.
+    outcome.lost_wall = elapsed_wall;
+    return outcome;
+  }
+  const SimTime block = opts.checkpoint_interval + opts.checkpoint_cost;
+  const std::int64_t completed = elapsed_wall / block;
+  SimTime banked = completed * opts.checkpoint_interval;
+  // A checkpoint never banks past the job's total work.
+  banked = std::min(banked, std::max<SimTime>(0, total_work - prior_progress));
+  outcome.durable_progress = prior_progress + banked;
+  const std::int64_t blocks_banked =
+      opts.checkpoint_interval > 0 ? banked / opts.checkpoint_interval : 0;
+  outcome.checkpoint_overhead = blocks_banked * opts.checkpoint_cost;
+  outcome.lost_wall = elapsed_wall - banked - outcome.checkpoint_overhead;
+  return outcome;
+}
+
+SimTime retry_backoff(int retry, const RecoveryOptions& opts) {
+  if (retry <= 1) return std::min(opts.backoff_base, opts.backoff_max);
+  const double scaled = static_cast<double>(opts.backoff_base) *
+                        std::pow(opts.backoff_factor, retry - 1);
+  const double capped =
+      std::min(scaled, static_cast<double>(opts.backoff_max));
+  return static_cast<SimTime>(capped);
+}
+
+}  // namespace eslurm::sched::recovery

@@ -1,0 +1,94 @@
+// Job fault-tolerance: retry/requeue state machine and checkpoint model.
+//
+// A compute-node death mid-job kills the whole allocation.  Without this
+// subsystem the simulated RM silently "completes" such jobs (the run
+// timer fires regardless) -- the exact blind spot the paper's production
+// survey complains about.  With it, the RM detects the death, charges
+// the lost node-seconds, and requeues the job with exponential backoff
+// under a configurable retry budget; an exhausted budget parks the job
+// in the terminal `Failed` state.  The checkpoint model makes restarts
+// resume from the last completed checkpoint instead of zero, trading a
+// periodic checkpoint cost for bounded lost work.
+//
+// `enabled` defaults to false and every recovery code path in the RM is
+// gated on it, so a default-configured world schedules no extra events,
+// draws no extra rng and stays bit-identical to earlier builds (the
+// golden-sequence test pins this).
+//
+// This header is pure policy math (no cluster/net dependencies); the
+// ResourceManager owns the wiring.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace eslurm::sched::recovery {
+
+struct RecoveryOptions {
+  bool enabled = false;
+
+  // --- retry budget ------------------------------------------------------
+  /// Node-death requeues granted per job before it turns terminal
+  /// `Failed`.  0 means a single attempt: the first failure is fatal.
+  int max_retries = 3;
+  /// Exponential backoff between a kill and the requeued job re-entering
+  /// the pending queue: base * factor^(retry-1), clamped at `backoff_max`.
+  SimTime backoff_base = seconds(10);
+  double backoff_factor = 2.0;
+  SimTime backoff_max = minutes(10);
+
+  // --- checkpoint model --------------------------------------------------
+  /// Work interval between checkpoints; 0 disables checkpointing (every
+  /// restart reruns from scratch).
+  SimTime checkpoint_interval = 0;
+  /// Wall-clock cost of writing one checkpoint (all nodes stall).
+  SimTime checkpoint_cost = seconds(5);
+
+  // --- proactive drain / failure-aware placement -------------------------
+  /// Drain predicted-failing nodes and migrate their running jobs off
+  /// before the failure lands (driven by FailureModel pre-failure hooks).
+  bool proactive_drain = false;
+  /// Penalize risky nodes during allocation (placement.hpp scorer).
+  bool fault_aware_placement = false;
+  /// Weight of predicted risk x remaining runtime in the placement score.
+  double placement_risk_weight = 1.0;
+};
+
+/// Wall-clock time one attempt needs to execute `remaining_work`,
+/// including the checkpoint stalls taken along the way.  Checkpoints
+/// land after every full `checkpoint_interval` of work; the one that
+/// would coincide with completion is skipped (nothing left to protect).
+SimTime attempt_wall_time(SimTime remaining_work, const RecoveryOptions& opts);
+
+/// Outcome of an attempt interrupted `elapsed_wall` after it started
+/// with `prior_progress` work already durable.
+struct AttemptOutcome {
+  SimTime durable_progress = 0;   ///< total durable work after the kill
+  SimTime checkpoint_overhead = 0;///< wall time the attempt spent checkpointing
+  SimTime lost_wall = 0;          ///< wall time that produced nothing durable
+};
+
+/// Accounts an interrupted attempt: each completed (interval + cost)
+/// block banked `checkpoint_interval` of durable work; everything since
+/// the last completed checkpoint is lost.  With checkpointing disabled
+/// the whole attempt is lost and progress stays at `prior_progress`
+/// (i.e. zero across restarts-from-scratch).
+AttemptOutcome interrupted_attempt(SimTime prior_progress, SimTime elapsed_wall,
+                                   SimTime total_work, const RecoveryOptions& opts);
+
+/// Backoff before retry number `retry` (1-based) re-enters the queue.
+SimTime retry_backoff(int retry, const RecoveryOptions& opts);
+
+/// Counters the RM accumulates; benches and tests read them directly.
+struct RecoveryStats {
+  std::uint64_t node_failure_kills = 0;  ///< allocations killed by a node death
+  std::uint64_t retries = 0;             ///< requeues granted
+  std::uint64_t jobs_failed = 0;         ///< retry budget exhausted (terminal)
+  std::uint64_t proactive_migrations = 0;///< jobs moved off predicted nodes
+  std::uint64_t proactive_drains = 0;    ///< nodes drained on prediction
+  double lost_node_seconds = 0.0;        ///< node-time that produced nothing
+  double checkpoint_node_seconds = 0.0;  ///< node-time spent checkpointing
+};
+
+}  // namespace eslurm::sched::recovery

@@ -87,5 +87,95 @@ TEST(FailureModelTest, FailNowIsImmediate) {
   EXPECT_TRUE(cluster.alive(1));
 }
 
+// Regression: failing a node that is already down must not let the
+// *earlier* (shorter) failure's repair resurrect it -- the outage
+// extends to the later repair deadline.
+TEST(FailureModelTest, DoubleFailureExtendsTheOutage) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 2);
+  FailureModel failures(cluster, Rng(19));
+  failures.fail_now(1, seconds(30));
+  engine.schedule_at(seconds(10), [&] { failures.fail_now(1, seconds(100)); });
+
+  engine.run_until(seconds(31));  // the first repair's deadline
+  EXPECT_FALSE(cluster.alive(1)) << "first repair resurrected the node early";
+  engine.run_until(seconds(109));
+  EXPECT_FALSE(cluster.alive(1));
+  engine.run_until(seconds(111));  // second outage: 10 + 100
+  EXPECT_TRUE(cluster.alive(1));
+}
+
+// A shorter second failure must not *shorten* the existing outage either:
+// the deadline only ever extends.
+TEST(FailureModelTest, DoubleFailureNeverShortensTheOutage) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 2);
+  FailureModel failures(cluster, Rng(19));
+  failures.fail_now(1, seconds(100));
+  engine.schedule_at(seconds(10), [&] { failures.fail_now(1, seconds(5)); });
+
+  engine.run_until(seconds(20));  // past the second failure's deadline
+  EXPECT_FALSE(cluster.alive(1));
+  engine.run_until(seconds(101));
+  EXPECT_TRUE(cluster.alive(1));
+}
+
+// A node that is already down announces nothing: pre-failure hooks fire
+// only for real upcoming transitions (the proactive-drain path in the RM
+// relies on this to never double-drain).
+TEST(FailureModelTest, DoubleFailureFiresNoSecondHook) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 2);
+  FailureModel failures(cluster, Rng(23));
+  int hooks = 0;
+  failures.add_pre_failure_hook([&](NodeId, SimTime) { ++hooks; });
+  failures.fail_now(1, seconds(30));
+  EXPECT_EQ(hooks, 1);
+  engine.schedule_at(seconds(10), [&] { failures.fail_now(1, seconds(100)); });
+  engine.run_until(seconds(20));
+  EXPECT_EQ(hooks, 1);  // no announcement for an already-dead node
+  EXPECT_EQ(failures.injected_failures(), 1u);  // and no second injection
+  engine.run();
+  EXPECT_TRUE(cluster.alive(1));
+}
+
+// fail_now announces with zero lead: hooks see fail_at == now, the
+// degenerate case a predictor-driven consumer must tolerate.
+TEST(FailureModelTest, FailNowHookHasZeroLead) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 2);
+  FailureModel failures(cluster, Rng(29));
+  std::vector<std::pair<NodeId, SimTime>> announced;
+  failures.add_pre_failure_hook(
+      [&](NodeId id, SimTime fail_at) { announced.emplace_back(id, fail_at); });
+  engine.schedule_at(seconds(42), [&] { failures.fail_now(1, seconds(10)); });
+  engine.run();
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0].first, NodeId{1});
+  EXPECT_EQ(announced[0].second, seconds(42));  // lead == 0
+}
+
+// Correlated group failure: a burst announces every member ahead of its
+// (staggered) death, and the announced victims match the nodes that
+// actually go down together.
+TEST(FailureModelTest, BurstAnnouncesEveryGroupMember) {
+  sim::Engine engine;
+  ClusterModel cluster(engine, 64);
+  FailureModel failures(cluster, Rng(31));
+  std::vector<NodeId> announced;
+  failures.add_pre_failure_hook([&](NodeId id, SimTime fail_at) {
+    announced.push_back(id);
+    EXPECT_GE(fail_at, engine.now());
+  });
+  failures.schedule_burst(
+      BurstEvent{.at = minutes(5), .node_count = 12, .duration_hours = 0.5});
+  engine.run_until(minutes(5) + seconds(10));
+  EXPECT_EQ(announced.size(), 12u);
+  EXPECT_EQ(cluster.failed_count(), 12u);
+  for (const NodeId id : announced) EXPECT_FALSE(cluster.alive(id));
+  engine.run();
+  EXPECT_EQ(cluster.alive_count(), 64u);
+}
+
 }  // namespace
 }  // namespace eslurm::cluster

@@ -126,6 +126,25 @@ TEST(GoldenSequence, PolicyDisabledIsInert) {
   EXPECT_EQ(run_golden(config), kGoldenHash);
 }
 
+TEST(GoldenSequence, RecoveryDisabledIsInert) {
+  // The fault-tolerance subsystem (node-death retry machine, checkpoint
+  // model, proactive drain, failure-aware placement) must run zero code
+  // while disabled.  The golden world HAS node failures enabled, so this
+  // pins the sharpest edge: with recovery off the RM must not register a
+  // cluster observer, re-order the free list, or draw extra rng -- even
+  // with every recovery knob turned to aggressive values.
+  ExperimentConfig config = golden_config();
+  config.rm_config.recovery.enabled = false;
+  config.rm_config.recovery.max_retries = 100;
+  config.rm_config.recovery.backoff_base = milliseconds(1);
+  config.rm_config.recovery.checkpoint_interval = seconds(30);
+  config.rm_config.recovery.checkpoint_cost = seconds(30);
+  config.rm_config.recovery.proactive_drain = true;
+  config.rm_config.recovery.fault_aware_placement = true;
+  config.rm_config.recovery.placement_risk_weight = 100.0;
+  EXPECT_EQ(run_golden(config), kGoldenHash);
+}
+
 TEST(GoldenSequence, RerunIsBitIdentical) {
   EXPECT_EQ(run_golden(golden_config()), run_golden(golden_config()));
 }

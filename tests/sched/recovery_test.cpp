@@ -1,0 +1,123 @@
+// Unit tests for the fault-tolerance policy math (sched/recovery):
+// attempt wall time under the checkpoint model, interrupted-attempt
+// accounting, retry backoff, and the placement penalty.
+#include "sched/recovery/placement.hpp"
+#include "sched/recovery/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eslurm::sched::recovery {
+namespace {
+
+RecoveryOptions with_checkpoints(SimTime interval, SimTime cost) {
+  RecoveryOptions opts;
+  opts.enabled = true;
+  opts.checkpoint_interval = interval;
+  opts.checkpoint_cost = cost;
+  return opts;
+}
+
+TEST(AttemptWallTime, NoCheckpointingIsPlainRuntime) {
+  RecoveryOptions opts;
+  opts.checkpoint_interval = 0;
+  EXPECT_EQ(attempt_wall_time(minutes(30), opts), minutes(30));
+  EXPECT_EQ(attempt_wall_time(0, opts), 0);
+}
+
+TEST(AttemptWallTime, ChargesOneStallPerFullInterval) {
+  const auto opts = with_checkpoints(minutes(10), seconds(30));
+  // 35 min of work: checkpoints after 10, 20, 30 -> 3 stalls.
+  EXPECT_EQ(attempt_wall_time(minutes(35), opts),
+            minutes(35) + 3 * seconds(30));
+}
+
+TEST(AttemptWallTime, SkipsCheckpointCoincidingWithCompletion) {
+  const auto opts = with_checkpoints(minutes(10), seconds(30));
+  // 30 min of work: the checkpoint at t=30 would protect nothing.
+  EXPECT_EQ(attempt_wall_time(minutes(30), opts),
+            minutes(30) + 2 * seconds(30));
+  // Work shorter than one interval never checkpoints.
+  EXPECT_EQ(attempt_wall_time(minutes(9), opts), minutes(9));
+}
+
+TEST(InterruptedAttempt, NoCheckpointingLosesWholeAttempt) {
+  RecoveryOptions opts;
+  opts.checkpoint_interval = 0;
+  const auto outcome =
+      interrupted_attempt(/*prior=*/0, /*elapsed=*/minutes(17),
+                          /*total=*/minutes(40), opts);
+  EXPECT_EQ(outcome.durable_progress, 0);
+  EXPECT_EQ(outcome.checkpoint_overhead, 0);
+  EXPECT_EQ(outcome.lost_wall, minutes(17));
+}
+
+TEST(InterruptedAttempt, BanksCompletedCheckpointBlocks) {
+  const auto opts = with_checkpoints(minutes(10), minutes(1));
+  // 25 elapsed minutes = 2 full (10 work + 1 ckpt) blocks + 3 leftover.
+  const auto outcome = interrupted_attempt(0, minutes(25), hours(2), opts);
+  EXPECT_EQ(outcome.durable_progress, minutes(20));
+  EXPECT_EQ(outcome.checkpoint_overhead, minutes(2));
+  EXPECT_EQ(outcome.lost_wall, minutes(3));
+}
+
+TEST(InterruptedAttempt, ResumedAttemptKeepsPriorProgress) {
+  const auto opts = with_checkpoints(minutes(10), minutes(1));
+  // A restart with 20 min banked, killed 12 min in: one more block done.
+  const auto outcome =
+      interrupted_attempt(minutes(20), minutes(12), hours(2), opts);
+  EXPECT_EQ(outcome.durable_progress, minutes(30));
+  EXPECT_EQ(outcome.checkpoint_overhead, minutes(1));
+  EXPECT_EQ(outcome.lost_wall, minutes(1));
+}
+
+TEST(InterruptedAttempt, DurableProgressNeverExceedsTotalWork) {
+  const auto opts = with_checkpoints(minutes(10), minutes(1));
+  const auto outcome =
+      interrupted_attempt(minutes(20), minutes(40), minutes(25), opts);
+  EXPECT_EQ(outcome.durable_progress, minutes(25));
+  EXPECT_GE(outcome.lost_wall, 0);
+}
+
+TEST(RetryBackoff, ExponentialWithClamp) {
+  RecoveryOptions opts;
+  opts.backoff_base = seconds(10);
+  opts.backoff_factor = 2.0;
+  opts.backoff_max = seconds(70);
+  EXPECT_EQ(retry_backoff(1, opts), seconds(10));
+  EXPECT_EQ(retry_backoff(2, opts), seconds(20));
+  EXPECT_EQ(retry_backoff(3, opts), seconds(40));
+  EXPECT_EQ(retry_backoff(4, opts), seconds(70));  // clamped, not 80
+  EXPECT_EQ(retry_backoff(9, opts), seconds(70));
+}
+
+TEST(PlacementPenalty, ScalesWithRiskAndRemainingRuntime) {
+  EXPECT_DOUBLE_EQ(placement_penalty(0.0, hours(1), 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(placement_penalty(1.0, hours(1), 1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(placement_penalty(0.5, hours(1), 2.0), 3600.0);
+  // Negative remaining runtime (already past estimate) is clamped.
+  EXPECT_DOUBLE_EQ(placement_penalty(1.0, -minutes(5), 1.0), 0.0);
+  // Risk outside [0, 1] is clamped too.
+  EXPECT_DOUBLE_EQ(placement_penalty(7.0, seconds(10), 1.0), 10.0);
+}
+
+TEST(FailureAwareScorer, PredictedNodeCarriesFullRisk) {
+  const FailureAwareScorer scorer([](net::NodeId n) { return n == 3; },
+                                  [](net::NodeId) { return 0.0; });
+  EXPECT_DOUBLE_EQ(scorer.node_risk(3), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.node_risk(4), 0.0);
+}
+
+TEST(FailureAwareScorer, FailureHistoryGivesPartialMonotoneRisk) {
+  const FailureAwareScorer scorer([](net::NodeId) { return false; },
+                                  [](net::NodeId n) { return double(n); });
+  const double none = scorer.node_risk(0);
+  const double some = scorer.node_risk(2);
+  const double lots = scorer.node_risk(50);
+  EXPECT_DOUBLE_EQ(none, 0.0);
+  EXPECT_GT(some, none);
+  EXPECT_GT(lots, some);
+  EXPECT_LT(lots, 1.0);  // history alone never beats a live prediction
+}
+
+}  // namespace
+}  // namespace eslurm::sched::recovery

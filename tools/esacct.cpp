@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   ArgParser args;
   args.add_option("user", "filter: user name");
   args.add_option("name", "filter: job name");
-  args.add_option("state", "filter: COMPLETED | TIMEOUT | CANCELLED");
+  args.add_option("state", "filter: COMPLETED | TIMEOUT | CANCELLED | FAILED");
   args.add_flag("summary", "force the per-user summary even with filters");
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "esacct: %s\n", args.error().c_str());
@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     filtered = true;
     if (*state == "TIMEOUT") filter.state = sched::JobState::TimedOut;
     else if (*state == "CANCELLED") filter.state = sched::JobState::Cancelled;
+    else if (*state == "FAILED") filter.state = sched::JobState::Failed;
     else filter.state = sched::JobState::Completed;
   }
 

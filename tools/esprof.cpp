@@ -531,6 +531,144 @@ void diff_policy(const std::vector<Artifact>& artifacts) {
   }
 }
 
+// --- the fault-tolerance sweep (BENCH_fault_tolerance.json) -------------
+//
+// Four recovery arms per (mtbf, drop) point, with three hard invariants
+// across the arms of each point: baseline must fail jobs (the failure
+// pressure is real), every retry arm must fail zero, and lost
+// node-seconds must strictly decrease retry -> retry+ckpt -> +placement
+// (with +placement beating baseline).  Surface the headline fields and
+// an explicit verdict, like the failover artifact.
+
+bool is_fault_tolerance_bench(const JsonValue& document) {
+  return member_string(document, "bench") == "fault_tolerance";
+}
+
+constexpr const char* kFaultFields[] = {"jobs_completed",    "jobs_failed",
+                                        "failure_rate",      "lost_node_seconds",
+                                        "ckpt_node_seconds", "goodput"};
+
+void print_fault_verdict(
+    const std::vector<std::pair<std::string, std::map<std::string, double>>>&
+        points) {
+  // Point labels are "mtbf=24h/drop=0.00/<arm>": group the four arms of
+  // each sweep point by the label prefix before the last '/'.
+  std::map<std::string, std::map<std::string, std::map<std::string, double>>>
+      groups;
+  for (const auto& [label, fields] : points) {
+    const std::size_t slash = label.rfind('/');
+    if (slash == std::string::npos) continue;
+    groups[label.substr(0, slash)][label.substr(slash + 1)] = fields;
+  }
+  const auto metric = [](const std::map<std::string, double>& fields,
+                         const char* key) -> std::optional<double> {
+    const auto it = fields.find(key);
+    return it != fields.end() ? std::optional<double>(it->second) : std::nullopt;
+  };
+  std::size_t violations = 0;
+  const auto violated = [&](const std::string& point, const char* what) {
+    ++violations;
+    std::printf("  VIOLATED at %s (%s)\n", point.c_str(), what);
+  };
+  for (const auto& [point, arms] : groups) {
+    std::optional<double> base_failed, base_lost;
+    if (const auto it = arms.find("baseline"); it != arms.end()) {
+      base_failed = metric(it->second, "jobs_failed");
+      base_lost = metric(it->second, "lost_node_seconds");
+    }
+    if (base_failed && *base_failed <= 0.0)
+      violated(point, "baseline failed no jobs");
+    std::optional<double> prev_lost;
+    for (const char* arm : {"retry", "retry+ckpt", "+placement"}) {
+      const auto it = arms.find(arm);
+      if (it == arms.end()) continue;
+      if (const auto failed = metric(it->second, "jobs_failed");
+          failed && *failed != 0.0)
+        violated(point, (std::string(arm) + " failed jobs").c_str());
+      const auto lost = metric(it->second, "lost_node_seconds");
+      if (lost && prev_lost && *lost >= *prev_lost)
+        violated(point,
+                 (std::string("lost node-s not decreasing at ") + arm).c_str());
+      if (lost) prev_lost = lost;
+    }
+    if (prev_lost && base_lost && *prev_lost >= *base_lost)
+      violated(point, "+placement lost no less than baseline");
+  }
+  if (violations == 0)
+    std::printf("fault-tolerance invariants: OK (baseline fails, retry arms "
+                "lose no jobs, lost node-s strictly decreases across arms at "
+                "all %zu points)\n\n",
+                groups.size());
+  else
+    std::printf("fault-tolerance invariants: VIOLATED %zu time(s) across %zu "
+                "points\n\n",
+                violations, groups.size());
+}
+
+void summarize_fault(const JsonValue& document) {
+  const auto points = headline_points(document, kFaultFields);
+  if (points.empty()) return;
+  std::printf("fault-tolerance headline (per arm point)\n");
+  Table table({"point", "completed", "failed", "fail rate", "lost node-s",
+               "ckpt node-s", "goodput"});
+  for (const auto& [label, fields] : points) {
+    std::vector<std::string> row{label};
+    for (const char* field : kFaultFields) {
+      const auto it = fields.find(field);
+      row.push_back(it != fields.end() ? format_double(it->second, 6) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  print_fault_verdict(points);
+}
+
+/// Diff counterpart: headline fields side by side, verdict per artifact.
+void diff_fault(const std::vector<Artifact>& artifacts) {
+  std::vector<std::string> header{"point :: field"};
+  for (const Artifact& artifact : artifacts) header.push_back(artifact.label);
+  const bool ratio = artifacts.size() == 2;
+  if (ratio) header.push_back("ratio");
+
+  std::map<std::string, std::vector<std::optional<double>>> rows;
+  std::vector<std::string> order;
+  for (std::size_t a = 0; a < artifacts.size(); ++a) {
+    for (const auto& [label, fields] :
+         headline_points(artifacts[a].document, kFaultFields)) {
+      for (const char* field : kFaultFields) {
+        const auto it = fields.find(field);
+        if (it == fields.end()) continue;
+        const std::string key = label + " :: " + field;
+        auto [entry, inserted] = rows.try_emplace(key);
+        if (inserted) order.push_back(key);
+        entry->second.resize(artifacts.size());
+        entry->second[a] = it->second;
+      }
+    }
+  }
+  if (rows.empty()) return;
+  std::printf("fault-tolerance headline (per arm point)\n");
+  Table table(header);
+  for (const std::string& key : order) {
+    auto& values = rows[key];
+    values.resize(artifacts.size());
+    std::vector<std::string> cells{key};
+    for (const auto& value : values)
+      cells.push_back(value ? format_double(*value, 6) : "-");
+    if (ratio)
+      cells.push_back(values[0] && values[1] && *values[0] != 0.0
+                          ? format_double(*values[1] / *values[0], 4)
+                          : "-");
+    table.add_row(std::move(cells));
+  }
+  table.print();
+  std::printf("\n");
+  for (const Artifact& artifact : artifacts) {
+    std::printf("%s: ", artifact.label.c_str());
+    print_fault_verdict(headline_points(artifact.document, kFaultFields));
+  }
+}
+
 void summarize_bench(const Artifact& artifact) {
   const JsonValue& document = artifact.document;
   std::printf("bench artifact: %s (schema %s%s)\n\n",
@@ -549,6 +687,7 @@ void summarize_bench(const Artifact& artifact) {
   std::printf("\n");
   if (is_ha_failover_bench(document)) summarize_failover(document);
   if (is_policy_suite_bench(document)) summarize_policy(document);
+  if (is_fault_tolerance_bench(document)) summarize_fault(document);
   const auto means = bench_point_means(document);
   if (means.empty()) return;
   std::printf("point metric means\n");
@@ -603,6 +742,11 @@ void diff_bench(const std::vector<Artifact>& artifacts) {
                     return is_policy_suite_bench(artifact.document);
                   }))
     diff_policy(artifacts);
+  if (std::all_of(artifacts.begin(), artifacts.end(),
+                  [](const Artifact& artifact) {
+                    return is_fault_tolerance_bench(artifact.document);
+                  }))
+    diff_fault(artifacts);
 
   // Union of "label :: metric" rows across all artifacts.
   std::map<std::string, std::vector<std::optional<double>>> rows;
