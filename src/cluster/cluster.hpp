@@ -3,6 +3,12 @@
 // Nodes are homogeneous (as in the paper's evaluation: Tianhe-2A nodes
 // are identical 12-core Xeons).  Roles -- master, satellite, compute --
 // are a property of the RM deployment, not of the cluster itself.
+//
+// Hot state (up/down/drain status, state timestamps, failure counts)
+// lives in flat struct-of-arrays storage (node_soa.hpp) so 100K-node
+// sweeps touch contiguous arrays and bitset words, not per-node objects;
+// names are materialized on demand (they appear in logs, never in hot
+// loops).
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/node_soa.hpp"
 #include "net/message.hpp"
 #include "sim/engine.hpp"
 #include "util/time.hpp"
@@ -18,12 +25,9 @@ namespace eslurm::cluster {
 
 using net::NodeId;
 
-enum class NodeState : std::uint8_t {
-  Up,          ///< healthy, can run jobs and relay messages
-  Down,        ///< failed or powered off; unreachable
-  Maintenance  ///< administratively drained (hardware replacement etc.)
-};
-
+/// On-demand per-node view; assembled from the SoA arrays and the
+/// homogeneous hardware description.  Returned by value -- do not hold
+/// references into it.
 struct NodeInfo {
   NodeId id = net::kNoNode;
   std::string name;
@@ -40,13 +44,34 @@ class ClusterModel {
   ClusterModel(sim::Engine& engine, std::size_t n, std::string name_prefix = "cn",
                int cores_per_node = 12, std::int64_t memory_mb = 64 * 1024);
 
-  std::size_t size() const { return nodes_.size(); }
-  const NodeInfo& node(NodeId id) const { return nodes_.at(id); }
-  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  std::size_t size() const { return soa_.size(); }
+  /// Materialized per-node view (cold paths: logs, tests, dashboards).
+  NodeInfo node(NodeId id) const;
+  std::string node_name(NodeId id) const { return name_prefix_ + std::to_string(id); }
 
-  bool alive(NodeId id) const { return nodes_[id].state == NodeState::Up; }
-  std::size_t alive_count() const { return alive_count_; }
-  std::size_t failed_count() const { return nodes_.size() - alive_count_; }
+  // --- hot-path field accessors (O(1) array reads) ---------------------
+  bool alive(NodeId id) const { return soa_.up.test(id); }
+  NodeState state(NodeId id) const { return soa_.state[id]; }
+  SimTime state_since(NodeId id) const { return soa_.state_since[id]; }
+  std::uint32_t failure_count(NodeId id) const { return soa_.failure_count[id]; }
+  /// Failure-history base risk (failures / (failures + 8)).
+  double base_risk(NodeId id) const { return soa_.risk[id]; }
+
+  std::size_t alive_count() const { return soa_.up.count(); }
+  std::size_t failed_count() const { return soa_.size() - soa_.up.count(); }
+
+  /// The "all alive" bitset, for word-at-a-time health scans.
+  const NodeBitset& alive_bits() const { return soa_.up; }
+  /// Full SoA access.  The const view is for scans; the mutable view is
+  /// for the RM-maintained metadata arrays (report deadlines) -- state
+  /// transitions must still go through set_state.
+  const NodeSoa& soa() const { return soa_; }
+  NodeSoa& soa() { return soa_; }
+
+  /// Monotonic counter bumped on every real state transition; lets
+  /// derived caches (FP-Tree ground-truth stats) detect staleness in
+  /// O(1) instead of rescanning the cluster.
+  std::uint64_t state_epoch() const { return state_epoch_; }
 
   /// All node ids currently in the given state.
   std::vector<NodeId> ids_in_state(NodeState state) const;
@@ -67,8 +92,11 @@ class ClusterModel {
 
  private:
   sim::Engine& engine_;
-  std::vector<NodeInfo> nodes_;
-  std::size_t alive_count_ = 0;
+  NodeSoa soa_;
+  std::string name_prefix_;
+  int cores_per_node_;
+  std::int64_t memory_mb_;
+  std::uint64_t state_epoch_ = 0;
   std::vector<StateObserver> observers_;
 };
 

@@ -23,9 +23,16 @@ const char* indicator_name(IndicatorKind kind) {
 StaticFailurePredictor::StaticFailurePredictor(std::vector<NodeId> nodes)
     : set_(nodes.begin(), nodes.end()) {}
 
+void StaticFailurePredictor::set_predicted(NodeId node, bool predicted) {
+  const bool changed = predicted ? set_.insert(node).second : set_.erase(node) > 0;
+  if (!changed) return;
+  for (const auto& hook : hooks_) hook(node, predicted);
+}
+
 MonitoringSystem::MonitoringSystem(ClusterModel& cluster, FailureModel& failures,
                                    Rng rng, MonitoringParams params)
     : cluster_(cluster), rng_(rng), params_(params) {
+  predicted_.resize(cluster.size());
   // Genuine alerts: the failure model tells us a node will fail at
   // `fail_at`; with probability hit_rate the BMU notices the degradation
   // and the alert climbs the BMU -> CMU -> SMU chain.
@@ -43,7 +50,7 @@ MonitoringSystem::MonitoringSystem(ClusterModel& cluster, FailureModel& failures
   });
   // Restores clear any outstanding alert for the node.
   cluster_.add_observer([this](NodeId node, NodeState, NodeState now_state) {
-    if (now_state == NodeState::Up) active_.erase(node);
+    if (now_state == NodeState::Up) clear_alert(node);
   });
 }
 
@@ -74,6 +81,7 @@ void MonitoringSystem::raise_alert(NodeId node, bool genuine, SimTime expires_at
     ++genuine_;
   else
     ++false_;
+  if (predicted_.set(node)) fire_hooks(node, true);
   Entry& entry = active_[node];
   entry.alert.node = node;
   entry.alert.kind = static_cast<IndicatorKind>(rng_.uniform_int(0, 7));
@@ -93,11 +101,19 @@ void MonitoringSystem::raise_alert(NodeId node, bool genuine, SimTime expires_at
 
 void MonitoringSystem::expire_alert(NodeId node, std::uint64_t token) {
   const auto it = active_.find(node);
-  if (it != active_.end() && it->second.token == token) active_.erase(it);
+  if (it != active_.end() && it->second.token == token) {
+    active_.erase(it);
+    if (predicted_.reset(node)) fire_hooks(node, false);
+  }
 }
 
-bool MonitoringSystem::predicted_failed(NodeId node) const {
-  return active_.count(node) > 0;
+void MonitoringSystem::clear_alert(NodeId node) {
+  if (active_.erase(node) > 0 && predicted_.reset(node))
+    fire_hooks(node, false);
+}
+
+void MonitoringSystem::fire_hooks(NodeId node, bool now_predicted) {
+  for (const auto& hook : hooks_) hook(node, now_predicted);
 }
 
 std::vector<Alert> MonitoringSystem::active_alerts() const {

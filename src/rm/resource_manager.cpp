@@ -43,6 +43,15 @@ ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
       config_(config),
       rng_(config.seed),
       free_(deployment_.compute) {
+  free_mark_.resize(cluster_.size());
+  believed_down_.resize(cluster_.size());
+  drained_.resize(cluster_.size());
+  down_scratch_.resize(cluster_.size());
+  compute_bits_.resize(cluster_.size());
+  proactive_drained_.resize(cluster_.size());
+  node_job_.assign(cluster_.size(), kNoJob);
+  for (const NodeId node : deployment_.compute) compute_bits_.set(node);
+  for (const NodeId node : free_) free_mark_.set(node);
   master_stats_ = std::make_unique<DaemonStats>(engine_, net_, deployment_.master,
                                                 profile_.accounting);
   scheduler_ =
@@ -64,10 +73,16 @@ ResourceManager::ResourceManager(sim::Engine& engine, net::Network& network,
   net_.set_recv_processing(
       deployment_.master,
       from_seconds(profile_.accounting.cpu_us_per_message * 1e-6));
-  // Node status reports arrive at the master; nothing to do beyond the
-  // accounting the network performs.
+  // Node status reports arrive at the master.  Beyond the accounting the
+  // network performs, record the reporter's next heartbeat deadline in
+  // the cluster's SoA metadata: a node is overdue if no report lands
+  // within two intervals.  Pure bookkeeping -- no events are scheduled.
   net_.register_handler(deployment_.master, kMsgNodeReport,
-                        [](const net::Message&) {});
+                        [this](const net::Message& msg) {
+                          if (msg.src < cluster_.size())
+                            cluster_.soa().report_deadline[msg.src] =
+                                engine_.now() + 2 * profile_.node_report_interval;
+                        });
 }
 
 ResourceManager::~ResourceManager() = default;
@@ -81,10 +96,9 @@ void ResourceManager::start(SimTime horizon) {
     // equivalent of the slurmd connection reset a real master sees the
     // moment a node drops off the fabric.  Registered only when recovery
     // is on, so a disabled world schedules nothing extra.
-    compute_set_.insert(deployment_.compute.begin(), deployment_.compute.end());
     cluster_.add_observer(
         [this](NodeId node, cluster::NodeState, cluster::NodeState new_state) {
-          if (!compute_set_.count(node)) return;
+          if (!compute_bits_.test(node)) return;
           if (new_state == cluster::NodeState::Down) on_node_down(node);
           else if (new_state == cluster::NodeState::Up) on_node_up(node);
         });
@@ -92,7 +106,7 @@ void ResourceManager::start(SimTime horizon) {
       placement_scorer_ = std::make_unique<sched::recovery::FailureAwareScorer>(
           [this](NodeId node) { return failure_predictor_->predicted_failed(node); },
           [this](NodeId node) {
-            return static_cast<double>(cluster_.node(node).failure_count);
+            return static_cast<double>(cluster_.failure_count(node));
           });
     }
   }
@@ -271,12 +285,13 @@ void ResourceManager::start_job(sched::JobId id) {
     std::vector<NodeId> healthy;
     healthy.reserve(free_.size());
     for (const NodeId node : free_) {
-      if (believed_alive(node) && !drained_.count(node)) healthy.push_back(node);
+      free_mark_.reset(node);
+      if (believed_alive(node) && !drained_.test(node)) healthy.push_back(node);
       else quarantined_.push_back(node);
     }
     free_.clear();
     if (static_cast<int>(healthy.size()) < job.nodes) {
-      free_ = std::move(healthy);
+      for (const NodeId node : healthy) free_push(node);
       return;
     }
     const SimTime planned =
@@ -295,12 +310,11 @@ void ResourceManager::start_job(sched::JobId id) {
     std::sort(scored.begin(), scored.end());  // (penalty, id): deterministic
     for (int i = 0; i < job.nodes; ++i) allocated.push_back(scored[i].second);
     for (std::size_t i = static_cast<std::size_t>(job.nodes); i < scored.size(); ++i)
-      free_.push_back(scored[i].second);
+      free_push(scored[i].second);
   } else {
     while (static_cast<int>(allocated.size()) < job.nodes && !free_.empty()) {
-      const NodeId node = free_.back();
-      free_.pop_back();
-      if (believed_alive(node) && !drained_.count(node)) {
+      const NodeId node = free_pop();
+      if (believed_alive(node) && !drained_.test(node)) {
         allocated.push_back(node);
       } else {
         quarantined_.push_back(node);  // sidelined until the next refresh
@@ -308,13 +322,13 @@ void ResourceManager::start_job(sched::JobId id) {
     }
     if (static_cast<int>(allocated.size()) < job.nodes) {
       // Not enough healthy nodes after all; put everything back.
-      for (const NodeId node : allocated) free_.push_back(node);
+      for (const NodeId node : allocated) free_push(node);
       return;
     }
   }
 
   pool_.mark_starting(id);
-  allocations_[id] = allocated;
+  set_allocation(id, allocated);
 
   // Launch broadcast ("job loading message").
   dispatch(allocated, 2048, [this, id](const comm::BroadcastResult& result) {
@@ -330,15 +344,15 @@ void ResourceManager::start_job(sched::JobId id) {
         t->metrics.counter("rm.launch_requeues", {{"rm", profile_.name}}).inc();
       for (const NodeId node : allocations_[id]) {
         if (!cluster_.alive(node)) {
-          believed_down_.insert(node);
+          believed_down_.set(node);
           quarantined_.push_back(node);
-        } else if (drained_.count(node)) {
+        } else if (drained_.test(node)) {
           quarantined_.push_back(node);  // drained mid-launch: idle-drained
         } else {
-          free_.push_back(node);
+          free_push(node);
         }
       }
-      allocations_.erase(id);
+      clear_allocation(id);
       pool_.requeue_starting(id);
       if (ha_) ha_->log_job_requeued(id);
       try_start_jobs();
@@ -425,10 +439,10 @@ void ResourceManager::release_job(sched::JobId id) {
     for (const NodeId node : allocations_[id]) {
       // A node drained while the job ran goes idle-drained, never back
       // into the allocatable pool (resume_node returns it).
-      if (drained_.count(node)) quarantined_.push_back(node);
-      else free_.push_back(node);
+      if (drained_.test(node)) quarantined_.push_back(node);
+      else free_push(node);
     }
-    allocations_.erase(id);
+    clear_allocation(id);
     // Stateful schedulers (fair-share ledgers, account usage) charge the
     // observed consumption on the release path.
     scheduler_->on_job_released(job, engine_.now());
@@ -489,15 +503,15 @@ void ResourceManager::finish_preemption(sched::JobId id,
     term_bcast_.add(to_seconds(result.elapsed()));
     for (const NodeId node : allocations_[id]) {
       if (!cluster_.alive(node)) {
-        believed_down_.insert(node);
+        believed_down_.set(node);
         quarantined_.push_back(node);
-      } else if (drained_.count(node)) {
+      } else if (drained_.test(node)) {
         quarantined_.push_back(node);
       } else {
-        free_.push_back(node);
+        free_push(node);
       }
     }
-    allocations_.erase(id);
+    clear_allocation(id);
     pool_.requeue_running(id);
     if (ha_) {
       ha_->log_job_requeued(id);
@@ -512,25 +526,20 @@ void ResourceManager::on_node_down(NodeId node) {
   if (!master_up_) return;  // the outage hides the death; pings catch up
   // Instant death notice: keep the health view and the allocatable pool
   // coherent, then kill whatever allocation held the node.
-  if (ha_ && !believed_down_.count(node)) ha_->log_node_state(node, true);
-  believed_down_.insert(node);
-  const auto it = std::find(free_.begin(), free_.end(), node);
-  if (it != free_.end()) {
-    free_.erase(it);
-    quarantined_.push_back(node);
-  }
-  for (const auto& [id, nodes] : allocations_) {
-    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) continue;
-    kill_allocation(id, /*proactive=*/false);
-    break;  // jobs run in isolation: a node belongs to at most one job
-  }
+  if (ha_ && !believed_down_.test(node)) ha_->log_node_state(node, true);
+  believed_down_.set(node);
+  if (free_remove(node)) quarantined_.push_back(node);
+  // Jobs run in isolation: a node belongs to at most one job, resolved
+  // by the reverse index instead of scanning every live allocation.
+  const sched::JobId owner = node_job_[node];
+  if (owner != kNoJob) kill_allocation(owner, /*proactive=*/false);
 }
 
 void ResourceManager::on_node_up(NodeId node) {
   if (!master_up_) return;
   // A proactively drained node coming back from its repair is healthy
   // again; return it to service without administrator intervention.
-  if (proactive_drained_.erase(node)) resume_node(node);
+  if (proactive_drained_.reset(node)) resume_node(node);
 }
 
 void ResourceManager::kill_allocation(sched::JobId id, bool proactive) {
@@ -580,16 +589,16 @@ void ResourceManager::kill_allocation(sched::JobId id, bool proactive) {
     term_bcast_.add(to_seconds(result.elapsed()));
     recovering_.erase(id);
     for (const NodeId node : allocations_[id]) {
-      if (!cluster_.alive(node) || believed_down_.count(node)) {
-        believed_down_.insert(node);
+      if (!cluster_.alive(node) || believed_down_.test(node)) {
+        believed_down_.set(node);
         quarantined_.push_back(node);
-      } else if (drained_.count(node)) {
+      } else if (drained_.test(node)) {
         quarantined_.push_back(node);
       } else {
-        free_.push_back(node);
+        free_push(node);
       }
     }
-    allocations_.erase(id);
+    clear_allocation(id);
     if (ha_) ha_->launch_complete(id);
     sched::Job& job = pool_.get(id);
     if (retry) {
@@ -644,18 +653,15 @@ void ResourceManager::finish_hold(sched::JobId id) {
 void ResourceManager::note_predicted_failure(NodeId node, SimTime fail_at) {
   if (!config_.recovery.enabled || !config_.recovery.proactive_drain) return;
   if (!master_up_) return;
-  if (!compute_set_.count(node)) return;
-  if (drained_.count(node)) return;
+  if (!compute_bits_.test(node)) return;
+  if (drained_.test(node)) return;
   ++recovery_stats_.proactive_drains;
   if (auto* t = telemetry_)
     t->metrics.counter("recovery.proactive_drains", {{"rm", profile_.name}}).inc();
   drain_node(node);
-  proactive_drained_.insert(node);
-  for (const auto& [id, nodes] : allocations_) {
-    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) continue;
-    kill_allocation(id, /*proactive=*/true);
-    break;
-  }
+  proactive_drained_.set(node);
+  const sched::JobId owner = node_job_[node];
+  if (owner != kNoJob) kill_allocation(owner, /*proactive=*/true);
   // False-alarm backstop: if the predicted failure never lands, un-drain
   // once the alert has cleared (on_node_up covers the real-failure case).
   const SimTime recheck = std::max(fail_at, engine_.now()) + minutes(5);
@@ -664,7 +670,7 @@ void ResourceManager::note_predicted_failure(NodeId node, SimTime fail_at) {
 }
 
 void ResourceManager::recheck_proactive_drain(NodeId node) {
-  if (!proactive_drained_.count(node)) return;
+  if (!proactive_drained_.test(node)) return;
   if (!cluster_.alive(node)) return;  // failure landed; repair un-drains
   if (failure_predictor_ && failure_predictor_->predicted_failed(node)) {
     // Still alarmed: look again later.
@@ -673,8 +679,39 @@ void ResourceManager::recheck_proactive_drain(NodeId node) {
       engine_.schedule_at(next, [this, node] { recheck_proactive_drain(node); });
     return;
   }
-  proactive_drained_.erase(node);
+  proactive_drained_.reset(node);
   resume_node(node);
+}
+
+bool ResourceManager::free_remove(NodeId node) {
+  if (!free_mark_.reset(node)) return false;  // not idle: nothing to do
+  free_.erase(std::find(free_.begin(), free_.end(), node));
+  return true;
+}
+
+void ResourceManager::set_allocation(sched::JobId id, std::vector<NodeId> nodes) {
+  for (const NodeId node : nodes) node_job_[node] = id;
+  allocations_[id] = std::move(nodes);
+}
+
+void ResourceManager::clear_allocation(sched::JobId id) {
+  const auto it = allocations_.find(id);
+  if (it == allocations_.end()) return;
+  for (const NodeId node : it->second) {
+    if (node_job_[node] == id) node_job_[node] = kNoJob;
+  }
+  allocations_.erase(it);
+}
+
+std::size_t ResourceManager::schedulable_count() const {
+  const auto& compute = compute_bits_.words();
+  const auto& down = believed_down_.words();
+  const auto& drained = drained_.words();
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < compute.size(); ++w)
+    total += static_cast<std::size_t>(
+        __builtin_popcountll(compute[w] & ~down[w] & ~drained[w]));
+  return total;
 }
 
 std::vector<NodeId> ResourceManager::job_nodes(sched::JobId id) const {
@@ -719,20 +756,16 @@ void ResourceManager::on_job_finished(const sched::Job& job) {
 
 void ResourceManager::drain_node(NodeId node) {
   master_stats_->charge_cpu_us(100.0);
-  drained_.insert(node);
+  drained_.set(node);
   // Pull the node out of the allocatable pool *now*: leaving it in free_
   // until the next health refresh let the scheduler plan with capacity
   // it could never launch on (the drain/launch disagreement).
-  const auto it = std::find(free_.begin(), free_.end(), node);
-  if (it != free_.end()) {
-    free_.erase(it);
-    quarantined_.push_back(node);
-  }
+  if (free_remove(node)) quarantined_.push_back(node);
 }
 
 void ResourceManager::resume_node(NodeId node) {
   master_stats_->charge_cpu_us(100.0);
-  drained_.erase(node);
+  drained_.reset(node);
   // The node may be sidelined in quarantine; give the whole quarantine a
   // fresh pass so the resumed capacity is immediately allocatable.
   merge_quarantine();
@@ -744,8 +777,8 @@ void ResourceManager::merge_quarantine() {
   // returns to the allocatable pool in quarantine order.
   std::vector<NodeId> still_drained;
   for (const NodeId node : quarantined_) {
-    if (drained_.count(node)) still_drained.push_back(node);
-    else free_.push_back(node);
+    if (drained_.test(node)) still_drained.push_back(node);
+    else free_push(node);
   }
   quarantined_ = std::move(still_drained);
 }
@@ -754,18 +787,17 @@ void ResourceManager::refresh_health_view() {
   // A completed health round reconciles the RM's view with reality, and
   // quarantined nodes get another chance (re-quarantined on allocation if
   // they are still believed unhealthy; drained nodes stay sidelined).
-  std::unordered_set<NodeId> down_now;
-  for (const NodeId node : deployment_.compute)
-    if (!cluster_.alive(node)) down_now.insert(node);
+  // The reconciliation is three word-parallel bitset passes (compute AND
+  // NOT alive; XOR for transitions; copy), not a hash insert per node.
+  down_scratch_.assign_and_not(compute_bits_, cluster_.alive_bits());
   if (ha_) {
     // WAL only the *transitions*, not the whole view, so steady state
     // costs nothing.
-    for (const NodeId node : down_now)
-      if (!believed_down_.count(node)) ha_->log_node_state(node, true);
-    for (const NodeId node : believed_down_)
-      if (!down_now.count(node)) ha_->log_node_state(node, false);
+    believed_down_.for_each_diff(down_scratch_, [this](NodeId node, bool now_down) {
+      ha_->log_node_state(node, now_down);
+    });
   }
-  believed_down_ = std::move(down_now);
+  std::swap(believed_down_, down_scratch_);
   merge_quarantine();
 }
 
@@ -814,7 +846,7 @@ ha::StateImage ResourceManager::build_state_image() const {
   // promoted master resurrects them as immediately-runnable.
   for (const sched::JobId id : pool_.held()) put(id);
   // Released jobs live in the accounting blob, not the live image.
-  for (const NodeId node : believed_down_) image.down.insert(node);
+  believed_down_.for_each_set([&](NodeId node) { image.down.insert(node); });
   std::ostringstream acct;
   accounting_db_.save(acct);
   image.accounting = acct.str();
@@ -862,13 +894,13 @@ ResourceManager::ReconcileStats ResourceManager::reconcile_with_image(
         if (it != allocations_.end()) {
           for (const NodeId node : it->second) {
             if (cluster_.alive(node)) {
-              free_.push_back(node);
+              free_push(node);
             } else {
-              believed_down_.insert(node);
+              believed_down_.set(node);
               quarantined_.push_back(node);
             }
           }
-          allocations_.erase(it);
+          clear_allocation(id);
         }
         pool_.requeue_starting(id);
         if (image.jobs.count(id)) {

@@ -1,0 +1,202 @@
+// Incremental FP-Tree maintenance: the IncrementalFpList flip algebra
+// must stay bit-identical to a from-scratch rearrange_nodelist under any
+// flip history (including regime crossings where predicted nodes
+// outnumber leaf slots), and the FpTreeBroadcaster cache must serve
+// repeated lists without rebuilding while prediction hooks keep the
+// cached arrangement current.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+
+#include "cluster/cluster.hpp"
+#include "comm/fp_tree.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace eslurm::comm {
+namespace {
+
+std::vector<NodeId> strided_list(std::size_t n) {
+  // Non-identity ids catch any index/id conflation in the flip math.
+  std::vector<NodeId> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<NodeId>(3 * i + 5);
+  return out;
+}
+
+TEST(IncrementalFpListTest, MatchesRebuildUnderRandomFlips) {
+  for (const std::size_t n : {64u, 600u, 1537u}) {
+    for (const int width : {2, 8, 50}) {
+      const std::vector<NodeId> base = strided_list(n);
+      const LeafLayout layout = build_leaf_layout(n, width);
+      cluster::StaticFailurePredictor predictor({});
+      IncrementalFpList list(base, &layout, predictor);
+      EXPECT_EQ(*list.out(), rearrange_nodelist(base, width, predictor));
+
+      Rng rng(0xF1F0 + n + static_cast<std::size_t>(width));
+      std::vector<bool> predicted(n, false);
+      for (int step = 0; step < 300; ++step) {
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        predicted[i] = !predicted[i];
+        predictor.set_predicted(base[i], predicted[i]);
+        list.apply_flip(base[i], predicted[i]);
+        RearrangeStats expect;
+        const auto reference = rearrange_nodelist(base, width, predictor, &expect);
+        ASSERT_EQ(*list.out(), reference)
+            << "n=" << n << " width=" << width << " step=" << step;
+        ASSERT_EQ(list.stats().predicted, expect.predicted);
+        ASSERT_EQ(list.stats().predicted_on_leaf, expect.predicted_on_leaf);
+        ASSERT_EQ(list.stats().leaf_slots, expect.leaf_slots);
+      }
+    }
+  }
+}
+
+TEST(IncrementalFpListTest, RegimeCrossingsFallBackCorrectly) {
+  // Width 2 keeps leaf slots near n/2, so marching the predicted count
+  // from 0 to n and back crosses the P > L boundary in both directions.
+  constexpr std::size_t kN = 240;
+  const std::vector<NodeId> base = strided_list(kN);
+  const LeafLayout layout = build_leaf_layout(kN, 2);
+  cluster::StaticFailurePredictor predictor({});
+  IncrementalFpList list(base, &layout, predictor);
+  ASSERT_LT(layout.leaf_slots(), kN);
+
+  const auto check = [&](std::size_t step) {
+    ASSERT_EQ(*list.out(), rearrange_nodelist(base, 2, predictor))
+        << "step " << step;
+  };
+  for (std::size_t i = 0; i < kN; ++i) {
+    predictor.set_predicted(base[i], true);
+    list.apply_flip(base[i], true);
+    check(i);
+  }
+  EXPECT_EQ(list.predicted_count(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    predictor.set_predicted(base[i], false);
+    list.apply_flip(base[i], false);
+    check(kN + i);
+  }
+  EXPECT_EQ(list.predicted_count(), 0u);
+}
+
+TEST(IncrementalFpListTest, SnapshotsAreStableAcrossLaterFlips) {
+  const std::vector<NodeId> base = strided_list(400);
+  const LeafLayout layout = build_leaf_layout(400, 8);
+  cluster::StaticFailurePredictor predictor({});
+  IncrementalFpList list(base, &layout, predictor);
+
+  const auto snapshot = list.out();
+  const std::vector<NodeId> frozen = *snapshot;
+  const std::uint64_t version = list.out_version();
+  predictor.set_predicted(base[13], true);
+  list.apply_flip(base[13], true);
+  EXPECT_EQ(*snapshot, frozen);  // copy-on-write: old broadcast unharmed
+  EXPECT_NE(*list.out(), frozen);
+  EXPECT_GT(list.out_version(), version);
+}
+
+TEST(IncrementalFpListTest, IgnoresForeignAndRedundantFlips) {
+  const std::vector<NodeId> base = strided_list(128);
+  const LeafLayout layout = build_leaf_layout(128, 8);
+  cluster::StaticFailurePredictor predictor({});
+  IncrementalFpList list(base, &layout, predictor);
+  const std::uint64_t version = list.out_version();
+  list.apply_flip(1, true);  // id 1 is not in the strided base list
+  EXPECT_EQ(list.out_version(), version);
+  predictor.set_predicted(base[3], true);
+  list.apply_flip(base[3], true);
+  const std::uint64_t after = list.out_version();
+  list.apply_flip(base[3], true);  // redundant: state already matches
+  EXPECT_EQ(list.out_version(), after);
+  EXPECT_EQ(*list.out(), rearrange_nodelist(base, 8, predictor));
+}
+
+struct FpCacheFixture : ::testing::Test {
+  static constexpr std::size_t kNodes = 800;
+  sim::Engine engine;
+  net::LinkModel model;
+  std::optional<net::Network> net;
+  std::optional<cluster::ClusterModel> cluster_model;
+
+  void SetUp() override {
+    model.jitter_frac = 0.0;
+    net.emplace(engine, kNodes, model, Rng(1));
+    cluster_model.emplace(engine, kNodes);
+    net->set_liveness(cluster_model->liveness());
+  }
+
+  std::vector<NodeId> targets(std::size_t n, NodeId first = 1) {
+    std::vector<NodeId> out(n);
+    std::iota(out.begin(), out.end(), first);
+    return out;
+  }
+
+  BroadcastResult run(Broadcaster& b, std::vector<NodeId> t) {
+    std::optional<BroadcastResult> result;
+    b.broadcast(0, std::move(t), {}, [&](const BroadcastResult& r) { result = r; });
+    engine.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(BroadcastResult{});
+  }
+};
+
+TEST_F(FpCacheFixture, RepeatedListsServeFromCache) {
+  cluster::StaticFailurePredictor predictor({5, 9});
+  FpTreeBroadcaster fp(*net, predictor);
+  ASSERT_GE(std::size_t{600}, FpTreeBroadcaster::kMinIncrementalSize);
+
+  EXPECT_EQ(run(fp, targets(600)).delivered, 600u);
+  EXPECT_EQ(fp.trees_constructed(), 1u);
+  EXPECT_EQ(fp.trees_from_cache(), 0u);
+
+  EXPECT_EQ(run(fp, targets(600)).delivered, 600u);
+  EXPECT_EQ(fp.trees_constructed(), 2u);
+  EXPECT_EQ(fp.trees_from_cache(), 1u);
+  EXPECT_EQ(fp.incremental_updates(), 0u);  // nothing flipped in between
+
+  // A prediction flip between broadcasts is delivered by the change hook
+  // and applied incrementally on the next prepare of the cached list.
+  predictor.set_predicted(42, true);
+  predictor.set_predicted(9, false);
+  EXPECT_EQ(run(fp, targets(600)).delivered, 600u);
+  EXPECT_EQ(fp.trees_from_cache(), 2u);
+  EXPECT_EQ(fp.incremental_updates(), 2u);
+  // The cumulative stats keep tracking the *current* predicted set.
+  EXPECT_EQ(fp.cumulative_stats().predicted, 2u + 2u + 2u);
+}
+
+TEST_F(FpCacheFixture, ShortListsBypassTheCache) {
+  cluster::StaticFailurePredictor predictor({5});
+  FpTreeBroadcaster fp(*net, predictor);
+  run(fp, targets(100));
+  run(fp, targets(100));
+  EXPECT_EQ(fp.trees_constructed(), 2u);
+  EXPECT_EQ(fp.trees_from_cache(), 0u);  // below kMinIncrementalSize
+}
+
+TEST_F(FpCacheFixture, GroundTruthEpochCachingStaysExact) {
+  cluster::StaticFailurePredictor predictor({});
+  FpTreeBroadcaster fp(*net, predictor);
+  fp.set_ground_truth(
+      [this](NodeId node) { return !cluster_model->alive(node); },
+      [this] { return cluster_model->state_epoch(); });
+
+  cluster_model->fail(700);  // genuinely down, outside the target list
+  cluster_model->fail(17);   // genuinely down, inside it (delivery skips it)
+  run(fp, targets(600));
+  const std::size_t first = fp.cumulative_stats().failed_encountered;
+  EXPECT_EQ(first, 1u);  // only node 17 is listed
+  // Unchanged cluster + unchanged arrangement: the cached counts are
+  // reused, and cumulative accounting still advances per broadcast.
+  run(fp, targets(600));
+  EXPECT_EQ(fp.cumulative_stats().failed_encountered, 2 * first);
+  cluster_model->fail(23);
+  run(fp, targets(600));
+  EXPECT_EQ(fp.cumulative_stats().failed_encountered, 2 * first + 2);
+}
+
+}  // namespace
+}  // namespace eslurm::comm
